@@ -1,0 +1,263 @@
+// Benchmarks regenerating the paper's tables and figures, one testing.B
+// target per artifact (DESIGN.md §5 maps each to its experiment). They run
+// scaled-down experiment bodies and report the headline numbers as custom
+// metrics, so `go test -bench=. -benchmem` doubles as a quick reproduction
+// pass; cmd/experiments produces the full-scale versions.
+package tlbprefetch_test
+
+import (
+	"testing"
+
+	"tlbprefetch"
+	"tlbprefetch/internal/experiments"
+)
+
+// benchOpts scales an experiment to benchmark-friendly size.
+func benchOpts(refs uint64) experiments.Options {
+	o := experiments.DefaultOptions()
+	o.Refs = refs
+	return o
+}
+
+// BenchmarkFig7 regenerates Figure 7 (prediction accuracy, 26 SPEC CPU2000
+// applications, 21 mechanism configurations each).
+func BenchmarkFig7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig7(benchOpts(100_000))
+		if len(res) != 26 {
+			b.Fatalf("fig7 rows = %d", len(res))
+		}
+		if i == b.N-1 {
+			dp, _ := res[0].Get("DP,256,D")
+			b.ReportMetric(dp, "gzip-DP256-acc")
+		}
+	}
+}
+
+// BenchmarkFig8 regenerates Figure 8 (MediaBench + Etch + Pointer-Intensive).
+func BenchmarkFig8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig8(benchOpts(100_000))
+		if len(res) != 30 {
+			b.Fatalf("fig8 rows = %d", len(res))
+		}
+	}
+}
+
+// BenchmarkTable2 regenerates Table 2 (plain and miss-rate-weighted average
+// accuracy over all 56 applications).
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Table2(benchOpts(100_000))
+		if i == b.N-1 {
+			for _, row := range res.Rows {
+				if row.Mechanism == "DP" {
+					b.ReportMetric(row.Average, "DP-avg")
+					b.ReportMetric(row.WeightedAvg, "DP-wavg")
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkTable3 regenerates Table 3 (normalized execution cycles, RP vs
+// DP, under the paper's timing model).
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table3(benchOpts(200_000))
+		if i == b.N-1 {
+			for _, r := range rows {
+				if r.App == "ammp" {
+					b.ReportMetric(r.DPNormalized, "ammp-DP-normcycles")
+					b.ReportMetric(r.RPNormalized, "ammp-RP-normcycles")
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkFig9 regenerates the DP sensitivity analysis (table geometry,
+// slots, buffer size, TLB size over the eight high-miss applications).
+func BenchmarkFig9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig9(benchOpts(100_000))
+		if len(res.TableGeometry) != 8 {
+			b.Fatalf("fig9 apps = %d", len(res.TableGeometry))
+		}
+	}
+}
+
+// BenchmarkExtDPVariants runs the paper's future-work indexing variants
+// (PC+distance, two-distance) against plain DP.
+func BenchmarkExtDPVariants(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.ExtDPVariants(benchOpts(100_000))
+	}
+}
+
+// BenchmarkExtCache runs the cache-level DP demonstration.
+func BenchmarkExtCache(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.ExtCache(benchOpts(200_000))
+		if i == b.N-1 {
+			for _, r := range rows {
+				if r.Workload == "cache-motif" {
+					b.ReportMetric(r.DP, "cache-motif-DP-acc")
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkExtMultiprog runs the context-switch table-policy study.
+func BenchmarkExtMultiprog(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.ExtMultiprog(benchOpts(150_000))
+	}
+}
+
+// BenchmarkExtPageSize runs the page-size sensitivity sweep.
+func BenchmarkExtPageSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.ExtPageSize(benchOpts(100_000))
+	}
+}
+
+// BenchmarkExtTLBAssoc runs the TLB-associativity sensitivity sweep.
+func BenchmarkExtTLBAssoc(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.ExtTLBAssoc(benchOpts(100_000))
+	}
+}
+
+// --- Ablation benches for the design choices DESIGN.md calls out ----------
+
+// BenchmarkAblationDPTableSize measures DP accuracy as the table shrinks
+// (the paper's claim: 32 rows already work).
+func BenchmarkAblationDPTableSize(b *testing.B) {
+	w, _ := tlbprefetch.WorkloadByName("galgel")
+	for _, rows := range []int{1024, 256, 32} {
+		b.Run(labelRows(rows), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				st := tlbprefetch.RunWorkload(tlbprefetch.DefaultConfig(),
+					tlbprefetch.NewDistance(rows, 1, 2), w, 200_000)
+				if i == b.N-1 {
+					b.ReportMetric(st.Accuracy(), "acc")
+				}
+			}
+		})
+	}
+}
+
+func labelRows(r int) string {
+	switch r {
+	case 1024:
+		return "r1024"
+	case 256:
+		return "r256"
+	default:
+		return "r32"
+	}
+}
+
+// BenchmarkAblationTaggedSP compares tagged vs plain sequential prefetching
+// (the paper adopts the tagged variant following Vanderwiel & Lilja).
+func BenchmarkAblationTaggedSP(b *testing.B) {
+	w, _ := tlbprefetch.WorkloadByName("gzip")
+	for _, tagged := range []bool{true, false} {
+		name := "plain"
+		if tagged {
+			name = "tagged"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				st := tlbprefetch.RunWorkload(tlbprefetch.DefaultConfig(),
+					tlbprefetch.NewSequential(tagged), w, 200_000)
+				if i == b.N-1 {
+					b.ReportMetric(st.Accuracy(), "acc")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationAdaptiveSP compares tagged SP against the
+// Dahlgren/Dubois/Stenström adaptive variant — the paper's observation that
+// "simulations have shown only slight differences between these schemes".
+func BenchmarkAblationAdaptiveSP(b *testing.B) {
+	w, _ := tlbprefetch.WorkloadByName("gzip")
+	for _, adaptive := range []bool{false, true} {
+		name := "tagged"
+		mk := func() tlbprefetch.Prefetcher { return tlbprefetch.NewSequential(true) }
+		if adaptive {
+			name = "adaptive"
+			mk = func() tlbprefetch.Prefetcher { return tlbprefetch.NewAdaptiveSequential() }
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				st := tlbprefetch.RunWorkload(tlbprefetch.DefaultConfig(), mk(), w, 200_000)
+				if i == b.N-1 {
+					b.ReportMetric(st.Accuracy(), "acc")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationRPDegree compares the paper's 2-neighbour RP against
+// Saulsbury et al.'s 3-entry variant: accuracy gain vs extra traffic.
+func BenchmarkAblationRPDegree(b *testing.B) {
+	w, _ := tlbprefetch.WorkloadByName("ammp")
+	for _, degree := range []int{2, 3} {
+		name := "deg2"
+		if degree == 3 {
+			name = "deg3"
+		}
+		degree := degree
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				st := tlbprefetch.RunWorkload(tlbprefetch.DefaultConfig(),
+					tlbprefetch.NewRecencyDegree(degree), w, 200_000)
+				if i == b.N-1 {
+					b.ReportMetric(st.Accuracy(), "acc")
+					b.ReportMetric(float64(st.MemOps()), "memops")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationRPSkipRule measures the cycle effect of RP's
+// skip-prefetch-when-busy rule (the paper's benefit-of-the-doubt model).
+func BenchmarkAblationRPSkipRule(b *testing.B) {
+	w, _ := tlbprefetch.WorkloadByName("mcf")
+	for _, skip := range []bool{true, false} {
+		name := "noskip"
+		if skip {
+			name = "skip"
+		}
+		b.Run(name, func(b *testing.B) {
+			tc := tlbprefetch.DefaultTimingConfig()
+			tc.RPSkipWhenBusy = skip
+			for i := 0; i < b.N; i++ {
+				st := tlbprefetch.RunWorkloadTimed(tc, tlbprefetch.NewRecency(), w, 200_000)
+				if i == b.N-1 {
+					b.ReportMetric(st.CPI(), "CPI")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSimulatorThroughput measures raw simulation speed (references
+// per second drive every experiment's wall-clock).
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	w, _ := tlbprefetch.WorkloadByName("swim")
+	b.ReportAllocs()
+	b.ResetTimer()
+	refs := uint64(b.N)
+	st := tlbprefetch.RunWorkload(tlbprefetch.DefaultConfig(), tlbprefetch.NewDistance(256, 1, 2), w, refs)
+	if st.Refs != refs {
+		b.Fatalf("simulated %d refs, want %d", st.Refs, refs)
+	}
+}

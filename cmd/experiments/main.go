@@ -1,0 +1,107 @@
+// Command experiments regenerates the tables and figures of Kandiraju &
+// Sivasubramaniam, "Going the Distance for TLB Prefetching" (ISCA 2002),
+// plus the extension studies described in DESIGN.md.
+//
+// Usage:
+//
+//	experiments [flags] <experiment>
+//
+// Experiments: table1, table2, table3, fig7, fig8, fig9,
+// ext-dpvariants, ext-cache, ext-multiprog, ext-pagesize, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"tlbprefetch/internal/experiments"
+)
+
+func main() {
+	refs := flag.Uint64("refs", 1_000_000, "references simulated per workload")
+	tlbEntries := flag.Int("tlb", 128, "TLB entries")
+	tlbWays := flag.Int("ways", 0, "TLB associativity (0 = fully associative)")
+	buffer := flag.Int("buffer", 16, "prefetch buffer entries (b)")
+	pageShift := flag.Uint("pageshift", 12, "log2 of the page size")
+	slots := flag.Int("slots", 2, "prediction slots per row (s)")
+	warmup := flag.Uint64("warmup", 0, "references to simulate before counting (statistics fast-forward)")
+	quiet := flag.Bool("q", false, "suppress timing banner")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: experiments [flags] <experiment>\n")
+		fmt.Fprintf(os.Stderr, "experiments: table1 table2 table3 fig7 fig8 fig9 ext-dpvariants ext-cache ext-multiprog ext-pagesize ext-tlbassoc all\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	opts := experiments.Options{
+		Refs:       *refs,
+		TLBEntries: *tlbEntries,
+		TLBWays:    *tlbWays,
+		Buffer:     *buffer,
+		PageShift:  *pageShift,
+		Slots:      *slots,
+		WarmupRefs: *warmup,
+	}
+
+	run := func(name string) {
+		start := time.Now()
+		switch name {
+		case "table1":
+			fmt.Println("Table 1: hardware comparison at a glance")
+			fmt.Print(experiments.Table1(opts))
+		case "table2":
+			fmt.Println("Table 2: average and miss-rate-weighted prediction accuracy (56 apps, s=2, r=256)")
+			fmt.Print(experiments.FormatTable2(experiments.Table2(opts)))
+		case "table3":
+			fmt.Print(experiments.FormatTable3(experiments.Table3(opts)))
+		case "fig7":
+			fmt.Println("Figure 7: prediction accuracy, SPEC CPU2000")
+			fmt.Print(experiments.FormatFigure(experiments.Fig7(opts)))
+		case "fig8":
+			fmt.Println("Figure 8: prediction accuracy, MediaBench / Etch / Pointer-Intensive")
+			fmt.Print(experiments.FormatFigure(experiments.Fig8(opts)))
+		case "fig9":
+			fmt.Print(experiments.FormatFig9(experiments.Fig9(opts)))
+		case "ext-dpvariants":
+			fmt.Println("Extension A: DP indexing variants (paper §4 future work)")
+			fmt.Print(experiments.FormatExtDPVariants(experiments.ExtDPVariants(opts)))
+		case "ext-cache":
+			fmt.Println("Extension B: distance prefetching at the cache level")
+			fmt.Print(experiments.FormatExtCache(experiments.ExtCache(opts)))
+		case "ext-multiprog":
+			fmt.Println("Extension C: multiprogramming — flush vs retain prediction tables")
+			fmt.Print(experiments.FormatExtMultiprog(experiments.ExtMultiprog(opts)))
+		case "ext-pagesize":
+			fmt.Println("Extension D: page-size sensitivity of DP")
+			fmt.Print(experiments.FormatExtPageSize(experiments.ExtPageSize(opts)))
+		case "ext-tlbassoc":
+			fmt.Println("Extension E: TLB-associativity sensitivity of DP")
+			fmt.Print(experiments.FormatExtTLBAssoc(experiments.ExtTLBAssoc(opts)))
+		default:
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
+			flag.Usage()
+			os.Exit(2)
+		}
+		if !*quiet {
+			fmt.Printf("\n[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+		}
+	}
+
+	if flag.Arg(0) == "all" {
+		for _, name := range []string{
+			"table1", "fig7", "fig8", "table2", "table3", "fig9",
+			"ext-dpvariants", "ext-cache", "ext-multiprog", "ext-pagesize",
+			"ext-tlbassoc",
+		} {
+			run(name)
+		}
+		return
+	}
+	run(flag.Arg(0))
+}

@@ -1,0 +1,170 @@
+// Command tlbsim runs one TLB-prefetching simulation: a workload model (or
+// a trace file) against one mechanism configuration, and prints the
+// functional statistics — or the cycle accounting with -timing.
+//
+// Examples:
+//
+//	tlbsim -workload swim -mech DP -rows 256
+//	tlbsim -workload mcf -mech RP -timing
+//	tlbsim -trace app.trc -mech ASP -rows 512 -ways 4
+//	tlbsim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"tlbprefetch"
+)
+
+func main() {
+	var (
+		workloadName = flag.String("workload", "", "workload model to run (see -list)")
+		traceFile    = flag.String("trace", "", "binary or text trace file to run instead of a workload")
+		traceText    = flag.Bool("text", false, "treat -trace as the text format")
+		mech         = flag.String("mech", "DP", "mechanism: DP, DP-PC, DP2, RP, RP3, MP, ASP, SP, SP-A, none")
+		rows         = flag.Int("rows", 256, "prediction table rows r (DP/MP/ASP)")
+		ways         = flag.Int("ways", 1, "prediction table associativity (DP/MP/ASP)")
+		slots        = flag.Int("slots", 2, "prediction slots per row s (DP/MP)")
+		refs         = flag.Uint64("refs", 1_000_000, "references to simulate (workload mode)")
+		tlbEntries   = flag.Int("tlb", 128, "TLB entries")
+		tlbWays      = flag.Int("tlbways", 0, "TLB associativity (0 = fully associative)")
+		buffer       = flag.Int("buffer", 16, "prefetch buffer entries")
+		pageShift    = flag.Uint("pageshift", 12, "log2 of the page size")
+		timing       = flag.Bool("timing", false, "use the cycle model (paper Table 3)")
+		list         = flag.Bool("list", false, "list the available workload models")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Printf("%-14s %-18s %s\n", "name", "suite", "model")
+		for _, w := range tlbprefetch.Workloads() {
+			fmt.Printf("%-14s %-18s %s\n", w.Name, w.Suite, w.PaperNote)
+		}
+		return
+	}
+
+	pf, err := buildMechanism(*mech, *rows, *ways, *slots)
+	if err != nil {
+		fatal(err.Error())
+	}
+
+	cfg := tlbprefetch.Config{
+		TLB:           tlbprefetch.TLBConfig{Entries: *tlbEntries, Ways: *tlbWays},
+		BufferEntries: *buffer,
+		PageShift:     *pageShift,
+	}
+
+	switch {
+	case *traceFile != "":
+		runTrace(cfg, pf, *traceFile, *traceText, *timing)
+	case *workloadName != "":
+		w, ok := tlbprefetch.WorkloadByName(*workloadName)
+		if !ok {
+			fatal(fmt.Sprintf("unknown workload %q (try -list)", *workloadName))
+		}
+		if *timing {
+			tc := tlbprefetch.DefaultTimingConfig()
+			tc.Config = cfg
+			base := tlbprefetch.RunWorkloadTimed(tc, nil, w, *refs)
+			st := tlbprefetch.RunWorkloadTimed(tc, pf, w, *refs)
+			printTiming(st, base.Cycles)
+		} else {
+			st := tlbprefetch.RunWorkload(cfg, pf, w, *refs)
+			printStats(st)
+		}
+	default:
+		fatal("need -workload or -trace (or -list)")
+	}
+}
+
+func buildMechanism(kind string, rows, ways, slots int) (tlbprefetch.Prefetcher, error) {
+	switch strings.ToUpper(kind) {
+	case "DP":
+		return tlbprefetch.NewDistance(rows, ways, slots), nil
+	case "DP-PC":
+		return tlbprefetch.NewDistancePC(rows, ways, slots), nil
+	case "DP2":
+		return tlbprefetch.NewDistance2(rows, ways, slots), nil
+	case "RP":
+		return tlbprefetch.NewRecency(), nil
+	case "RP3":
+		return tlbprefetch.NewRecencyDegree(3), nil
+	case "MP":
+		return tlbprefetch.NewMarkov(rows, ways, slots), nil
+	case "ASP":
+		return tlbprefetch.NewASP(rows, ways), nil
+	case "SP":
+		return tlbprefetch.NewSequential(true), nil
+	case "SP-A":
+		return tlbprefetch.NewAdaptiveSequential(), nil
+	case "NONE":
+		return nil, nil
+	}
+	return nil, fmt.Errorf("unknown mechanism %q", kind)
+}
+
+func runTrace(cfg tlbprefetch.Config, pf tlbprefetch.Prefetcher, path string, text, timing bool) {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err.Error())
+	}
+	defer f.Close()
+
+	var r tlbprefetch.TraceReader
+	if text {
+		r = tlbprefetch.NewTextTraceReader(f)
+	} else {
+		br, err := tlbprefetch.NewBinaryTraceReader(f)
+		if err != nil {
+			fatal(err.Error())
+		}
+		r = br
+	}
+	if timing {
+		tc := tlbprefetch.DefaultTimingConfig()
+		tc.Config = cfg
+		s := tlbprefetch.NewTimingSimulator(tc, pf)
+		if err := s.Run(r); err != nil {
+			fatal(err.Error())
+		}
+		printTiming(s.Stats(), 0)
+		return
+	}
+	s := tlbprefetch.NewSimulator(cfg, pf)
+	if err := s.Run(r); err != nil {
+		fatal(err.Error())
+	}
+	printStats(s.Stats())
+}
+
+func printStats(st tlbprefetch.Stats) {
+	fmt.Printf("references          %12d\n", st.Refs)
+	fmt.Printf("TLB misses          %12d  (miss rate %.4f)\n", st.Misses, st.MissRate())
+	fmt.Printf("buffer hits         %12d\n", st.BufferHits)
+	fmt.Printf("demand fetches      %12d\n", st.DemandFetches)
+	fmt.Printf("prediction accuracy %12.4f\n", st.Accuracy())
+	fmt.Printf("prefetches issued   %12d  (%d duplicates dropped, %d evicted unused)\n",
+		st.PrefetchesIssued, st.PrefetchDuplicates, st.PrefetchesUnused)
+	fmt.Printf("extra memory ops    %12d  (%d metadata + %d fetches)\n",
+		st.MemOps(), st.StateMemOps, st.PrefetchesIssued)
+}
+
+func printTiming(st tlbprefetch.TimingStats, baselineCycles uint64) {
+	printStats(st.Stats)
+	fmt.Printf("cycles              %12d  (CPI %.3f)\n", st.Cycles, st.CPI())
+	fmt.Printf("stall cycles        %12d\n", st.StallCycles)
+	fmt.Printf("in-flight waits     %12d\n", st.InFlightHits)
+	fmt.Printf("skipped prefetches  %12d\n", st.SkippedPref)
+	if baselineCycles > 0 {
+		fmt.Printf("normalized cycles   %12.3f  (vs no prefetching)\n",
+			float64(st.Cycles)/float64(baselineCycles))
+	}
+}
+
+func fatal(msg string) {
+	fmt.Fprintln(os.Stderr, "tlbsim:", msg)
+	os.Exit(1)
+}

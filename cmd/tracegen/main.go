@@ -1,0 +1,85 @@
+// Command tracegen writes a workload model's reference stream to a trace
+// file (binary by default, text with -text), for driving tlbsim or external
+// tools.
+//
+// Examples:
+//
+//	tracegen -workload swim -refs 5000000 -o swim.trc
+//	tracegen -workload gsm-enc -refs 100000 -text -o gsm.txt
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"tlbprefetch"
+)
+
+func main() {
+	var (
+		workloadName = flag.String("workload", "", "workload model to emit (see tlbsim -list)")
+		refs         = flag.Uint64("refs", 1_000_000, "references to generate")
+		out          = flag.String("o", "", "output file (default: <workload>.trc or .txt)")
+		text         = flag.Bool("text", false, "write the human-readable text format")
+	)
+	flag.Parse()
+
+	if *workloadName == "" {
+		fmt.Fprintln(os.Stderr, "tracegen: need -workload")
+		os.Exit(2)
+	}
+	w, ok := tlbprefetch.WorkloadByName(*workloadName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "tracegen: unknown workload %q\n", *workloadName)
+		os.Exit(1)
+	}
+
+	path := *out
+	if path == "" {
+		if *text {
+			path = w.Name + ".txt"
+		} else {
+			path = w.Name + ".trc"
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+	bw := bufio.NewWriterSize(f, 1<<20)
+
+	var n uint64
+	if *text {
+		tw := tlbprefetch.NewTextTraceWriter(bw)
+		n, err = tlbprefetch.GenerateWorkload(w, *refs, tw)
+		if err == nil {
+			err = tw.Flush()
+		}
+	} else {
+		var tw interface {
+			Write(tlbprefetch.Ref) error
+			Flush() error
+		}
+		tw, err = tlbprefetch.NewBinaryTraceWriter(bw)
+		if err == nil {
+			n, err = tlbprefetch.GenerateWorkload(w, *refs, tw.(tlbprefetch.TraceWriter))
+		}
+		if err == nil {
+			err = tw.Flush()
+		}
+	}
+	if err == nil {
+		err = bw.Flush()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %d references of %s to %s\n", n, w.Name, path)
+}

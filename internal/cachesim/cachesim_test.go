@@ -1,0 +1,111 @@
+package cachesim
+
+import (
+	"testing"
+
+	"tlbprefetch/internal/core"
+	"tlbprefetch/internal/prefetch"
+	"tlbprefetch/internal/trace"
+)
+
+func cfg() Config {
+	return Config{SizeBytes: 1 << 10, BlockBytes: 64, Ways: 4, BufferEntries: 8}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := cfg().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{SizeBytes: 0, BlockBytes: 64, BufferEntries: 8},
+		{SizeBytes: 1000, BlockBytes: 64, BufferEntries: 8}, // not divisible
+		{SizeBytes: 1024, BlockBytes: 48, BufferEntries: 8}, // not a power of two
+		{SizeBytes: 1024, BlockBytes: 64, BufferEntries: 0},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("accepted invalid %+v", c)
+		}
+	}
+}
+
+func TestBlockGranularity(t *testing.T) {
+	c := New(cfg(), nil)
+	c.Ref(0, 0x1000) // block 0x40
+	c.Ref(0, 0x103f) // same 64-byte block -> hit
+	c.Ref(0, 0x1040) // next block -> miss
+	st := c.Stats()
+	if st.Refs != 3 || st.Misses != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.MissRate() <= 0.5 || st.MissRate() >= 0.7 {
+		t.Fatalf("miss rate = %v", st.MissRate())
+	}
+}
+
+func TestDistancePrefetchingAtCacheLevel(t *testing.T) {
+	// Stride-2-blocks stream: DP learns "distance 2 follows distance 2"
+	// exactly as it learns page distances at the TLB level.
+	c := New(cfg(), core.NewDistance(64, 1, 2))
+	addr := uint64(1 << 20)
+	for i := 0; i < 2000; i++ {
+		c.Ref(0, addr)
+		addr += 128 // two blocks
+	}
+	st := c.Stats()
+	if st.Accuracy() < 0.9 {
+		t.Fatalf("DP accuracy at cache level = %.3f, want ~1", st.Accuracy())
+	}
+}
+
+func TestNopBaseline(t *testing.T) {
+	c := New(cfg(), prefetch.Nop{})
+	for i := uint64(0); i < 100; i++ {
+		c.Ref(0, i*64)
+	}
+	if st := c.Stats(); st.BufferHits != 0 || st.Accuracy() != 0 {
+		t.Fatalf("baseline hit the buffer: %+v", st)
+	}
+}
+
+func TestRunFromTrace(t *testing.T) {
+	refs := make([]trace.Ref, 100)
+	for i := range refs {
+		refs[i] = trace.Ref{VAddr: uint64(i) * 64}
+	}
+	c := New(cfg(), prefetch.NewSequential(true))
+	if err := c.Run(trace.NewSliceReader(refs)); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Refs != 100 {
+		t.Fatalf("refs = %d", st.Refs)
+	}
+	// Sequential blocks: SP covers nearly everything after the first.
+	if st.Accuracy() < 0.9 {
+		t.Fatalf("SP accuracy = %.3f", st.Accuracy())
+	}
+}
+
+func TestFullyAssociativeDefault(t *testing.T) {
+	c := New(Config{SizeBytes: 256, BlockBytes: 64, Ways: 0, BufferEntries: 4}, nil)
+	// 4 blocks capacity, fully associative: 4 distinct blocks then re-touch.
+	for i := uint64(0); i < 4; i++ {
+		c.Ref(0, i*64)
+	}
+	for i := uint64(0); i < 4; i++ {
+		c.Ref(0, i*64)
+	}
+	if st := c.Stats(); st.Misses != 4 {
+		t.Fatalf("misses = %d, want 4 (all re-touches hit)", st.Misses)
+	}
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New accepted an invalid config")
+		}
+	}()
+	New(Config{}, nil)
+}

@@ -1,0 +1,258 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tlbprefetch/internal/prefetch"
+)
+
+func ev(vpn uint64) prefetch.Event { return prefetch.Event{VPN: vpn} }
+
+func wantPrefetches(t *testing.T, act prefetch.Action, want ...uint64) {
+	t.Helper()
+	if len(act.Prefetches) != len(want) {
+		t.Fatalf("prefetches = %v, want %v", act.Prefetches, want)
+	}
+	for i := range want {
+		if act.Prefetches[i] != want[i] {
+			t.Fatalf("prefetches = %v, want %v", act.Prefetches, want)
+		}
+	}
+}
+
+// The paper's worked example (§2.5): reference string 1, 2, 4, 5, 7, 8.
+// "if we just keep track of the fact that a distance of 1 is followed by a
+// (predicted) distance of 2 and vice versa, then we would need only a 2
+// entry table to make a prediction."
+func TestDistancePaperExample(t *testing.T) {
+	d := NewDistance(256, 1, 2)
+	if got := d.OnMiss(ev(1)); len(got.Prefetches) != 0 {
+		t.Fatalf("first miss acted: %v", got.Prefetches)
+	}
+	if got := d.OnMiss(ev(2)); len(got.Prefetches) != 0 { // dist 1, table empty
+		t.Fatalf("second miss acted: %v", got.Prefetches)
+	}
+	if got := d.OnMiss(ev(4)); len(got.Prefetches) != 0 { // dist 2, learns 1->2
+		t.Fatalf("third miss acted: %v", got.Prefetches)
+	}
+	wantPrefetches(t, d.OnMiss(ev(5)), 7)  // dist 1: predicts +2 -> page 7
+	wantPrefetches(t, d.OnMiss(ev(7)), 8)  // dist 2: predicts +1 -> page 8
+	wantPrefetches(t, d.OnMiss(ev(8)), 10) // dist 1: predicts +2 -> page 10
+	if d.TableLen() != 2 {
+		t.Fatalf("table len = %d; the paper's point is that 2 rows suffice", d.TableLen())
+	}
+}
+
+func TestDistanceSequentialScan(t *testing.T) {
+	// Pure sequential misses: one row ("1 -> 1") suffices; prefetching
+	// starts on the fourth miss.
+	d := NewDistance(32, 1, 2)
+	d.OnMiss(ev(100)) // establishes prev page
+	d.OnMiss(ev(101)) // dist 1; no history yet
+	d.OnMiss(ev(102)) // dist 1; learns 1->1
+	for p := uint64(103); p < 120; p++ {
+		wantPrefetches(t, d.OnMiss(ev(p)), p+1)
+	}
+	if d.TableLen() != 1 {
+		t.Fatalf("table len = %d, want 1", d.TableLen())
+	}
+}
+
+func TestDistanceNegativeStrides(t *testing.T) {
+	// Backward scan: distance -1 repeating.
+	d := NewDistance(32, 1, 2)
+	d.OnMiss(ev(500))
+	d.OnMiss(ev(499))
+	d.OnMiss(ev(498))
+	wantPrefetches(t, d.OnMiss(ev(497)), 496)
+}
+
+func TestDistanceAlternatingMotif(t *testing.T) {
+	// Distances cycle +3, -1: pages 0, 3, 2, 5, 4, 7, 6, ...
+	d := NewDistance(32, 1, 2)
+	pages := []uint64{0, 3, 2, 5, 4, 7, 6, 9, 8}
+	// Action.Prefetches is only valid until the next OnMiss, so copy.
+	var acts []prefetch.Action
+	for _, p := range pages {
+		a := d.OnMiss(ev(p))
+		a.Prefetches = append([]uint64(nil), a.Prefetches...)
+		acts = append(acts, a)
+	}
+	// After one full cycle both rows exist: miss of 4 (dist -1) predicts
+	// 4+3 = 7; miss of 7 (dist +3) predicts 7-1 = 6.
+	wantPrefetches(t, acts[4], 7)
+	wantPrefetches(t, acts[5], 6)
+	wantPrefetches(t, acts[6], 9)
+	if d.TableLen() != 2 {
+		t.Fatalf("table len = %d, want 2", d.TableLen())
+	}
+}
+
+func TestDistanceMultipleSlots(t *testing.T) {
+	// Distance 1 is followed by 2 and by 5 in turn; s=2 holds both and
+	// issues both, MRU first.
+	d := NewDistance(64, 1, 2)
+	// Build: 0,1,3 teaches 1->2. Then 10,11,16 teaches 1->5.
+	for _, p := range []uint64{0, 1, 3} {
+		d.OnMiss(ev(p))
+	}
+	for _, p := range []uint64{10, 11} {
+		d.OnMiss(ev(p))
+	}
+	d.OnMiss(ev(16)) // dist 5 after dist 1: row(1) = [5, 2]
+	// Next time distance 1 appears, both prefetches issue (MRU first).
+	d.OnMiss(ev(100))
+	act := d.OnMiss(ev(101)) // dist 1
+	wantPrefetches(t, act, 106, 103)
+}
+
+func TestDistanceSlotLRU(t *testing.T) {
+	// s=1: only the most recent successor is kept.
+	d := NewDistance(64, 1, 1)
+	for _, p := range []uint64{0, 1, 3} { // 1 -> 2
+		d.OnMiss(ev(p))
+	}
+	for _, p := range []uint64{10, 11, 16} { // 1 -> 5 replaces 1 -> 2
+		d.OnMiss(ev(p))
+	}
+	d.OnMiss(ev(100))
+	act := d.OnMiss(ev(101))
+	wantPrefetches(t, act, 106)
+}
+
+func TestDistanceReset(t *testing.T) {
+	d := NewDistance(32, 1, 2)
+	for _, p := range []uint64{0, 1, 2, 3} {
+		d.OnMiss(ev(p))
+	}
+	d.Reset()
+	if d.TableLen() != 0 {
+		t.Fatal("table not cleared")
+	}
+	if got := d.OnMiss(ev(50)); len(got.Prefetches) != 0 {
+		t.Fatal("stale prev page after reset")
+	}
+	if got := d.OnMiss(ev(51)); len(got.Prefetches) != 0 {
+		t.Fatal("stale history after reset")
+	}
+}
+
+func TestDistanceTableConflict(t *testing.T) {
+	// 2-row direct-mapped table: distances 1 and 3 conflict (1 % 2 == 3 % 2).
+	d := NewDistance(2, 1, 2)
+	for _, p := range []uint64{0, 1, 2, 3} { // learns 1 -> 1 in row "1"
+		d.OnMiss(ev(p))
+	}
+	// Distances 3,3,3 alias into the same set, evicting row 1.
+	for _, p := range []uint64{100, 103, 106, 109} {
+		d.OnMiss(ev(p))
+	}
+	// Back to stride 1: the first prediction needs one relearn round.
+	d.OnMiss(ev(200)) // dist 91 (noise)
+	d.OnMiss(ev(201)) // dist 1: row 1 was evicted -> no prediction expected
+	got := d.OnMiss(ev(202))
+	// Depending on aliasing the row may or may not be back; the point of
+	// this test is only that nothing panics and predictions resume within
+	// one round.
+	_ = got
+	act := d.OnMiss(ev(203))
+	wantPrefetches(t, act, 204)
+}
+
+// Property: DP is deterministic — identical miss streams produce identical
+// prefetch streams.
+func TestQuickDistanceDeterminism(t *testing.T) {
+	f := func(pages []uint16) bool {
+		d1 := NewDistance(64, 2, 2)
+		d2 := NewDistance(64, 2, 2)
+		for _, p := range pages {
+			a1 := d1.OnMiss(ev(uint64(p)))
+			a2 := d2.OnMiss(ev(uint64(p)))
+			if len(a1.Prefetches) != len(a2.Prefetches) {
+				return false
+			}
+			for i := range a1.Prefetches {
+				if a1.Prefetches[i] != a2.Prefetches[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: DP never issues more than s prefetches per miss.
+func TestQuickDistanceBoundedDegree(t *testing.T) {
+	f := func(pages []uint16, sHint uint8) bool {
+		s := int(sHint%6) + 1
+		d := NewDistance(64, 1, s)
+		for _, p := range pages {
+			if len(d.OnMiss(ev(uint64(p))).Prefetches) > s {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistancePCVariantLearns(t *testing.T) {
+	d := NewDistancePC(64, 1, 2)
+	// Same PC, stride 1: behaves like DP.
+	mk := func(pc, vpn uint64) prefetch.Event { return prefetch.Event{PC: pc, VPN: vpn} }
+	d.OnMiss(mk(9, 0))
+	d.OnMiss(mk(9, 1))
+	d.OnMiss(mk(9, 2))
+	act := d.OnMiss(mk(9, 3))
+	wantPrefetches(t, act, 4)
+	// A different PC with the same distance has its own row: no carryover.
+	d2 := NewDistancePC(64, 1, 2)
+	d2.OnMiss(mk(1, 0))
+	d2.OnMiss(mk(1, 1))
+	d2.OnMiss(mk(1, 2)) // learned under PC 1
+	d2.OnMiss(mk(2, 3))
+	if got := d2.OnMiss(mk(2, 4)); len(got.Prefetches) != 0 {
+		t.Fatalf("PC-qualified row leaked across PCs: %v", got.Prefetches)
+	}
+}
+
+func TestDistance2VariantLearns(t *testing.T) {
+	d := NewDistance2(64, 1, 2)
+	// Motif +1,+2 repeating: pages 0,1,3,4,6,7,9...
+	pages := []uint64{0, 1, 3, 4, 6, 7, 9}
+	var last prefetch.Action
+	for _, p := range pages {
+		last = d.OnMiss(ev(p))
+	}
+	// By the second repetition the pair (1,2) predicts 1 and (2,1) predicts
+	// 2; the final miss (page 9, pair (2)) must predict 9+1 = 10.
+	wantPrefetches(t, last, 10)
+}
+
+func TestDistance2Reset(t *testing.T) {
+	d := NewDistance2(64, 1, 2)
+	for _, p := range []uint64{0, 1, 3, 4, 6} {
+		d.OnMiss(ev(p))
+	}
+	d.Reset()
+	for _, p := range []uint64{100, 101, 103} {
+		if got := d.OnMiss(ev(p)); len(got.Prefetches) != 0 {
+			t.Fatal("stale state after reset")
+		}
+	}
+}
+
+func BenchmarkDistanceOnMiss(b *testing.B) {
+	d := NewDistance(256, 1, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Alternating distances exercise lookup+update on every miss.
+		d.OnMiss(ev(uint64(i) * uint64(1+i%3)))
+	}
+}

@@ -1,0 +1,197 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§3), plus the extension studies DESIGN.md lists. It is shared
+// by cmd/experiments (human-readable output) and bench_test.go (one
+// testing.B benchmark per experiment).
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"tlbprefetch/internal/core"
+	"tlbprefetch/internal/prefetch"
+	"tlbprefetch/internal/sim"
+	"tlbprefetch/internal/tlb"
+	"tlbprefetch/internal/workload"
+)
+
+// Options scales and parameterizes the experiment runs.
+type Options struct {
+	// Refs is the number of references simulated per workload (the paper
+	// simulates 1B instructions; the synthetic models are stationary, so
+	// the default 1M references reaches steady state comfortably).
+	Refs uint64
+	// TLBEntries/TLBWays give the TLB geometry (paper default: 128-entry
+	// fully associative; TLBWays 0 means fully associative).
+	TLBEntries int
+	TLBWays    int
+	// Buffer is the prefetch buffer size b (paper default 16).
+	Buffer int
+	// PageShift is log2(page size) (paper default 12).
+	PageShift uint
+	// Slots is s, the predictions per row for MP/DP (paper default 2).
+	Slots int
+	// WarmupRefs references are simulated before the counters are reset,
+	// mirroring the paper's 2-billion-instruction fast-forward: mechanisms
+	// and TLB state stay warm, only the statistics restart. 0 disables.
+	WarmupRefs uint64
+}
+
+// DefaultOptions returns the paper's baseline configuration at the default
+// simulation scale.
+func DefaultOptions() Options {
+	return Options{
+		Refs:       1_000_000,
+		TLBEntries: 128,
+		TLBWays:    0,
+		Buffer:     16,
+		PageShift:  12,
+		Slots:      2,
+	}
+}
+
+func (o Options) simConfig() sim.Config {
+	return sim.Config{
+		TLB:           tlb.Config{Entries: o.TLBEntries, Ways: o.TLBWays},
+		BufferEntries: o.Buffer,
+		PageShift:     o.PageShift,
+	}
+}
+
+// MechConfig names one mechanism configuration (a bar in the paper's
+// figures).
+type MechConfig struct {
+	// Kind is one of "RP", "RP3", "MP", "DP", "ASP", "SP", "SP-A",
+	// "DP-PC", "DP2".
+	Kind string
+	// Rows (r) and Ways apply to the table-based mechanisms; Ways 0 means
+	// direct-mapped for ASP/MP/DP table sweeps is expressed as Ways 1, and
+	// Ways == Rows as fully associative.
+	Rows, Ways int
+	// Slots is s for MP/DP-family mechanisms (0 = use Options.Slots).
+	Slots int
+}
+
+// Label renders the paper's figure-legend naming, e.g. "DP,256,D".
+func (m MechConfig) Label() string {
+	switch m.Kind {
+	case "RP", "RP3", "SP", "SP-A":
+		return m.Kind
+	}
+	assoc := "D"
+	switch {
+	case m.Ways == m.Rows:
+		assoc = "F"
+	case m.Ways > 1:
+		assoc = fmt.Sprintf("%d", m.Ways)
+	}
+	return fmt.Sprintf("%s,%d,%s", m.Kind, m.Rows, assoc)
+}
+
+// Build instantiates the mechanism.
+func (m MechConfig) Build(opts Options) prefetch.Prefetcher {
+	ways := m.Ways
+	if ways == 0 {
+		ways = 1
+	}
+	slots := m.Slots
+	if slots == 0 {
+		slots = opts.Slots
+	}
+	switch m.Kind {
+	case "RP":
+		return prefetch.NewRecency()
+	case "RP3":
+		return prefetch.NewRecencyDegree(3)
+	case "SP":
+		return prefetch.NewSequential(true)
+	case "SP-A":
+		return prefetch.NewAdaptiveSequential()
+	case "ASP":
+		return prefetch.NewASP(m.Rows, ways)
+	case "MP":
+		return prefetch.NewMarkov(m.Rows, ways, slots)
+	case "DP":
+		return core.NewDistance(m.Rows, ways, slots)
+	case "DP-PC":
+		return core.NewDistancePC(m.Rows, ways, slots)
+	case "DP2":
+		return core.NewDistance2(m.Rows, ways, slots)
+	}
+	panic(fmt.Sprintf("experiments: unknown mechanism kind %q", m.Kind))
+}
+
+// AppResult is one application's row of a figure: the miss rate (of the
+// unmodified TLB) plus accuracy per mechanism configuration.
+type AppResult struct {
+	App      string
+	Suite    string
+	MissRate float64
+	Labels   []string
+	Acc      []float64
+	Stats    []sim.Stats
+}
+
+// Get returns the accuracy for a label (0, false if absent).
+func (r AppResult) Get(label string) (float64, bool) {
+	for i, l := range r.Labels {
+		if l == label {
+			return r.Acc[i], true
+		}
+	}
+	return 0, false
+}
+
+// RunApp evaluates every mechanism configuration against one workload in a
+// single pass over its (regenerated) reference stream.
+func RunApp(w workload.Workload, opts Options, mechs []MechConfig) AppResult {
+	g := sim.NewGroup()
+	for _, m := range mechs {
+		g.Add(sim.New(opts.simConfig(), m.Build(opts)))
+	}
+	total := opts.WarmupRefs + opts.Refs
+	var seen uint64
+	workload.Generate(w, total, func(pc, vaddr uint64) bool {
+		g.Ref(pc, vaddr)
+		seen++
+		if seen == opts.WarmupRefs {
+			for _, s := range g.Members() {
+				s.ResetStats()
+			}
+		}
+		return true
+	})
+	res := AppResult{App: w.Name, Suite: w.Suite}
+	for i, s := range g.Members() {
+		st := s.Stats()
+		res.Labels = append(res.Labels, mechs[i].Label())
+		res.Acc = append(res.Acc, st.Accuracy())
+		res.Stats = append(res.Stats, st)
+		if i == 0 {
+			res.MissRate = st.MissRate()
+		}
+	}
+	return res
+}
+
+// RunSuite evaluates a list of workloads, one goroutine per workload (the
+// runs are independent: each regenerates its own stream and owns its own
+// simulators), bounded by GOMAXPROCS. Results keep the input order and are
+// bit-identical to a serial run.
+func RunSuite(ws []workload.Workload, opts Options, mechs []MechConfig) []AppResult {
+	out := make([]AppResult, len(ws))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, w := range ws {
+		wg.Add(1)
+		go func(i int, w workload.Workload) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			out[i] = RunApp(w, opts, mechs)
+		}(i, w)
+	}
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,191 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"tlbprefetch/internal/prefetch"
+	"tlbprefetch/internal/sim"
+	"tlbprefetch/internal/stats"
+	"tlbprefetch/internal/tlb"
+	"tlbprefetch/internal/workload"
+)
+
+// Table1 renders the paper's Table 1 — the qualitative hardware comparison
+// — from each mechanism's self-reported HardwareInfo, so the table can
+// never drift from the implementations.
+func Table1(opts Options) string {
+	describers := []prefetch.HardwareDescriber{
+		MechConfig{Kind: "ASP", Rows: 256, Ways: 1}.Build(opts).(prefetch.HardwareDescriber),
+		MechConfig{Kind: "MP", Rows: 256, Ways: 1}.Build(opts).(prefetch.HardwareDescriber),
+		MechConfig{Kind: "RP"}.Build(opts).(prefetch.HardwareDescriber),
+		MechConfig{Kind: "DP", Rows: 256, Ways: 1}.Build(opts).(prefetch.HardwareDescriber),
+	}
+	t := stats.NewTable("question", "ASP", "MP", "RP", "DP")
+	infos := make([]prefetch.HardwareInfo, len(describers))
+	for i, d := range describers {
+		infos[i] = d.HardwareInfo()
+	}
+	row := func(q string, get func(prefetch.HardwareInfo) string) {
+		cells := []string{q}
+		for _, hi := range infos {
+			cells = append(cells, get(hi))
+		}
+		t.AddRow(cells...)
+	}
+	row("How many rows?", func(h prefetch.HardwareInfo) string { return h.Rows })
+	row("What are the contents of a row?", func(h prefetch.HardwareInfo) string { return h.RowContents })
+	row("Where is the table?", func(h prefetch.HardwareInfo) string { return h.TableLocation })
+	row("How is the table indexed?", func(h prefetch.HardwareInfo) string { return h.IndexedBy })
+	row("Memory ops per miss (excl. prefetches)?", func(h prefetch.HardwareInfo) string { return h.StateMemOps })
+	row("How many prefetches can be initiated?", func(h prefetch.HardwareInfo) string { return h.MaxPrefetches })
+	return t.String()
+}
+
+// Table2Row is one mechanism's averages over all 56 applications.
+type Table2Row struct {
+	Mechanism    string
+	Average      float64 // (Σ p_i)/n
+	WeightedAvg  float64 // Σ(m_i·p_i)/Σ(m_i)
+	PerApp       []float64
+	PerAppMiss   []float64
+	PerAppLabels []string
+}
+
+// Table2Result reproduces the paper's Table 2 (s=2, r=256 for DP, MP, ASP).
+type Table2Result struct {
+	Rows []Table2Row
+}
+
+// Table2 runs all 56 applications against the four headline mechanisms at
+// the paper's Table 2 operating point.
+func Table2(opts Options) Table2Result {
+	mechs := []MechConfig{
+		{Kind: "DP", Rows: 256, Ways: 1},
+		{Kind: "RP"},
+		{Kind: "ASP", Rows: 256, Ways: 1},
+		{Kind: "MP", Rows: 256, Ways: 1},
+	}
+	results := RunSuite(workload.All(), opts, mechs)
+	out := Table2Result{}
+	for mi, m := range mechs {
+		row := Table2Row{Mechanism: m.Kind}
+		var accs, rates []float64
+		for _, r := range results {
+			accs = append(accs, r.Acc[mi])
+			rates = append(rates, r.MissRate)
+			row.PerAppLabels = append(row.PerAppLabels, r.App)
+		}
+		row.PerApp = accs
+		row.PerAppMiss = rates
+		row.Average = stats.Mean(accs)
+		row.WeightedAvg = stats.WeightedMean(accs, rates)
+		out.Rows = append(out.Rows, row)
+	}
+	return out
+}
+
+// FormatTable2 renders Table 2 alongside the paper's published values.
+func FormatTable2(r Table2Result) string {
+	paper := map[string][2]float64{
+		"DP":  {0.43, 0.82},
+		"RP":  {0.29, 0.86},
+		"ASP": {0.28, 0.73},
+		"MP":  {0.11, 0.04},
+	}
+	t := stats.NewTable("scheme", "average", "weighted avg", "paper avg", "paper wavg")
+	for _, row := range r.Rows {
+		p := paper[row.Mechanism]
+		t.AddRow(row.Mechanism, stats.F2(row.Average), stats.F2(row.WeightedAvg),
+			stats.F2(p[0]), stats.F2(p[1]))
+	}
+	return t.String()
+}
+
+// Table3AppNames lists the five applications of the paper's Table 3 — the
+// ones where RP's accuracy beats DP's, making the cycle comparison the
+// interesting one.
+func Table3AppNames() []string {
+	return []string{"ammp", "mcf", "vpr", "twolf", "lucas"}
+}
+
+// Table3Row is one application's normalized execution cycles.
+type Table3Row struct {
+	App            string
+	BaselineCycles uint64
+	RPCycles       uint64
+	DPCycles       uint64
+	RPNormalized   float64
+	DPNormalized   float64
+	RPStats        sim.TimingStats
+	DPStats        sim.TimingStats
+}
+
+// Table3 reproduces the execution-cycle comparison: RP vs DP (s=2, r=256)
+// normalized to no prefetching, under the paper's timing model (100-cycle
+// TLB miss penalty, 50-cycle prefetch memory operations contending only
+// with each other, RP's skip-when-busy rule).
+func Table3(opts Options) []Table3Row {
+	var out []Table3Row
+	for _, name := range Table3AppNames() {
+		w, ok := workload.ByName(name)
+		if !ok {
+			panic("experiments: missing table3 workload " + name)
+		}
+		tc := sim.DefaultTiming()
+		tc.Config = sim.Config{
+			TLB:           tlb.Config{Entries: opts.TLBEntries, Ways: opts.TLBWays},
+			BufferEntries: opts.Buffer,
+			PageShift:     opts.PageShift,
+		}
+		base := sim.NewTiming(tc, nil)
+		rp := sim.NewTiming(tc, prefetch.NewRecency())
+		dp := sim.NewTiming(tc, MechConfig{Kind: "DP", Rows: 256, Ways: 1}.Build(opts))
+		workload.Generate(w, opts.Refs, func(pc, vaddr uint64) bool {
+			base.Ref(pc, vaddr)
+			rp.Ref(pc, vaddr)
+			dp.Ref(pc, vaddr)
+			return true
+		})
+		bs, rs, ds := base.Stats(), rp.Stats(), dp.Stats()
+		row := Table3Row{
+			App:            name,
+			BaselineCycles: bs.Cycles,
+			RPCycles:       rs.Cycles,
+			DPCycles:       ds.Cycles,
+			RPStats:        rs,
+			DPStats:        ds,
+		}
+		if bs.Cycles > 0 {
+			row.RPNormalized = float64(rs.Cycles) / float64(bs.Cycles)
+			row.DPNormalized = float64(ds.Cycles) / float64(bs.Cycles)
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// FormatTable3 renders Table 3 alongside the paper's published values.
+func FormatTable3(rows []Table3Row) string {
+	paper := map[string][2]float64{
+		"ammp":  {0.97, 0.86},
+		"mcf":   {1.09, 0.95},
+		"vpr":   {0.99, 0.98},
+		"twolf": {0.98, 0.98},
+		"lucas": {1.00, 0.99},
+	}
+	t := stats.NewTable("app", "RP", "DP", "paper RP", "paper DP",
+		"RP acc", "DP acc", "RP memops", "DP memops")
+	for _, r := range rows {
+		p := paper[r.App]
+		t.AddRow(r.App,
+			stats.F2(r.RPNormalized), stats.F2(r.DPNormalized),
+			stats.F2(p[0]), stats.F2(p[1]),
+			stats.F(r.RPStats.Accuracy()), stats.F(r.DPStats.Accuracy()),
+			fmt.Sprintf("%d", r.RPStats.MemOps()), fmt.Sprintf("%d", r.DPStats.MemOps()))
+	}
+	var b strings.Builder
+	b.WriteString("Table 3: normalized execution cycles w.r.t. no prefetching\n")
+	b.WriteString(t.String())
+	return b.String()
+}

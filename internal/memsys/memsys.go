@@ -1,0 +1,114 @@
+// Package memsys models the memory-system cost of prefetching for the
+// paper's Table 3 experiment.
+//
+// The paper's model (§3.2, "Comparing DP with RP in greater detail"): the
+// prefetch-related memory operations — RP's LRU-stack pointer manipulations
+// and every prefetch fetch of a page table entry — are "treated as cache
+// misses and need to be serviced from main memory with a cost of 50 cycles",
+// and "the prefetch memory traffic does not contend with the normal data
+// trafficc, but only with other prefetch traffic". We therefore model a
+// single prefetch channel that serializes these operations: an operation
+// issued at time t starts at max(t, channel-free time) and completes
+// opLatency cycles later.
+package memsys
+
+// Channel serializes prefetch-related memory operations.
+//
+// Each operation has a latency (cycles from start to data arrival — the
+// paper's 50-cycle main-memory cost) and an occupancy (cycles the channel
+// is blocked before the next operation may start). A fully serialized
+// memory (occupancy == latency) models one outstanding request; a smaller
+// occupancy models a pipelined memory system with multiple requests in
+// flight, which is what a 2002-era out-of-order core's memory interface
+// provides. NewChannel uses full serialization; NewPipelinedChannel
+// separates the two.
+type Channel struct {
+	opLatency   uint64
+	opOccupancy uint64
+	freeAt      uint64 // cycle at which the channel can start the next op
+
+	ops       uint64 // total operations issued
+	busyCycle uint64 // total cycles the channel was occupied
+}
+
+// NewChannel builds a fully serialized channel (occupancy = latency; the
+// paper's 50-cycle cost).
+func NewChannel(opLatency uint64) *Channel {
+	return NewPipelinedChannel(opLatency, opLatency)
+}
+
+// NewPipelinedChannel builds a channel whose operations complete latency
+// cycles after they start but block the channel only occupancy cycles.
+func NewPipelinedChannel(opLatency, opOccupancy uint64) *Channel {
+	if opLatency == 0 || opOccupancy == 0 {
+		panic("memsys: operation latency/occupancy must be positive")
+	}
+	if opOccupancy > opLatency {
+		panic("memsys: occupancy cannot exceed latency")
+	}
+	return &Channel{opLatency: opLatency, opOccupancy: opOccupancy}
+}
+
+// OpLatency returns the per-operation completion cost in cycles.
+func (c *Channel) OpLatency() uint64 { return c.opLatency }
+
+// OpOccupancy returns the per-operation channel-blocking time in cycles.
+func (c *Channel) OpOccupancy() uint64 { return c.opOccupancy }
+
+// Busy reports whether the channel is still servicing earlier operations at
+// cycle now. RP's implementation uses this for its skip rule: "if there is a
+// TLB miss soon after the previous one ... and the prefetching initiated
+// earlier is not complete, we only wait for the LRU stack to get updated and
+// do not prefetch those items at that time."
+func (c *Channel) Busy(now uint64) bool { return c.freeAt > now }
+
+// Issue enqueues n sequential operations at cycle now and returns the cycle
+// at which the last one completes. n == 0 returns now unchanged.
+func (c *Channel) Issue(now uint64, n int) (completeAt uint64) {
+	if n <= 0 {
+		return now
+	}
+	start := now
+	if c.freeAt > start {
+		start = c.freeAt
+	}
+	c.freeAt = start + uint64(n)*c.opOccupancy
+	c.ops += uint64(n)
+	c.busyCycle += uint64(n) * c.opOccupancy
+	return start + uint64(n-1)*c.opOccupancy + c.opLatency
+}
+
+// IssueEach enqueues n sequential operations and returns the completion
+// cycle of each, in order. Used when each operation delivers a separately
+// usable result (prefetch fetches landing in the buffer one by one).
+func (c *Channel) IssueEach(now uint64, n int) []uint64 {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]uint64, n)
+	start := now
+	if c.freeAt > start {
+		start = c.freeAt
+	}
+	for i := 0; i < n; i++ {
+		out[i] = start + c.opLatency
+		start += c.opOccupancy
+	}
+	c.freeAt = start
+	c.ops += uint64(n)
+	c.busyCycle += uint64(n) * c.opOccupancy
+	return out
+}
+
+// Stats returns the operation count and total occupied cycles.
+func (c *Channel) Stats() (ops, busyCycles uint64) { return c.ops, c.busyCycle }
+
+// FreeAt returns the cycle the channel next becomes idle.
+func (c *Channel) FreeAt() uint64 { return c.freeAt }
+
+// Reset clears the channel.
+func (c *Channel) Reset() {
+	c.freeAt = 0
+	c.ops = 0
+	c.busyCycle = 0
+}

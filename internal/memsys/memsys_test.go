@@ -1,0 +1,82 @@
+package memsys
+
+import "testing"
+
+func TestIssueSerializes(t *testing.T) {
+	c := NewChannel(50)
+	if got := c.Issue(0, 1); got != 50 {
+		t.Fatalf("first op completes at %d, want 50", got)
+	}
+	// Issued while busy: queues behind.
+	if got := c.Issue(10, 1); got != 100 {
+		t.Fatalf("queued op completes at %d, want 100", got)
+	}
+	// Issued after idle: starts immediately.
+	if got := c.Issue(500, 2); got != 600 {
+		t.Fatalf("batch completes at %d, want 600", got)
+	}
+}
+
+func TestIssueZero(t *testing.T) {
+	c := NewChannel(50)
+	if got := c.Issue(42, 0); got != 42 {
+		t.Fatalf("zero ops returned %d, want 42", got)
+	}
+	if c.Busy(42) {
+		t.Fatal("channel busy after zero ops")
+	}
+}
+
+func TestBusy(t *testing.T) {
+	c := NewChannel(50)
+	c.Issue(0, 1)
+	if !c.Busy(0) || !c.Busy(49) {
+		t.Fatal("channel should be busy during service")
+	}
+	if c.Busy(50) {
+		t.Fatal("channel should be free at completion cycle")
+	}
+}
+
+func TestIssueEach(t *testing.T) {
+	c := NewChannel(10)
+	got := c.IssueEach(0, 3)
+	want := []uint64{10, 20, 30}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("IssueEach = %v, want %v", got, want)
+		}
+	}
+	// Second batch queues behind the first.
+	got = c.IssueEach(5, 2)
+	if got[0] != 40 || got[1] != 50 {
+		t.Fatalf("queued IssueEach = %v, want [40 50]", got)
+	}
+	if c.IssueEach(0, 0) != nil {
+		t.Fatal("IssueEach(0) should be nil")
+	}
+}
+
+func TestStatsAndReset(t *testing.T) {
+	c := NewChannel(50)
+	c.Issue(0, 2)
+	c.IssueEach(0, 3)
+	ops, busy := c.Stats()
+	if ops != 5 || busy != 250 {
+		t.Fatalf("stats = %d,%d; want 5,250", ops, busy)
+	}
+	c.Reset()
+	ops, busy = c.Stats()
+	if ops != 0 || busy != 0 || c.FreeAt() != 0 {
+		t.Fatal("Reset left state")
+	}
+}
+
+func TestZeroLatencyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewChannel(0) did not panic")
+		}
+	}()
+	NewChannel(0)
+}

@@ -1,0 +1,153 @@
+// Package multiprog implements the multiprogramming study the paper names
+// as ongoing work in §4: "We are also investigating prefetching issues in a
+// multiprogrammed environment (flushing/switching the prefetch tables)".
+//
+// Two (or more) workloads share one CPU round-robin with a context-switch
+// quantum. The TLB is flushed on every switch (no ASIDs, the conservative
+// 2002-era assumption). The question is what to do with the *prefetcher's*
+// prediction state: flush it alongside the TLB, or let the processes share
+// (and pollute) one table. DP's distance table is the interesting case —
+// distances are process-relative, so a shared table suffers cross-process
+// aliasing, while flushing discards warm state every quantum.
+package multiprog
+
+import (
+	"fmt"
+
+	"tlbprefetch/internal/prefetch"
+	"tlbprefetch/internal/sim"
+	"tlbprefetch/internal/workload"
+)
+
+// Policy selects the prediction-table treatment at a context switch.
+type Policy int
+
+const (
+	// Retain keeps one shared prediction table across switches.
+	Retain Policy = iota
+	// Flush resets the prediction table at every switch (the TLB is
+	// flushed in both policies).
+	Flush
+	// PerProcess gives each process its own table, switched with the
+	// process — the idealized hardware (tagged or saved/restored tables).
+	PerProcess
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case Retain:
+		return "retain"
+	case Flush:
+		return "flush"
+	case PerProcess:
+		return "per-process"
+	}
+	return fmt.Sprintf("Policy(%d)", int(p))
+}
+
+// Result summarizes one multiprogrammed run.
+type Result struct {
+	Policy   Policy
+	Quantum  uint64 // references per scheduling quantum
+	Refs     uint64
+	Misses   uint64
+	Hits     uint64 // prefetch buffer hits
+	Accuracy float64
+}
+
+// Run interleaves the workloads round-robin with the given quantum and
+// mechanism factory, under the given policy. The factory is invoked once
+// for Retain/Flush and once per process for PerProcess.
+func Run(ws []workload.Workload, refsTotal, quantum uint64, policy Policy,
+	mk func() prefetch.Prefetcher, cfg sim.Config) Result {
+
+	if len(ws) == 0 || quantum == 0 {
+		panic("multiprog: need workloads and a positive quantum")
+	}
+
+	// One reference stream per process, consumed incrementally. The
+	// streams are materialized in chunks via workload.Reader at full
+	// length: refsTotal is split evenly.
+	perProc := refsTotal / uint64(len(ws))
+	readers := make([]func() (uint64, uint64, bool), len(ws))
+	for i, w := range ws {
+		r := workload.Reader(w, perProc)
+		readers[i] = func() (uint64, uint64, bool) {
+			ref, err := r.Read()
+			if err != nil {
+				return 0, 0, false
+			}
+			return ref.PC, ref.VAddr, true
+		}
+	}
+
+	// Shared pipeline state. For PerProcess each process has its own
+	// prefetcher; the TLB and buffer are shared hardware either way.
+	var prefs []prefetch.Prefetcher
+	switch policy {
+	case PerProcess:
+		for range ws {
+			prefs = append(prefs, mk())
+		}
+	default:
+		prefs = []prefetch.Prefetcher{mk()}
+	}
+	sims := make([]*sim.Simulator, len(prefs))
+	for i := range prefs {
+		sims[i] = sim.New(cfg, prefs[i])
+	}
+
+	var agg Result
+	agg.Policy = policy
+	agg.Quantum = quantum
+	active := 0
+	done := make([]bool, len(ws))
+	remaining := len(ws)
+
+	// Address-space disambiguation: each process's pages are offset into
+	// its own region (the models already use disjoint regions, but a
+	// multiprogrammed OS guarantees it; shift by process id to be safe).
+	const asidShift = 44
+
+	for remaining > 0 {
+		if done[active] {
+			active = (active + 1) % len(ws)
+			continue
+		}
+		s := sims[0]
+		if policy == PerProcess {
+			s = sims[active]
+		}
+		// Context switch in: flush the TLB (and buffer), and the tables
+		// under the Flush policy.
+		s.TLB().Reset()
+		s.Buffer().Reset()
+		if policy == Flush {
+			s.Prefetcher().Reset()
+		}
+		var executed uint64
+		for executed < quantum {
+			pc, va, ok := readers[active]()
+			if !ok {
+				done[active] = true
+				remaining--
+				break
+			}
+			s.Ref(pc, va|uint64(active+1)<<asidShift)
+			executed++
+		}
+		active = (active + 1) % len(ws)
+	}
+
+	for i := range sims {
+		st := sims[i].Stats()
+		agg.Refs += st.Refs
+		agg.Misses += st.Misses
+		agg.Hits += st.BufferHits
+	}
+	if agg.Misses > 0 {
+		agg.Accuracy = float64(agg.Hits) / float64(agg.Misses)
+	}
+	return agg
+}

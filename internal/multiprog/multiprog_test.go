@@ -1,0 +1,88 @@
+package multiprog
+
+import (
+	"testing"
+
+	"tlbprefetch/internal/core"
+	"tlbprefetch/internal/prefetch"
+	"tlbprefetch/internal/sim"
+	"tlbprefetch/internal/tlb"
+	"tlbprefetch/internal/workload"
+)
+
+func simCfg() sim.Config {
+	return sim.Config{TLB: tlb.Config{Entries: 128}, BufferEntries: 16, PageShift: 12}
+}
+
+func mkDP() prefetch.Prefetcher { return core.NewDistance(256, 1, 2) }
+
+func pair() []workload.Workload {
+	a, ok1 := workload.ByName("galgel")
+	b, ok2 := workload.ByName("gap")
+	if !ok1 || !ok2 {
+		panic("missing workloads")
+	}
+	return []workload.Workload{a, b}
+}
+
+func TestPolicyString(t *testing.T) {
+	if Retain.String() != "retain" || Flush.String() != "flush" || PerProcess.String() != "per-process" {
+		t.Fatal("policy names")
+	}
+	if Policy(99).String() == "" {
+		t.Fatal("unknown policy renders empty")
+	}
+}
+
+func TestRunBasics(t *testing.T) {
+	res := Run(pair(), 200_000, 10_000, Retain, mkDP, simCfg())
+	if res.Refs == 0 || res.Misses == 0 {
+		t.Fatalf("empty run: %+v", res)
+	}
+	if res.Refs > 200_000 {
+		t.Fatalf("refs %d exceeds budget", res.Refs)
+	}
+	if res.Accuracy < 0 || res.Accuracy > 1 {
+		t.Fatalf("accuracy %v", res.Accuracy)
+	}
+	if res.Policy != Retain || res.Quantum != 10_000 {
+		t.Fatalf("metadata lost: %+v", res)
+	}
+}
+
+func TestFlushNeverBeatsPerProcess(t *testing.T) {
+	for _, q := range []uint64{5_000, 50_000} {
+		flush := Run(pair(), 300_000, q, Flush, mkDP, simCfg())
+		perProc := Run(pair(), 300_000, q, PerProcess, mkDP, simCfg())
+		if flush.Accuracy > perProc.Accuracy+0.02 {
+			t.Errorf("quantum %d: flush %.3f beats per-process %.3f",
+				q, flush.Accuracy, perProc.Accuracy)
+		}
+	}
+}
+
+func TestFlushPenaltyShrinksWithQuantum(t *testing.T) {
+	small := Run(pair(), 300_000, 2_000, Flush, mkDP, simCfg())
+	large := Run(pair(), 300_000, 100_000, Flush, mkDP, simCfg())
+	if small.Accuracy > large.Accuracy {
+		t.Errorf("flush at small quantum %.3f should not beat large quantum %.3f",
+			small.Accuracy, large.Accuracy)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a := Run(pair(), 100_000, 7_000, Retain, mkDP, simCfg())
+	b := Run(pair(), 100_000, 7_000, Retain, mkDP, simCfg())
+	if a != b {
+		t.Fatalf("multiprogrammed run not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestPanicsOnBadArgs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on zero quantum")
+		}
+	}()
+	Run(pair(), 1000, 0, Retain, mkDP, simCfg())
+}

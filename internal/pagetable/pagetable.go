@@ -1,0 +1,267 @@
+// Package pagetable models the in-memory page table that Recency-based
+// Prefetching (RP, Saulsbury et al., as adapted by the paper) augments with
+// an LRU stack threaded through the page table entries.
+//
+// Each PTE carries `next` and `prev` pointers ("Extra fields that are
+// required in the PTE", paper Figure 5) linking pages into a doubly-linked
+// stack ordered by TLB-eviction recency: when the TLB evicts a translation,
+// that page is pushed on top of the stack. When a page misses in the TLB, it
+// is unlinked from wherever it sits in the stack, and its former stack
+// neighbours are the prefetch candidates — pages referenced at around the
+// same time in the past.
+//
+// Because the pointers live in memory, every manipulation costs a memory
+// system operation; the package counts pointer reads/writes so the timing
+// model can charge them (the paper charges 4 pointer manipulations per miss
+// plus 2 prefetch fetches).
+package pagetable
+
+// PTE is a page table entry. Only the stack linkage matters to the study;
+// the translation payload is implicit (identity mapping).
+type PTE struct {
+	vpn     uint64
+	next    uint64 // toward the bottom of the stack (older eviction)
+	prev    uint64 // toward the top of the stack (newer eviction)
+	hasNext bool
+	hasPrev bool
+	inStack bool
+}
+
+// VPN returns the entry's virtual page number.
+func (p *PTE) VPN() uint64 { return p.vpn }
+
+// InStack reports whether the page is currently linked into the LRU stack.
+func (p *PTE) InStack() bool { return p.inStack }
+
+// PageTable is the RP substrate: a map of PTEs plus the stack top pointer.
+type PageTable struct {
+	entries map[uint64]*PTE
+	top     uint64
+	hasTop  bool
+	size    int // number of pages currently linked in the stack
+
+	pointerOps uint64 // memory writes to PTE pointer fields
+}
+
+// New returns an empty page table.
+func New() *PageTable {
+	return &PageTable{entries: make(map[uint64]*PTE)}
+}
+
+// Entry returns the PTE for vpn, allocating it on first touch (a real page
+// table conceptually has an entry for every mapped page).
+func (pt *PageTable) Entry(vpn uint64) *PTE {
+	e, ok := pt.entries[vpn]
+	if !ok {
+		e = &PTE{vpn: vpn}
+		pt.entries[vpn] = e
+	}
+	return e
+}
+
+// Peek returns the PTE for vpn if it exists, without allocating.
+func (pt *PageTable) Peek(vpn uint64) (*PTE, bool) {
+	e, ok := pt.entries[vpn]
+	return e, ok
+}
+
+// Neighbors returns the stack neighbours of vpn — the prefetch candidates on
+// a miss of vpn ("prefetch the next and prev entries from the page-table
+// into the prefetch buffer"). It returns 0, 1 or 2 pages. A page that is not
+// in the stack has no neighbours.
+func (pt *PageTable) Neighbors(vpn uint64) []uint64 {
+	e, ok := pt.entries[vpn]
+	if !ok || !e.inStack {
+		return nil
+	}
+	out := make([]uint64, 0, 2)
+	if e.hasPrev {
+		out = append(out, e.prev)
+	}
+	if e.hasNext {
+		out = append(out, e.next)
+	}
+	return out
+}
+
+// NeighborsN returns up to n stack entries around vpn, walking outward
+// alternately (prev, next, prev's prev, next's next, ...) — the wider
+// prefetch window of Saulsbury et al.'s multi-entry variant. Each direction
+// contributes at most ceil(n/2) entries, so n == 2 is exactly Neighbors:
+// one prev and one next pointer read from the missed PTE, never a deeper
+// walk down a single side (the paper's RP reads only the two pointers).
+func (pt *PageTable) NeighborsN(vpn uint64, n int) []uint64 {
+	e, ok := pt.entries[vpn]
+	if !ok || !e.inStack || n <= 0 {
+		return nil
+	}
+	perSide := (n + 1) / 2
+	out := make([]uint64, 0, n)
+	up, hasUp := e.prev, e.hasPrev
+	down, hasDown := e.next, e.hasNext
+	ups, downs := 0, 0
+	for len(out) < n && ((hasUp && ups < perSide) || (hasDown && downs < perSide)) {
+		if hasUp && ups < perSide {
+			out = append(out, up)
+			ups++
+			u := pt.entries[up]
+			up, hasUp = u.prev, u.hasPrev
+		}
+		if len(out) < n && hasDown && downs < perSide {
+			out = append(out, down)
+			downs++
+			d := pt.entries[down]
+			down, hasDown = d.next, d.hasNext
+		}
+	}
+	return out
+}
+
+// Unlink removes vpn from the stack, splicing its neighbours together, and
+// returns the number of pointer-field memory writes performed (0 if the page
+// was not in the stack; up to 2 otherwise — the paper: "If the item was in
+// the middle of the stack, then it needs to be removed (taking 2
+// references)").
+func (pt *PageTable) Unlink(vpn uint64) int {
+	e, ok := pt.entries[vpn]
+	if !ok || !e.inStack {
+		return 0
+	}
+	ops := 0
+	if e.hasPrev {
+		p := pt.entries[e.prev]
+		p.next, p.hasNext = e.next, e.hasNext
+		ops++
+	} else {
+		// e was the top of the stack.
+		pt.top, pt.hasTop = e.next, e.hasNext
+		ops++
+	}
+	if e.hasNext {
+		n := pt.entries[e.next]
+		n.prev, n.hasPrev = e.prev, e.hasPrev
+		ops++
+	}
+	e.inStack = false
+	e.hasNext, e.hasPrev = false, false
+	pt.size--
+	pt.pointerOps += uint64(ops)
+	return ops
+}
+
+// Push places vpn on top of the stack ("when an entry is evicted from the
+// TLB it is put on top of the stack, its next pointer is set to the previous
+// entry that was evicted") and returns the number of pointer-field memory
+// writes (2 in steady state: the new top's next, and the old top's prev; 1
+// for the very first push). If the page is somehow already linked it is
+// unlinked first (defensive; the simulator's invariants prevent this).
+func (pt *PageTable) Push(vpn uint64) int {
+	e := pt.Entry(vpn)
+	ops := 0
+	if e.inStack {
+		ops += pt.Unlink(vpn)
+	}
+	if pt.hasTop {
+		old := pt.entries[pt.top]
+		old.prev, old.hasPrev = vpn, true
+		ops++ // write old top's prev
+		e.next, e.hasNext = pt.top, true
+	} else {
+		e.hasNext = false
+	}
+	e.hasPrev = false
+	e.inStack = true
+	pt.top, pt.hasTop = vpn, true
+	ops++ // write new entry's pointers / the top pointer
+	pt.size++
+	pt.pointerOps += uint64(ops)
+	return ops
+}
+
+// StackSize returns the number of pages currently linked in the stack.
+func (pt *PageTable) StackSize() int { return pt.size }
+
+// Pages returns the number of PTEs allocated (distinct pages touched).
+func (pt *PageTable) Pages() int { return len(pt.entries) }
+
+// PointerOps returns the cumulative count of pointer-field memory writes —
+// the extra memory traffic RP induces beyond the prefetch fetches.
+func (pt *PageTable) PointerOps() uint64 { return pt.pointerOps }
+
+// Top returns the top-of-stack page, if any.
+func (pt *PageTable) Top() (uint64, bool) { return pt.top, pt.hasTop }
+
+// StackWalk returns the stack contents from top to bottom. It is O(stack)
+// and intended for tests and invariant checks; it panics if the list is
+// inconsistent (a cycle or a dangling pointer), making corruption loud.
+func (pt *PageTable) StackWalk() []uint64 {
+	var out []uint64
+	seen := make(map[uint64]bool)
+	cur, ok := pt.top, pt.hasTop
+	for ok {
+		if seen[cur] {
+			panic("pagetable: cycle in LRU stack")
+		}
+		seen[cur] = true
+		e, present := pt.entries[cur]
+		if !present || !e.inStack {
+			panic("pagetable: dangling stack pointer")
+		}
+		out = append(out, cur)
+		cur, ok = e.next, e.hasNext
+	}
+	if len(out) != pt.size {
+		panic("pagetable: stack size mismatch")
+	}
+	return out
+}
+
+// CheckInvariants verifies the doubly-linked structure (forward and backward
+// consistency). It returns false with a description on violation; tests use
+// it after random operation sequences.
+func (pt *PageTable) CheckInvariants() (bool, string) {
+	walk := func() (ok bool, desc string, pages []uint64) {
+		defer func() {
+			if r := recover(); r != nil {
+				ok, desc = false, "walk panicked"
+			}
+		}()
+		return true, "", pt.StackWalk()
+	}
+	ok, desc, pages := walk()
+	if !ok {
+		return false, desc
+	}
+	// Backward consistency: each page's prev must point at its predecessor.
+	for i, vpn := range pages {
+		e := pt.entries[vpn]
+		if i == 0 {
+			if e.hasPrev {
+				return false, "top of stack has a prev pointer"
+			}
+		} else {
+			if !e.hasPrev || e.prev != pages[i-1] {
+				return false, "prev pointer does not match predecessor"
+			}
+		}
+	}
+	// No page outside the walk may claim stack membership.
+	linked := 0
+	for _, e := range pt.entries {
+		if e.inStack {
+			linked++
+		}
+	}
+	if linked != len(pages) {
+		return false, "inStack flags inconsistent with walk"
+	}
+	return true, ""
+}
+
+// Reset drops all entries and counters.
+func (pt *PageTable) Reset() {
+	clear(pt.entries)
+	pt.hasTop = false
+	pt.size = 0
+	pt.pointerOps = 0
+}

@@ -1,0 +1,107 @@
+package prefetch
+
+import "testing"
+
+func TestAdaptiveSPStartsAtDegreeOne(t *testing.T) {
+	a := NewAdaptiveSequential()
+	act := a.OnMiss(ev(10))
+	wantPrefetches(t, act, 11)
+	if a.Degree() != 1 {
+		t.Fatalf("initial degree = %d", a.Degree())
+	}
+}
+
+func TestAdaptiveSPRampsUpOnSuccess(t *testing.T) {
+	a := NewAdaptiveSequential()
+	// A full window of buffer hits doubles the degree.
+	for i := 0; i < 16; i++ {
+		a.OnMiss(Event{VPN: uint64(10 + i), BufferHit: true})
+	}
+	if a.Degree() != 2 {
+		t.Fatalf("degree after hot window = %d, want 2", a.Degree())
+	}
+	// Prefetches now cover two sequential pages.
+	act := a.OnMiss(Event{VPN: 100, BufferHit: true})
+	wantPrefetches(t, act, 101, 102)
+	// Two more hot windows saturate at MaxDegree (4).
+	for i := 0; i < 32; i++ {
+		a.OnMiss(Event{VPN: uint64(200 + i), BufferHit: true})
+	}
+	if a.Degree() != 4 {
+		t.Fatalf("degree = %d, want cap 4", a.Degree())
+	}
+	for i := 0; i < 16; i++ {
+		a.OnMiss(Event{VPN: uint64(300 + i), BufferHit: true})
+	}
+	if a.Degree() != 4 {
+		t.Fatalf("degree exceeded cap: %d", a.Degree())
+	}
+}
+
+func TestAdaptiveSPBacksOffOnFailure(t *testing.T) {
+	a := NewAdaptiveSequential()
+	for i := 0; i < 16; i++ {
+		a.OnMiss(Event{VPN: uint64(10 + i), BufferHit: true})
+	}
+	if a.Degree() != 2 {
+		t.Fatalf("setup degree = %d", a.Degree())
+	}
+	// A cold window halves it again.
+	for i := 0; i < 16; i++ {
+		a.OnMiss(Event{VPN: uint64(1000 + 97*i)})
+	}
+	if a.Degree() != 1 {
+		t.Fatalf("degree after cold window = %d, want 1", a.Degree())
+	}
+}
+
+func TestAdaptiveSPReset(t *testing.T) {
+	a := NewAdaptiveSequential()
+	for i := 0; i < 16; i++ {
+		a.OnMiss(Event{VPN: uint64(10 + i), BufferHit: true})
+	}
+	a.Reset()
+	if a.Degree() != 1 {
+		t.Fatalf("degree after reset = %d", a.Degree())
+	}
+}
+
+func TestAdaptiveSPHardwareInfo(t *testing.T) {
+	hi := NewAdaptiveSequential().HardwareInfo()
+	if hi.MaxPrefetches != "4" || hi.StateMemOps != "0" {
+		t.Fatalf("hardware info: %+v", hi)
+	}
+}
+
+func TestRecencyDegreeThree(t *testing.T) {
+	r := NewRecencyDegree(3)
+	// Build stack [4, 3, 2, 1] via evictions.
+	for i, e := range []uint64{1, 2, 3, 4} {
+		r.OnMiss(Event{VPN: uint64(100 + i), EvictedVPN: e, HasEvicted: true})
+	}
+	// Miss on 3: neighbours outward = prev(4), next(2), next's next(1).
+	act := r.OnMiss(Event{VPN: 3, EvictedVPN: 100, HasEvicted: true})
+	wantPrefetches(t, act, 4, 2, 1)
+	if hi := r.HardwareInfo(); hi.MaxPrefetches != "3" {
+		t.Fatalf("hardware info: %+v", hi)
+	}
+}
+
+func TestRecencyDegreeOne(t *testing.T) {
+	r := NewRecencyDegree(1)
+	for i, e := range []uint64{1, 2, 3} {
+		r.OnMiss(Event{VPN: uint64(100 + i), EvictedVPN: e, HasEvicted: true})
+	}
+	// Stack [3, 2, 1]; miss on 2 prefetches only the prev neighbour (3).
+	act := r.OnMiss(Event{VPN: 2, EvictedVPN: 100, HasEvicted: true})
+	wantPrefetches(t, act, 3)
+}
+
+func TestRecencyDegreePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("degree 0 accepted")
+		}
+	}()
+	NewRecencyDegree(0)
+}

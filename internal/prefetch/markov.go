@@ -1,0 +1,98 @@
+package prefetch
+
+import (
+	"fmt"
+
+	"tlbprefetch/internal/table"
+)
+
+// Markov implements MP (paper §2.3): a table indexed by the missing virtual
+// page number whose rows hold the s pages that missed immediately after this
+// page in the past — an approximation of a Markov state-transition diagram
+// with LRU-ordered out-edges.
+//
+// Behaviour on a miss of page q (previous miss was page p):
+//  1. predict: if q has a row, prefetch its slot pages (MRU first);
+//  2. allocate q's row (empty slots) if absent ("If not found, then this
+//     entry is added, and the s slots for this entry are kept empty");
+//  3. record: add q into p's slots ("we also go to the entry of the previous
+//     page that missed, and add the current miss address into one of its s
+//     slots"), evicting LRU within the slots when full. If p's row was
+//     itself replaced in the meantime it is re-allocated — the hardware
+//     equivalent of an allocate-on-update table write.
+type Markov struct {
+	t       *table.Table[table.SlotList]
+	slots   int
+	prevVPN uint64
+	hasPrev bool
+	buf     []uint64
+}
+
+// NewMarkov builds an MP prefetcher: entries rows, ways-associative,
+// s prediction slots per row (the paper uses s=2 by default).
+func NewMarkov(entries, ways, s int) *Markov {
+	return &Markov{
+		t:     table.New[table.SlotList](entries, ways),
+		slots: s,
+		buf:   make([]uint64, 0, s),
+	}
+}
+
+// Name implements Prefetcher.
+func (m *Markov) Name() string { return "MP" }
+
+// ConfigString describes the geometry (for experiment labels).
+func (m *Markov) ConfigString() string {
+	return fmt.Sprintf("MP,r=%d,w=%d,s=%d", m.t.Entries(), m.t.Ways(), m.slots)
+}
+
+// OnMiss implements Prefetcher.
+func (m *Markov) OnMiss(ev Event) Action {
+	m.buf = m.buf[:0]
+	// 1. Predict from the current page's row.
+	if row, ok := m.t.Lookup(ev.VPN); ok {
+		for _, succ := range row.Values() {
+			m.buf = append(m.buf, uint64(succ))
+		}
+	} else {
+		// 2. Allocate the row with empty slots.
+		m.t.Insert(ev.VPN, table.NewSlotList(m.slots))
+	}
+	// 3. Record the transition prev -> current.
+	if m.hasPrev && m.prevVPN != ev.VPN {
+		row, existed := m.t.GetOrInsert(m.prevVPN)
+		if !existed {
+			*row = table.NewSlotList(m.slots)
+		}
+		row.Touch(int64(ev.VPN))
+	}
+	m.prevVPN = ev.VPN
+	m.hasPrev = true
+	if len(m.buf) == 0 {
+		return Action{}
+	}
+	return Action{Prefetches: m.buf}
+}
+
+// Reset implements Prefetcher.
+func (m *Markov) Reset() {
+	m.t.Reset()
+	m.hasPrev = false
+	m.buf = m.buf[:0]
+}
+
+// TableLen reports occupied rows (diagnostics).
+func (m *Markov) TableLen() int { return m.t.Len() }
+
+// HardwareInfo implements HardwareDescriber (Table 1's MP column).
+func (m *Markov) HardwareInfo() HardwareInfo {
+	return HardwareInfo{
+		Mechanism:     "MP",
+		Rows:          "r",
+		RowContents:   fmt.Sprintf("page # tag, %d prediction page #s", m.slots),
+		TableLocation: "on-chip",
+		IndexedBy:     "page #",
+		StateMemOps:   "0",
+		MaxPrefetches: fmt.Sprintf("%d", m.slots),
+	}
+}

@@ -1,0 +1,290 @@
+package prefetch
+
+import (
+	"testing"
+)
+
+// ev builds a plain demand-miss event.
+func ev(vpn uint64) Event { return Event{VPN: vpn} }
+
+// evPC builds a demand-miss event with a PC.
+func evPC(pc, vpn uint64) Event { return Event{PC: pc, VPN: vpn} }
+
+func wantPrefetches(t *testing.T, act Action, want ...uint64) {
+	t.Helper()
+	if len(act.Prefetches) != len(want) {
+		t.Fatalf("prefetches = %v, want %v", act.Prefetches, want)
+	}
+	for i := range want {
+		if act.Prefetches[i] != want[i] {
+			t.Fatalf("prefetches = %v, want %v", act.Prefetches, want)
+		}
+	}
+}
+
+func TestNop(t *testing.T) {
+	var n Nop
+	if got := n.OnMiss(ev(5)); len(got.Prefetches) != 0 || got.StateMemOps != 0 {
+		t.Fatalf("Nop acted: %+v", got)
+	}
+	if n.Name() != "none" {
+		t.Fatalf("name = %q", n.Name())
+	}
+}
+
+func TestSequentialTagged(t *testing.T) {
+	s := NewSequential(true)
+	wantPrefetches(t, s.OnMiss(ev(10)), 11)
+	// Tagged: a buffer hit also triggers.
+	wantPrefetches(t, s.OnMiss(Event{VPN: 11, BufferHit: true}), 12)
+}
+
+func TestSequentialUntagged(t *testing.T) {
+	s := NewSequential(false)
+	wantPrefetches(t, s.OnMiss(ev(10)), 11)
+	if got := s.OnMiss(Event{VPN: 11, BufferHit: true}); len(got.Prefetches) != 0 {
+		t.Fatalf("untagged SP prefetched on buffer hit: %v", got.Prefetches)
+	}
+}
+
+func TestASPWarmupThenSteady(t *testing.T) {
+	a := NewASP(64, 1)
+	// Miss 1: allocate row, no prefetch.
+	if got := a.OnMiss(evPC(100, 10)); len(got.Prefetches) != 0 {
+		t.Fatalf("prefetch on first sighting: %v", got.Prefetches)
+	}
+	// Miss 2: stride 2 learned (initial -> transient), no prefetch yet.
+	if got := a.OnMiss(evPC(100, 12)); len(got.Prefetches) != 0 {
+		t.Fatalf("prefetch before stride confirmed: %v", got.Prefetches)
+	}
+	// Miss 3: stride confirmed (transient -> steady) -> prefetch 14+2.
+	wantPrefetches(t, a.OnMiss(evPC(100, 14)), 16)
+	// Steady continues.
+	wantPrefetches(t, a.OnMiss(evPC(100, 16)), 18)
+	if a.TableLen() != 1 {
+		t.Fatalf("table len = %d, want 1", a.TableLen())
+	}
+}
+
+func TestASPForgivesOneBlip(t *testing.T) {
+	a := NewASP(64, 1)
+	a.OnMiss(evPC(7, 100))
+	a.OnMiss(evPC(7, 102))
+	wantPrefetches(t, a.OnMiss(evPC(7, 104)), 106) // steady, stride 2
+	// Blip: jump to 200 (steady -> initial, stride kept at 2).
+	if got := a.OnMiss(evPC(7, 200)); len(got.Prefetches) != 0 {
+		t.Fatalf("prefetch on blip: %v", got.Prefetches)
+	}
+	// Old stride resumes: initial + correct -> steady immediately.
+	wantPrefetches(t, a.OnMiss(evPC(7, 202)), 204)
+}
+
+func TestASPStrideChangeRelearns(t *testing.T) {
+	a := NewASP(64, 1)
+	a.OnMiss(evPC(7, 0))
+	a.OnMiss(evPC(7, 2))
+	wantPrefetches(t, a.OnMiss(evPC(7, 4)), 6) // steady at 2
+	// Stride changes to 5 and stays there.
+	if got := a.OnMiss(evPC(7, 9)); len(got.Prefetches) != 0 { // steady->initial
+		t.Fatalf("prefetch during change: %v", got.Prefetches)
+	}
+	if got := a.OnMiss(evPC(7, 14)); len(got.Prefetches) != 0 { // initial->transient (stride=5)
+		t.Fatalf("prefetch during relearn: %v", got.Prefetches)
+	}
+	wantPrefetches(t, a.OnMiss(evPC(7, 19)), 24) // transient->steady
+}
+
+func TestASPErraticSuppressed(t *testing.T) {
+	a := NewASP(64, 1)
+	pages := []uint64{0, 3, 9, 100, 7, 250, 31}
+	for _, p := range pages {
+		if got := a.OnMiss(evPC(7, p)); len(got.Prefetches) != 0 {
+			t.Fatalf("erratic stream produced prefetch at page %d: %v", p, got.Prefetches)
+		}
+	}
+}
+
+func TestASPZeroStrideSuppressed(t *testing.T) {
+	a := NewASP(64, 1)
+	for i := 0; i < 5; i++ {
+		if got := a.OnMiss(evPC(7, 42)); len(got.Prefetches) != 0 {
+			t.Fatalf("zero-stride prefetch: %v", got.Prefetches)
+		}
+	}
+}
+
+func TestASPSeparatePCsIndependent(t *testing.T) {
+	a := NewASP(64, 1)
+	// Interleaved streams by two PCs, each stride 1.
+	var last Action
+	for i := uint64(0); i < 4; i++ {
+		a.OnMiss(evPC(1, 10+i))
+		last = a.OnMiss(evPC(2, 500+2*i))
+	}
+	// PC 2 is steady at stride 2 by its third miss.
+	wantPrefetches(t, last, 500+2*3+2)
+	if a.TableLen() != 2 {
+		t.Fatalf("table len = %d, want 2", a.TableLen())
+	}
+}
+
+func TestASPTableConflictEvicts(t *testing.T) {
+	// 2-entry direct-mapped table: PCs 0 and 2 conflict (both even set... 2 sets: 0,2 -> set 0).
+	a := NewASP(2, 1)
+	a.OnMiss(evPC(0, 10))
+	a.OnMiss(evPC(2, 50)) // evicts PC 0's row
+	a.OnMiss(evPC(0, 12)) // reallocates: treated as first sighting
+	a.OnMiss(evPC(0, 14))
+	if got := a.OnMiss(evPC(0, 16)); len(got.Prefetches) != 1 {
+		// 12 -> 14 (transient), 14 -> 16 (steady): prefetch
+		t.Fatalf("relearn after conflict failed: %v", got.Prefetches)
+	}
+}
+
+func TestMarkovLearnsSuccessors(t *testing.T) {
+	m := NewMarkov(64, 64, 2)
+	m.OnMiss(ev(1)) // allocate 1
+	m.OnMiss(ev(2)) // allocate 2, record 1->2
+	// Second visit to 1 predicts 2.
+	wantPrefetches(t, m.OnMiss(ev(1)), 2) // also records 2->1
+	wantPrefetches(t, m.OnMiss(ev(2)), 1)
+}
+
+func TestMarkovAlternationTwoSlots(t *testing.T) {
+	m := NewMarkov(64, 64, 2)
+	seq := []uint64{1, 2, 3, 4, 1, 5, 2, 6, 3, 7, 4, 8}
+	for _, p := range seq {
+		m.OnMiss(ev(p))
+	}
+	// Row 1 has seen successors 2 then 5: MRU first = [5, 2].
+	act := m.OnMiss(ev(1))
+	wantPrefetches(t, act, 5, 2)
+}
+
+func TestMarkovSlotLRUEviction(t *testing.T) {
+	m := NewMarkov(64, 64, 2)
+	// 1 is followed by 10, 20, 30 in turn; s=2 keeps the two most recent.
+	for _, succ := range []uint64{10, 20, 30} {
+		m.OnMiss(ev(1))
+		m.OnMiss(ev(succ))
+	}
+	act := m.OnMiss(ev(1))
+	wantPrefetches(t, act, 30, 20)
+}
+
+func TestMarkovSelfLoopNotRecorded(t *testing.T) {
+	m := NewMarkov(64, 64, 2)
+	m.OnMiss(ev(5))
+	m.OnMiss(ev(5)) // same page misses twice in a row: no 5->5 edge
+	if got := m.OnMiss(ev(5)); len(got.Prefetches) != 0 {
+		t.Fatalf("self-loop recorded: %v", got.Prefetches)
+	}
+}
+
+func TestMarkovRowReplacedOnConflict(t *testing.T) {
+	// Direct-mapped, 2 rows: pages 2 and 4 map to set 0, page 1/3 to set 1.
+	m := NewMarkov(2, 1, 2)
+	m.OnMiss(ev(2))
+	m.OnMiss(ev(1)) // records 2->1
+	m.OnMiss(ev(4)) // allocating row 4 evicts row 2 (same set), records 1->4
+	// 2 must relearn.
+	if got := m.OnMiss(ev(2)); len(got.Prefetches) != 0 {
+		t.Fatalf("row should have been evicted: %v", got.Prefetches)
+	}
+}
+
+func TestMarkovReset(t *testing.T) {
+	m := NewMarkov(64, 64, 2)
+	m.OnMiss(ev(1))
+	m.OnMiss(ev(2))
+	m.Reset()
+	if m.TableLen() != 0 {
+		t.Fatal("table not cleared")
+	}
+	// No stale prev page: the first post-reset miss records nothing.
+	m.OnMiss(ev(9))
+	if got := m.OnMiss(ev(1)); len(got.Prefetches) != 0 {
+		t.Fatalf("stale state after reset: %v", got.Prefetches)
+	}
+}
+
+func TestRecencyColdStartNoPrefetch(t *testing.T) {
+	r := NewRecency()
+	// Nothing evicted yet, nothing in the stack.
+	act := r.OnMiss(ev(1))
+	if len(act.Prefetches) != 0 || act.StateMemOps != 0 {
+		t.Fatalf("cold miss acted: %+v", act)
+	}
+}
+
+func TestRecencyPushesEvictions(t *testing.T) {
+	r := NewRecency()
+	r.OnMiss(Event{VPN: 3, EvictedVPN: 1, HasEvicted: true})
+	r.OnMiss(Event{VPN: 4, EvictedVPN: 2, HasEvicted: true})
+	// Stack is now [2, 1] (2 on top).
+	got := r.PageTable().StackWalk()
+	if len(got) != 2 || got[0] != 2 || got[1] != 1 {
+		t.Fatalf("stack = %v, want [2 1]", got)
+	}
+}
+
+func TestRecencyPrefetchesNeighbors(t *testing.T) {
+	r := NewRecency()
+	// Build stack [3, 2, 1] via evictions.
+	r.OnMiss(Event{VPN: 10, EvictedVPN: 1, HasEvicted: true})
+	r.OnMiss(Event{VPN: 11, EvictedVPN: 2, HasEvicted: true})
+	r.OnMiss(Event{VPN: 12, EvictedVPN: 3, HasEvicted: true})
+	// Miss on 2 (middle of stack): prefetch neighbours 3 (prev) and 1 (next);
+	// 2 is unlinked and the eviction (10) pushed on top.
+	act := r.OnMiss(Event{VPN: 2, EvictedVPN: 10, HasEvicted: true})
+	wantPrefetches(t, act, 3, 1)
+	// Unlink middle (2 writes) + push on non-empty stack (2 writes).
+	if act.StateMemOps != 4 {
+		t.Fatalf("state ops = %d, want 4", act.StateMemOps)
+	}
+	got := r.PageTable().StackWalk()
+	if len(got) != 3 || got[0] != 10 || got[1] != 3 || got[2] != 1 {
+		t.Fatalf("stack = %v, want [10 3 1]", got)
+	}
+	if ok, desc := r.PageTable().CheckInvariants(); !ok {
+		t.Fatal(desc)
+	}
+}
+
+func TestRecencyMissOnTopOfStack(t *testing.T) {
+	r := NewRecency()
+	r.OnMiss(Event{VPN: 10, EvictedVPN: 1, HasEvicted: true})
+	r.OnMiss(Event{VPN: 11, EvictedVPN: 2, HasEvicted: true})
+	// Miss on 2 (top): only neighbour is 1.
+	act := r.OnMiss(Event{VPN: 2, EvictedVPN: 10, HasEvicted: true})
+	wantPrefetches(t, act, 1)
+}
+
+func TestRecencyReset(t *testing.T) {
+	r := NewRecency()
+	r.OnMiss(Event{VPN: 3, EvictedVPN: 1, HasEvicted: true})
+	r.Reset()
+	if r.PageTable().StackSize() != 0 || r.PageTable().Pages() != 0 {
+		t.Fatal("reset left stack state")
+	}
+}
+
+func TestHardwareInfoTable1(t *testing.T) {
+	// The Table 1 rows the paper reports, as exposed by each mechanism.
+	cases := []struct {
+		d        HardwareDescriber
+		index    string
+		stateOps string
+		location string
+	}{
+		{NewASP(256, 1), "PC", "0", "on-chip"},
+		{NewMarkov(256, 1, 2), "page #", "0", "on-chip"},
+		{NewRecency(), "page #", "4", "in memory"},
+	}
+	for _, c := range cases {
+		hi := c.d.HardwareInfo()
+		if hi.IndexedBy != c.index || hi.StateMemOps != c.stateOps || hi.TableLocation != c.location {
+			t.Errorf("%s: got %+v", hi.Mechanism, hi)
+		}
+	}
+}

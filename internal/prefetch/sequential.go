@@ -1,0 +1,51 @@
+package prefetch
+
+// Sequential implements SP, sequential prefetching (paper §2.1). On a miss
+// it prefetches the next virtual page (stride +1). The tagged variant — the
+// one the paper evaluates, following Vanderwiel & Lilja's observation that
+// it is the most effective — triggers on every demand fetch AND on every
+// first hit to a prefetched entry; since both appear in the TLB miss stream,
+// the trigger is simply every miss event. The untagged variant triggers only
+// on demand fetches (misses that also missed the prefetch buffer).
+type Sequential struct {
+	tagged bool
+	buf    [1]uint64
+}
+
+// NewSequential returns an SP prefetcher. tagged selects the tagged variant.
+func NewSequential(tagged bool) *Sequential {
+	return &Sequential{tagged: tagged}
+}
+
+// Name implements Prefetcher.
+func (s *Sequential) Name() string {
+	if s.tagged {
+		return "SP"
+	}
+	return "SP-untagged"
+}
+
+// OnMiss implements Prefetcher.
+func (s *Sequential) OnMiss(ev Event) Action {
+	if !s.tagged && ev.BufferHit {
+		return Action{}
+	}
+	s.buf[0] = ev.VPN + 1
+	return Action{Prefetches: s.buf[:]}
+}
+
+// Reset implements Prefetcher.
+func (s *Sequential) Reset() {}
+
+// HardwareInfo implements HardwareDescriber.
+func (s *Sequential) HardwareInfo() HardwareInfo {
+	return HardwareInfo{
+		Mechanism:     s.Name(),
+		Rows:          "none",
+		RowContents:   "none (stride fixed at +1)",
+		TableLocation: "on-chip",
+		IndexedBy:     "n/a",
+		StateMemOps:   "0",
+		MaxPrefetches: "1",
+	}
+}

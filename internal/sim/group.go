@@ -1,0 +1,49 @@
+package sim
+
+import (
+	"io"
+
+	"tlbprefetch/internal/trace"
+)
+
+// Group fans one reference stream out to many simulators, so that the
+// experiment harness can evaluate every mechanism configuration of a figure
+// in a single pass over the (regenerated) workload. Each member keeps its
+// own TLB and buffer; because fills always happen at miss time, members with
+// identical TLB geometry see identical miss streams, exactly as if run
+// separately.
+type Group struct {
+	members []*Simulator
+}
+
+// NewGroup builds a fan-out over the given simulators.
+func NewGroup(members ...*Simulator) *Group {
+	return &Group{members: members}
+}
+
+// Add appends a member.
+func (g *Group) Add(s *Simulator) { g.members = append(g.members, s) }
+
+// Members returns the member simulators in insertion order.
+func (g *Group) Members() []*Simulator { return g.members }
+
+// Ref delivers one reference to every member.
+func (g *Group) Ref(pc, vaddr uint64) {
+	for _, m := range g.members {
+		m.Ref(pc, vaddr)
+	}
+}
+
+// Run drains a trace reader through the group.
+func (g *Group) Run(src trace.Reader) error {
+	for {
+		ref, err := src.Read()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		g.Ref(ref.PC, ref.VAddr)
+	}
+}

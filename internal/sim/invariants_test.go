@@ -1,0 +1,111 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tlbprefetch/internal/core"
+	"tlbprefetch/internal/prefetch"
+	"tlbprefetch/internal/tlb"
+)
+
+// Property: throughout a simulation with RP, the page-table LRU stack stays
+// a consistent doubly-linked list and never contains a TLB-resident page —
+// the structural contract between the TLB and RP's eviction-driven pushes.
+func TestQuickRPStackTLBDisjoint(t *testing.T) {
+	f := func(raw []uint16) bool {
+		rp := prefetch.NewRecency()
+		s := New(Config{TLB: tlb.Config{Entries: 8, Ways: 2}, BufferEntries: 4, PageShift: 12}, rp)
+		for i, r := range raw {
+			s.Ref(uint64(i%7), uint64(r%128)<<12)
+			if i%16 == 0 {
+				if ok, _ := rp.PageTable().CheckInvariants(); !ok {
+					return false
+				}
+				for _, vpn := range rp.PageTable().StackWalk() {
+					if s.TLB().Contains(vpn) {
+						return false
+					}
+				}
+			}
+		}
+		ok, _ := rp.PageTable().CheckInvariants()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// DP distances can be negative from tiny page numbers; the computed
+// prefetch target wraps around uint64. The pipeline must treat such targets
+// as ordinary (never-hit) buffer entries without misbehaving.
+func TestDPNegativeWraparoundHarmless(t *testing.T) {
+	s := New(Config{TLB: tlb.Config{Entries: 4}, BufferEntries: 4, PageShift: 12},
+		core.NewDistance(32, 1, 2))
+	// Teach distance -5 -> -5, then miss page 3: predicted target is
+	// 3 - 5 = huge wrapped VPN.
+	for _, p := range []uint64{100, 95, 90, 85, 8, 3} {
+		s.Ref(0, p<<12)
+	}
+	st := s.Stats()
+	if st.Refs != 6 || st.Misses != 6 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Nothing to assert beyond "no panic and counters consistent".
+	if st.BufferHits+st.DemandFetches != st.Misses {
+		t.Fatalf("counter mismatch: %+v", st)
+	}
+}
+
+// Property: for every mechanism, PrefetchesRequested equals
+// PrefetchesIssued + PrefetchDuplicates, and buffer occupancy never exceeds
+// its capacity.
+func TestQuickPrefetchAccounting(t *testing.T) {
+	mechs := map[string]func() prefetch.Prefetcher{
+		"SP":   func() prefetch.Prefetcher { return prefetch.NewSequential(true) },
+		"SP-A": func() prefetch.Prefetcher { return prefetch.NewAdaptiveSequential() },
+		"ASP":  func() prefetch.Prefetcher { return prefetch.NewASP(32, 1) },
+		"MP":   func() prefetch.Prefetcher { return prefetch.NewMarkov(32, 1, 2) },
+		"RP3":  func() prefetch.Prefetcher { return prefetch.NewRecencyDegree(3) },
+		"DP":   func() prefetch.Prefetcher { return core.NewDistance(32, 1, 2) },
+	}
+	for name, mk := range mechs {
+		mk := mk
+		f := func(raw []uint16) bool {
+			s := New(Config{TLB: tlb.Config{Entries: 8}, BufferEntries: 4, PageShift: 12}, mk())
+			for i, r := range raw {
+				s.Ref(uint64(i%5), uint64(r%256)<<12)
+				if s.Buffer().Len() > 4 {
+					return false
+				}
+			}
+			st := s.Stats()
+			return st.PrefetchesRequested == st.PrefetchesIssued+st.PrefetchDuplicates
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+// Property: the timing simulator's clock is monotone and total cycles are
+// at least the stall cycles.
+func TestQuickTimingMonotone(t *testing.T) {
+	f := func(raw []uint16) bool {
+		s := NewTiming(DefaultTiming(), core.NewDistance(32, 1, 2))
+		var last uint64
+		for i, r := range raw {
+			s.Ref(uint64(i%5), uint64(r%512)<<12)
+			if s.Now() < last {
+				return false
+			}
+			last = s.Now()
+		}
+		st := s.Stats()
+		return st.Cycles >= st.StallCycles
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

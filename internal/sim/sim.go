@@ -1,0 +1,208 @@
+// Package sim wires the pieces of the paper's Figure 1 together: the CPU's
+// reference stream feeds a TLB probed in parallel with a prefetch buffer;
+// every TLB miss is reported to the attached prefetching mechanism, whose
+// predictions are fetched into the buffer.
+//
+// Two simulators are provided. Simulator is the functional one behind the
+// prediction-accuracy results (Figures 7-9, Table 2): it counts events but
+// not cycles, like the paper's sim-cache runs. TimingSimulator adds the
+// cycle accounting of the paper's Table 3 experiment (sim-outorder runs):
+// TLB miss penalty, prefetch-channel contention and in-flight prefetch
+// stalls.
+package sim
+
+import (
+	"fmt"
+	"io"
+
+	"tlbprefetch/internal/prefetch"
+	"tlbprefetch/internal/tlb"
+	"tlbprefetch/internal/trace"
+)
+
+// Config parameterizes a simulation.
+type Config struct {
+	// TLB geometry. The paper's default: 128 entries, fully associative.
+	TLB tlb.Config
+	// BufferEntries is the prefetch buffer size b (paper default 16).
+	BufferEntries int
+	// PageShift is log2 of the page size (paper default 12, 4 KB pages).
+	PageShift uint
+}
+
+// Default returns the paper's baseline configuration: 128-entry fully
+// associative TLB, 16-entry prefetch buffer, 4 KB pages.
+func Default() Config {
+	return Config{
+		TLB:           tlb.Config{Entries: 128},
+		BufferEntries: 16,
+		PageShift:     12,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if err := c.TLB.Validate(); err != nil {
+		return err
+	}
+	if c.BufferEntries <= 0 {
+		return fmt.Errorf("sim: BufferEntries must be positive, got %d", c.BufferEntries)
+	}
+	if c.PageShift == 0 || c.PageShift > 30 {
+		return fmt.Errorf("sim: PageShift %d out of range (1..30)", c.PageShift)
+	}
+	return nil
+}
+
+// Stats aggregates the functional counters of one run.
+type Stats struct {
+	Refs   uint64 // references simulated
+	Misses uint64 // TLB misses (the denominator of prediction accuracy)
+
+	BufferHits    uint64 // misses satisfied by the prefetch buffer (numerator)
+	DemandFetches uint64 // misses that went to the page table
+
+	PrefetchesRequested uint64 // pages the mechanism asked to prefetch
+	PrefetchesIssued    uint64 // actually fetched (not already in TLB/buffer)
+	PrefetchDuplicates  uint64 // dropped: already resident in TLB or buffer
+	PrefetchesUnused    uint64 // evicted from the buffer before any use
+
+	StateMemOps uint64 // mechanism metadata memory ops (RP pointers)
+}
+
+// Accuracy returns the paper's metric: the fraction of TLB misses that hit
+// in the prefetch buffer.
+func (s Stats) Accuracy() float64 {
+	if s.Misses == 0 {
+		return 0
+	}
+	return float64(s.BufferHits) / float64(s.Misses)
+}
+
+// MissRate returns misses per reference (the paper's m_i weights).
+func (s Stats) MissRate() float64 {
+	if s.Refs == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Refs)
+}
+
+// MemOps returns the total extra memory traffic induced by prefetching:
+// metadata maintenance plus prefetch fetches.
+func (s Stats) MemOps() uint64 { return s.StateMemOps + s.PrefetchesIssued }
+
+// Simulator is the functional TLB + prefetch-buffer + mechanism pipeline.
+type Simulator struct {
+	cfg  Config
+	tlb  *tlb.TLB
+	buf  *tlb.PrefetchBuffer
+	pf   prefetch.Prefetcher
+	stat Stats
+}
+
+// New builds a simulator around the given mechanism. A nil mechanism means
+// no prefetching (the baseline). It panics on invalid configuration.
+func New(cfg Config, pf prefetch.Prefetcher) *Simulator {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if pf == nil {
+		pf = prefetch.Nop{}
+	}
+	return &Simulator{
+		cfg: cfg,
+		tlb: tlb.New(cfg.TLB),
+		buf: tlb.NewPrefetchBuffer(cfg.BufferEntries),
+		pf:  pf,
+	}
+}
+
+// Config returns the simulator's configuration.
+func (s *Simulator) Config() Config { return s.cfg }
+
+// Prefetcher returns the attached mechanism.
+func (s *Simulator) Prefetcher() prefetch.Prefetcher { return s.pf }
+
+// Ref simulates one memory reference.
+func (s *Simulator) Ref(pc, vaddr uint64) {
+	s.stat.Refs++
+	vpn := vaddr >> s.cfg.PageShift
+	if s.tlb.Access(vpn) {
+		return
+	}
+	s.stat.Misses++
+
+	// Probe the prefetch buffer; a hit migrates the entry into the TLB.
+	_, bufferHit := s.buf.TakeOut(vpn)
+	if bufferHit {
+		s.stat.BufferHits++
+	} else {
+		s.stat.DemandFetches++
+	}
+
+	evicted, hasEvicted := s.tlb.Insert(vpn)
+
+	act := s.pf.OnMiss(prefetch.Event{
+		VPN:        vpn,
+		PC:         pc,
+		BufferHit:  bufferHit,
+		EvictedVPN: evicted,
+		HasEvicted: hasEvicted,
+	})
+	s.stat.StateMemOps += uint64(act.StateMemOps)
+	for _, p := range act.Prefetches {
+		s.stat.PrefetchesRequested++
+		if s.tlb.Contains(p) || s.buf.Contains(p) {
+			s.stat.PrefetchDuplicates++
+			continue
+		}
+		s.buf.Insert(p, 0)
+		s.stat.PrefetchesIssued++
+	}
+}
+
+// Run drains a trace reader through the simulator.
+func (s *Simulator) Run(src trace.Reader) error {
+	for {
+		ref, err := src.Read()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		s.Ref(ref.PC, ref.VAddr)
+	}
+}
+
+// Stats returns a snapshot of the counters, with the unused-prefetch count
+// finalized from the buffer.
+func (s *Simulator) Stats() Stats {
+	st := s.stat
+	_, _, evicted := s.buf.Stats()
+	st.PrefetchesUnused = evicted
+	return st
+}
+
+// TLB exposes the TLB (tests, invariant checks).
+func (s *Simulator) TLB() *tlb.TLB { return s.tlb }
+
+// Buffer exposes the prefetch buffer (tests).
+func (s *Simulator) Buffer() *tlb.PrefetchBuffer { return s.buf }
+
+// Reset returns the simulator to its initial state, including the attached
+// mechanism.
+func (s *Simulator) Reset() {
+	s.tlb.Reset()
+	s.buf.Reset()
+	s.pf.Reset()
+	s.stat = Stats{}
+}
+
+// ResetStats clears the counters while keeping all simulation state (TLB,
+// buffer, mechanism tables) warm — used to measure steady-state behaviour
+// after a warmup period, the counterpart of the paper's 2B-instruction
+// fast-forward.
+func (s *Simulator) ResetStats() {
+	s.stat = Stats{}
+}

@@ -1,0 +1,264 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+
+	"tlbprefetch/internal/memsys"
+	"tlbprefetch/internal/prefetch"
+	"tlbprefetch/internal/tlb"
+	"tlbprefetch/internal/trace"
+)
+
+// TimingConfig extends Config with the cycle model of the paper's Table 3
+// experiment.
+type TimingConfig struct {
+	Config
+	// MissPenalty is the constant TLB miss cost for a demand fetch
+	// (paper: 100 cycles).
+	MissPenalty uint64
+	// BufferHitPenalty is the portion of the miss cost a prefetch-buffer
+	// hit still pays — the pipeline restart and TLB fill, everything but
+	// the page table walk. The paper's Table 3 deltas (DP saves 1-14%
+	// despite 0.5-0.9 accuracy) imply a substantial residual cost per
+	// satisfied miss; 65 cycles lands the no-prefetch -> DP deltas in the
+	// published band.
+	BufferHitPenalty uint64
+	// MemOpLatency is the cost of each prefetch-related memory operation —
+	// pointer manipulation or prefetch fetch (paper: 50 cycles).
+	MemOpLatency uint64
+	// MemOpOccupancy is how long each operation blocks the prefetch
+	// channel before the next may start. 0 means fully serialized
+	// (= MemOpLatency, one outstanding request); smaller values model the
+	// pipelined memory interface of an out-of-order core.
+	MemOpOccupancy uint64
+	// CyclesPerRef is the base cost of a reference with a TLB hit, and
+	// RefsPerCycle lets several references retire per cycle (0 means 1).
+	// The paper runs a 4-issue out-of-order core, which both overlaps
+	// instruction work (RefsPerCycle > 1) and pipelines its memory
+	// interface (MemOpOccupancy < MemOpLatency); the Table 3 calibration
+	// in experiments.Table3 picks the values that land the no-prefetch
+	// baseline and the RP/DP deltas in the published band.
+	CyclesPerRef uint64
+	RefsPerCycle uint64
+	// RPSkipWhenBusy enables the paper's benefit-of-the-doubt rule for RP:
+	// when the prefetch channel is still busy at miss time, RP performs
+	// only its stack update (4 pointer ops) and skips the two neighbour
+	// fetches. Mechanisms other than RP are unaffected.
+	RPSkipWhenBusy bool
+}
+
+// DefaultTiming returns the paper's Table 3 constants on top of the default
+// functional configuration.
+func DefaultTiming() TimingConfig {
+	return TimingConfig{
+		Config:           Default(),
+		MissPenalty:      100,
+		BufferHitPenalty: 65,
+		MemOpLatency:     50,
+		MemOpOccupancy:   12,
+		CyclesPerRef:     1,
+		RefsPerCycle:     2,
+		RPSkipWhenBusy:   true,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c TimingConfig) Validate() error {
+	if err := c.Config.Validate(); err != nil {
+		return err
+	}
+	if c.MissPenalty == 0 || c.MemOpLatency == 0 || c.CyclesPerRef == 0 {
+		return fmt.Errorf("sim: timing constants must be positive (penalty=%d, memop=%d, perRef=%d)",
+			c.MissPenalty, c.MemOpLatency, c.CyclesPerRef)
+	}
+	return nil
+}
+
+// TimingStats extends Stats with cycle accounting.
+type TimingStats struct {
+	Stats
+	Cycles       uint64 // total execution cycles
+	StallCycles  uint64 // cycles stalled on TLB misses (demand + in-flight waits)
+	InFlightHits uint64 // buffer hits that had to wait for the prefetch to land
+	SkippedPref  uint64 // prefetch batches skipped by the RP busy rule
+}
+
+// CPI returns cycles per reference.
+func (s TimingStats) CPI() float64 {
+	if s.Refs == 0 {
+		return 0
+	}
+	return float64(s.Cycles) / float64(s.Refs)
+}
+
+// TimingSimulator adds the cycle model to the functional pipeline. The
+// prefetch channel serializes metadata and prefetch operations; demand
+// fetches cost the fixed miss penalty and do not contend with prefetch
+// traffic (the paper's RP-favouring assumption).
+type TimingSimulator struct {
+	cfg  TimingConfig
+	tlb  *tlb.TLB
+	buf  *tlb.PrefetchBuffer
+	pf   prefetch.Prefetcher
+	ch   *memsys.Channel
+	now  uint64
+	stat TimingStats
+
+	refAccum uint64 // references since the last base-cycle charge
+	isRP     bool
+	issuable []bool // per-miss scratch, sized to the prefetch batch
+}
+
+// NewTiming builds a timing simulator. A nil mechanism is the
+// no-prefetching baseline.
+func NewTiming(cfg TimingConfig, pf prefetch.Prefetcher) *TimingSimulator {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if pf == nil {
+		pf = prefetch.Nop{}
+	}
+	occ := cfg.MemOpOccupancy
+	if occ == 0 {
+		occ = cfg.MemOpLatency
+	}
+	return &TimingSimulator{
+		cfg:  cfg,
+		tlb:  tlb.New(cfg.TLB),
+		buf:  tlb.NewPrefetchBuffer(cfg.BufferEntries),
+		pf:   pf,
+		ch:   memsys.NewPipelinedChannel(cfg.MemOpLatency, occ),
+		isRP: pf.Name() == "RP",
+	}
+}
+
+// Ref simulates one memory reference and advances the clock.
+func (s *TimingSimulator) Ref(pc, vaddr uint64) {
+	rpc := s.cfg.RefsPerCycle
+	if rpc == 0 {
+		rpc = 1
+	}
+	s.refAccum++
+	if s.refAccum >= rpc {
+		s.now += s.cfg.CyclesPerRef
+		s.refAccum = 0
+	}
+	s.stat.Refs++
+	vpn := vaddr >> s.cfg.PageShift
+	if s.tlb.Access(vpn) {
+		return
+	}
+	s.stat.Misses++
+
+	readyAt, bufferHit := s.buf.TakeOut(vpn)
+	if bufferHit {
+		s.stat.BufferHits++
+		// A hit stalls for whichever is longer: the in-flight wait until
+		// the prefetch actually arrives ("it is made to stall until the
+		// entry arrives"), or the residual fill/restart cost — the two
+		// overlap in the pipeline, so the hit pays their maximum.
+		stall := s.cfg.BufferHitPenalty
+		if readyAt > s.now && readyAt-s.now > stall {
+			stall = readyAt - s.now
+			s.stat.InFlightHits++
+		}
+		s.stat.StallCycles += stall
+		s.now += stall
+	} else {
+		s.stat.DemandFetches++
+		s.stat.StallCycles += s.cfg.MissPenalty
+		s.now += s.cfg.MissPenalty
+	}
+
+	evicted, hasEvicted := s.tlb.Insert(vpn)
+	act := s.pf.OnMiss(prefetch.Event{
+		VPN:        vpn,
+		PC:         pc,
+		BufferHit:  bufferHit,
+		EvictedVPN: evicted,
+		HasEvicted: hasEvicted,
+	})
+
+	// RP's skip rule: when earlier prefetch traffic is still in flight,
+	// update the stack but do not fetch the neighbours ("there would be
+	// only 4 memory transactions instead of 6").
+	prefetches := act.Prefetches
+	if s.isRP && s.cfg.RPSkipWhenBusy && len(prefetches) > 0 && s.ch.Busy(s.now) {
+		prefetches = nil
+		s.stat.SkippedPref++
+	}
+
+	// Metadata operations occupy the channel first (RP updates the stack
+	// before prefetching), then the prefetch fetches complete one by one.
+	// Issuability is decided once, up front: an insertion below may evict
+	// a buffer entry that a later prefetch in this batch duplicates, and
+	// that later prefetch must still be treated as the duplicate it was at
+	// issue time.
+	s.stat.StateMemOps += uint64(act.StateMemOps)
+	if cap(s.issuable) < len(prefetches) {
+		s.issuable = make([]bool, len(prefetches))
+	}
+	issuable := s.issuable[:len(prefetches)]
+	for i := range issuable {
+		issuable[i] = false
+	}
+	n := 0
+	for i, p := range prefetches {
+		if !s.tlb.Contains(p) && !s.buf.Contains(p) {
+			issuable[i] = true
+			n++
+		}
+	}
+	after := s.ch.Issue(s.now, act.StateMemOps)
+	completions := s.ch.IssueEach(after, n)
+
+	ci := 0
+	for i, p := range prefetches {
+		s.stat.PrefetchesRequested++
+		if !issuable[i] {
+			s.stat.PrefetchDuplicates++
+			continue
+		}
+		s.buf.Insert(p, completions[ci])
+		ci++
+		s.stat.PrefetchesIssued++
+	}
+}
+
+// Run drains a trace reader.
+func (s *TimingSimulator) Run(src trace.Reader) error {
+	for {
+		ref, err := src.Read()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		s.Ref(ref.PC, ref.VAddr)
+	}
+}
+
+// Stats returns a snapshot including the cycle counters.
+func (s *TimingSimulator) Stats() TimingStats {
+	st := s.stat
+	st.Cycles = s.now
+	_, _, evicted := s.buf.Stats()
+	st.PrefetchesUnused = evicted
+	return st
+}
+
+// Now returns the current cycle.
+func (s *TimingSimulator) Now() uint64 { return s.now }
+
+// Reset returns the simulator (and mechanism) to the initial state.
+func (s *TimingSimulator) Reset() {
+	s.tlb.Reset()
+	s.buf.Reset()
+	s.pf.Reset()
+	s.ch.Reset()
+	s.now = 0
+	s.refAccum = 0
+	s.stat = TimingStats{}
+}

@@ -1,0 +1,138 @@
+// Package stats aggregates and formats experiment results: the plain and
+// miss-rate-weighted averages of the paper's Table 2, and the ASCII / CSV
+// table rendering used by cmd/experiments and EXPERIMENTS.md.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Mean returns the arithmetic mean of xs (0 for an empty slice) — the
+// paper's (Σ p_i)/n.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// WeightedMean returns Σ(w_i·x_i)/Σ(w_i) (0 when the weights sum to 0) —
+// the paper's miss-rate weighting Σ(m_i·p_i)/Σ(m_i).
+func WeightedMean(xs, ws []float64) float64 {
+	if len(xs) != len(ws) {
+		panic("stats: mismatched value/weight lengths")
+	}
+	var num, den float64
+	for i := range xs {
+		num += ws[i] * xs[i]
+		den += ws[i]
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// Table is a simple column-aligned text table builder.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable builds a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// AddRow appends a row; short rows are padded with empty cells.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.header))
+	copy(row, cells)
+	t.rows = append(t.rows, row)
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (cells containing commas
+// are quoted).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString(",")
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				b.WriteString(`"` + strings.ReplaceAll(c, `"`, `""`) + `"`)
+			} else {
+				b.WriteString(c)
+			}
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.header)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// F formats a float with 3 decimals (the paper's accuracy precision).
+func F(x float64) string { return fmt.Sprintf("%.3f", x) }
+
+// F2 formats a float with 2 decimals (the paper's Table 2/3 precision).
+func F2(x float64) string { return fmt.Sprintf("%.2f", x) }
+
+// Ranked returns the indices of xs sorted descending by value — used for
+// "best or within 10% of the best" style summaries.
+func Ranked(xs []float64) []int {
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return xs[idx[a]] > xs[idx[b]] })
+	return idx
+}

@@ -1,0 +1,126 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if got := Mean(nil); got != 0 {
+		t.Fatalf("Mean(nil) = %v", got)
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Fatalf("Mean = %v", got)
+	}
+}
+
+func TestWeightedMean(t *testing.T) {
+	// The paper's formula: Σ(m_i·p_i)/Σ(m_i).
+	xs := []float64{1.0, 0.0}
+	ws := []float64{3.0, 1.0}
+	if got := WeightedMean(xs, ws); got != 0.75 {
+		t.Fatalf("WeightedMean = %v", got)
+	}
+	if got := WeightedMean([]float64{1}, []float64{0}); got != 0 {
+		t.Fatalf("zero-weight mean = %v", got)
+	}
+}
+
+func TestWeightedMeanPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on length mismatch")
+		}
+	}()
+	WeightedMean([]float64{1}, []float64{1, 2})
+}
+
+// Property: a weighted mean lies between min and max of its inputs.
+func TestQuickWeightedMeanBounds(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		n := len(raw) / 2
+		xs := make([]float64, n)
+		ws := make([]float64, n)
+		for i := 0; i < n; i++ {
+			xs[i] = float64(raw[i]) / 65535
+			ws[i] = float64(raw[n+i])/65535 + 0.001
+		}
+		m := WeightedMean(xs, ws)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, x := range xs {
+			lo = math.Min(lo, x)
+			hi = math.Max(hi, x)
+		}
+		return m >= lo-1e-12 && m <= hi+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("app", "accuracy")
+	tb.AddRow("gzip", "0.535")
+	tb.AddRow("x", "1.0")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "app ") || !strings.Contains(lines[0], "accuracy") {
+		t.Fatalf("header: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Fatalf("separator: %q", lines[1])
+	}
+	if tb.NumRows() != 2 {
+		t.Fatalf("NumRows = %d", tb.NumRows())
+	}
+}
+
+func TestTableShortRowsPadded(t *testing.T) {
+	tb := NewTable("a", "b", "c")
+	tb.AddRow("only")
+	out := tb.String()
+	if !strings.Contains(out, "only") {
+		t.Fatal("row lost")
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tb := NewTable("name", "note")
+	tb.AddRow("plain", "hello")
+	tb.AddRow("comma", "a,b")
+	tb.AddRow("quote", `say "hi"`)
+	got := tb.CSV()
+	want := "name,note\nplain,hello\ncomma,\"a,b\"\nquote,\"say \"\"hi\"\"\"\n"
+	if got != want {
+		t.Fatalf("CSV:\n%q\nwant\n%q", got, want)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if F(0.123456) != "0.123" {
+		t.Fatalf("F = %q", F(0.123456))
+	}
+	if F2(0.987) != "0.99" {
+		t.Fatalf("F2 = %q", F2(0.987))
+	}
+}
+
+func TestRanked(t *testing.T) {
+	idx := Ranked([]float64{0.1, 0.9, 0.5})
+	if idx[0] != 1 || idx[1] != 2 || idx[2] != 0 {
+		t.Fatalf("Ranked = %v", idx)
+	}
+	// Stable for ties.
+	idx = Ranked([]float64{0.5, 0.5})
+	if idx[0] != 0 || idx[1] != 1 {
+		t.Fatalf("tie order = %v", idx)
+	}
+}

@@ -1,0 +1,172 @@
+// Package table implements the set-associative, LRU-replaced prediction
+// table shared by the ASP, MP and DP prefetching mechanisms, plus the small
+// fixed-capacity LRU slot list that MP and DP keep inside each row.
+//
+// The paper parameterizes every on-chip prediction table by a total entry
+// count r (32..1024) and an organization: direct-mapped (D), 2-way, 4-way or
+// fully associative (F). We model that faithfully: a Table with r entries and
+// w ways has r/w sets; a key indexes its set by the key's low bits
+// (hardware-style modulo indexing), and the full key is kept as the tag.
+// Replacement within a set is true LRU.
+package table
+
+import "fmt"
+
+// Table is a set-associative LRU prediction table mapping uint64 keys to
+// values of type V. The zero value is not usable; construct with New.
+//
+// Keys are arbitrary uint64s: page numbers (MP), program counters (ASP) or
+// two's-complement distances (DP). Set index = key mod nsets, which for
+// negative distances reinterpreted as uint64 uses the low bits, exactly as a
+// hardware indexing function would.
+type Table[V any] struct {
+	sets  [][]slot[V] // each set ordered MRU first
+	ways  int
+	nsets int
+
+	lookups uint64
+	hits    uint64
+	evicts  uint64
+}
+
+type slot[V any] struct {
+	key uint64
+	val V
+}
+
+// New builds a table with the given total number of entries and ways.
+// ways == 1 is direct-mapped; ways == entries is fully associative.
+// entries must be a positive multiple of ways.
+func New[V any](entries, ways int) *Table[V] {
+	if entries <= 0 || ways <= 0 {
+		panic(fmt.Sprintf("table: invalid geometry entries=%d ways=%d", entries, ways))
+	}
+	if entries%ways != 0 {
+		panic(fmt.Sprintf("table: entries %d not a multiple of ways %d", entries, ways))
+	}
+	nsets := entries / ways
+	t := &Table[V]{
+		sets:  make([][]slot[V], nsets),
+		ways:  ways,
+		nsets: nsets,
+	}
+	for i := range t.sets {
+		t.sets[i] = make([]slot[V], 0, ways)
+	}
+	return t
+}
+
+// Entries returns the total capacity r of the table.
+func (t *Table[V]) Entries() int { return t.nsets * t.ways }
+
+// Ways returns the associativity.
+func (t *Table[V]) Ways() int { return t.ways }
+
+// Sets returns the number of sets.
+func (t *Table[V]) Sets() int { return t.nsets }
+
+func (t *Table[V]) set(key uint64) int {
+	return int(key % uint64(t.nsets))
+}
+
+// Lookup finds key and, if present, promotes it to MRU and returns a pointer
+// to its value. The pointer stays valid until the next mutation of the table.
+func (t *Table[V]) Lookup(key uint64) (*V, bool) {
+	t.lookups++
+	s := t.sets[t.set(key)]
+	for i := range s {
+		if s[i].key == key {
+			t.hits++
+			// Move to front (MRU) preserving order of the rest.
+			e := s[i]
+			copy(s[1:i+1], s[0:i])
+			s[0] = e
+			return &s[0].val, true
+		}
+	}
+	return nil, false
+}
+
+// Peek finds key without updating recency.
+func (t *Table[V]) Peek(key uint64) (*V, bool) {
+	s := t.sets[t.set(key)]
+	for i := range s {
+		if s[i].key == key {
+			return &s[i].val, true
+		}
+	}
+	return nil, false
+}
+
+// Insert places (key, val) as the MRU entry of its set, evicting the LRU
+// entry if the set is full. If the key is already present its value is
+// replaced and it is promoted. It reports the evicted key, if any.
+func (t *Table[V]) Insert(key uint64, val V) (evictedKey uint64, evicted bool) {
+	si := t.set(key)
+	s := t.sets[si]
+	for i := range s {
+		if s[i].key == key {
+			copy(s[1:i+1], s[0:i])
+			s[0] = slot[V]{key: key, val: val}
+			return 0, false
+		}
+	}
+	if len(s) < t.ways {
+		s = append(s, slot[V]{})
+	} else {
+		evictedKey = s[len(s)-1].key
+		evicted = true
+		t.evicts++
+	}
+	copy(s[1:], s[:len(s)-1])
+	s[0] = slot[V]{key: key, val: val}
+	t.sets[si] = s
+	return evictedKey, evicted
+}
+
+// GetOrInsert returns a pointer to key's value, allocating an MRU entry with
+// the zero value (evicting LRU if needed) when absent. The boolean reports
+// whether the entry already existed.
+func (t *Table[V]) GetOrInsert(key uint64) (*V, bool) {
+	if v, ok := t.Lookup(key); ok {
+		return v, true
+	}
+	var zero V
+	t.Insert(key, zero)
+	// After Insert the entry is at position 0 of its set.
+	return &t.sets[t.set(key)][0].val, false
+}
+
+// Len returns the number of occupied entries.
+func (t *Table[V]) Len() int {
+	n := 0
+	for _, s := range t.sets {
+		n += len(s)
+	}
+	return n
+}
+
+// Reset empties the table and clears statistics.
+func (t *Table[V]) Reset() {
+	for i := range t.sets {
+		t.sets[i] = t.sets[i][:0]
+	}
+	t.lookups, t.hits, t.evicts = 0, 0, 0
+}
+
+// Stats reports lookup/hit/eviction counters (for diagnostics and ablations).
+func (t *Table[V]) Stats() (lookups, hits, evictions uint64) {
+	return t.lookups, t.hits, t.evicts
+}
+
+// Keys returns the resident keys of every set in MRU-first order,
+// concatenated set by set. Intended for tests and invariant checks.
+func (t *Table[V]) Keys() []uint64 {
+	var out []uint64
+	for _, s := range t.sets {
+		for _, e := range s {
+			out = append(out, e.key)
+		}
+	}
+	return out
+}

@@ -1,0 +1,105 @@
+package tlb
+
+// PrefetchBuffer is the small fully associative buffer that receives
+// prefetched translations (paper Figure 1). It is probed on every TLB miss;
+// a hit removes the entry (it migrates into the TLB) and counts toward the
+// mechanism's prediction accuracy.
+//
+// Replacement is FIFO over prefetch insertions: a newly prefetched entry
+// evicts the oldest still-unused prefetch. This is the behaviour behind the
+// paper's observation that "a more aggressive scheme can end up evicting
+// entries before they are used".
+//
+// Each entry carries a ReadyAt cycle for the timing model (the cycle the
+// prefetch completes and the translation is actually usable). The
+// functional simulator passes 0.
+type PrefetchBuffer struct {
+	cap   int
+	order []uint64          // FIFO order, oldest first
+	ready map[uint64]uint64 // vpn -> ReadyAt cycle
+
+	inserted uint64
+	hits     uint64
+	evicted  uint64 // evicted before ever being used
+}
+
+// NewPrefetchBuffer builds a buffer with capacity b > 0.
+func NewPrefetchBuffer(b int) *PrefetchBuffer {
+	if b <= 0 {
+		panic("tlb: prefetch buffer capacity must be positive")
+	}
+	return &PrefetchBuffer{
+		cap:   b,
+		order: make([]uint64, 0, b),
+		ready: make(map[uint64]uint64, b),
+	}
+}
+
+// Cap returns the configured capacity b.
+func (p *PrefetchBuffer) Cap() int { return p.cap }
+
+// Len returns the number of buffered prefetches.
+func (p *PrefetchBuffer) Len() int { return len(p.order) }
+
+// Contains probes for vpn without removing it.
+func (p *PrefetchBuffer) Contains(vpn uint64) bool {
+	_, ok := p.ready[vpn]
+	return ok
+}
+
+// Insert adds a prefetched translation with the given completion cycle,
+// evicting the oldest entry if full. Inserting a VPN already present only
+// refreshes its ReadyAt to the earlier of the two times (the translation is
+// available as soon as the first prefetch lands); it does not change FIFO
+// order. It reports the evicted VPN, if any.
+func (p *PrefetchBuffer) Insert(vpn uint64, readyAt uint64) (evictedVPN uint64, wasEvicted bool) {
+	if old, ok := p.ready[vpn]; ok {
+		if readyAt < old {
+			p.ready[vpn] = readyAt
+		}
+		return 0, false
+	}
+	if len(p.order) == p.cap {
+		evictedVPN = p.order[0]
+		copy(p.order, p.order[1:])
+		p.order = p.order[:len(p.order)-1]
+		delete(p.ready, evictedVPN)
+		wasEvicted = true
+		p.evicted++
+	}
+	p.order = append(p.order, vpn)
+	p.ready[vpn] = readyAt
+	p.inserted++
+	return evictedVPN, wasEvicted
+}
+
+// TakeOut removes vpn if present and returns its ReadyAt cycle. This is the
+// buffer-hit path: the entry migrates to the TLB.
+func (p *PrefetchBuffer) TakeOut(vpn uint64) (readyAt uint64, ok bool) {
+	readyAt, ok = p.ready[vpn]
+	if !ok {
+		return 0, false
+	}
+	delete(p.ready, vpn)
+	for i, v := range p.order {
+		if v == vpn {
+			copy(p.order[i:], p.order[i+1:])
+			p.order = p.order[:len(p.order)-1]
+			break
+		}
+	}
+	p.hits++
+	return readyAt, true
+}
+
+// Stats returns insertion, hit and unused-eviction counters.
+func (p *PrefetchBuffer) Stats() (inserted, hits, evictedUnused uint64) {
+	return p.inserted, p.hits, p.evicted
+}
+
+// Reset empties the buffer and clears statistics.
+func (p *PrefetchBuffer) Reset() {
+	p.order = p.order[:0]
+	clear(p.ready)
+	p.inserted, p.hits, p.evicted = 0, 0, 0
+}

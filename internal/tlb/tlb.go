@@ -1,0 +1,170 @@
+// Package tlb models the Translation Lookaside Buffer and the prefetch
+// buffer from the paper's Figure 1.
+//
+// The TLB is a set-associative (or fully associative) cache of virtual page
+// numbers with true LRU replacement per set, matching the configurations the
+// paper sweeps (64/128/256 entries; 2-way, 4-way, fully associative). Only
+// the tags matter for the study — the translation payload (physical frame)
+// has no effect on hit/miss behaviour — so entries are just VPNs.
+//
+// The prefetch buffer is a small fully associative structure probed in
+// parallel with the TLB on a miss; prefetched translations wait there and
+// move into the TLB only when the program references the page, so
+// prefetching can never displace useful TLB entries (paper §2: "Prefetching
+// can thus not increase the miss rates of the original TLB").
+package tlb
+
+import "fmt"
+
+// Config describes a TLB geometry.
+type Config struct {
+	// Entries is the total number of translations the TLB holds.
+	Entries int
+	// Ways is the associativity; Ways == Entries (or Ways == 0, a
+	// convenience default) means fully associative.
+	Ways int
+}
+
+func (c Config) normalize() Config {
+	if c.Ways == 0 {
+		c.Ways = c.Entries
+	}
+	return c
+}
+
+// Validate reports whether the configuration is internally consistent.
+func (c Config) Validate() error {
+	c = c.normalize()
+	if c.Entries <= 0 {
+		return fmt.Errorf("tlb: Entries must be positive, got %d", c.Entries)
+	}
+	if c.Ways <= 0 || c.Entries%c.Ways != 0 {
+		return fmt.Errorf("tlb: Entries %d not divisible by Ways %d", c.Entries, c.Ways)
+	}
+	return nil
+}
+
+// TLB is a set-associative translation lookaside buffer with per-set LRU.
+// Construct with New.
+type TLB struct {
+	cfg   Config
+	nsets int
+	sets  [][]uint64 // each set: VPNs, MRU first
+
+	accesses uint64
+	misses   uint64
+}
+
+// New builds a TLB. It panics on an invalid configuration (geometry is a
+// programming error, not an input error, at this layer).
+func New(cfg Config) *TLB {
+	cfg = cfg.normalize()
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	nsets := cfg.Entries / cfg.Ways
+	t := &TLB{cfg: cfg, nsets: nsets, sets: make([][]uint64, nsets)}
+	for i := range t.sets {
+		t.sets[i] = make([]uint64, 0, cfg.Ways)
+	}
+	return t
+}
+
+// Config returns the (normalized) geometry.
+func (t *TLB) Config() Config { return t.cfg }
+
+func (t *TLB) set(vpn uint64) int { return int(vpn % uint64(t.nsets)) }
+
+// Access probes the TLB for vpn. On a hit the entry is promoted to MRU and
+// Access returns true. On a miss it returns false WITHOUT inserting — the
+// fill happens later via Insert, after the miss has been serviced (from the
+// prefetch buffer or the page table).
+func (t *TLB) Access(vpn uint64) bool {
+	t.accesses++
+	s := t.sets[t.set(vpn)]
+	for i, v := range s {
+		if v == vpn {
+			copy(s[1:i+1], s[0:i])
+			s[0] = vpn
+			return true
+		}
+	}
+	t.misses++
+	return false
+}
+
+// Contains probes without touching recency or statistics.
+func (t *TLB) Contains(vpn uint64) bool {
+	for _, v := range t.sets[t.set(vpn)] {
+		if v == vpn {
+			return true
+		}
+	}
+	return false
+}
+
+// Insert fills vpn as the MRU entry of its set, evicting the LRU entry if
+// the set is full. It reports the evicted VPN, if any. Inserting a VPN that
+// is already resident only promotes it (no eviction); that situation does
+// not arise in the simulator (fills follow misses) but is handled for
+// robustness.
+func (t *TLB) Insert(vpn uint64) (evicted uint64, wasEvicted bool) {
+	si := t.set(vpn)
+	s := t.sets[si]
+	for i, v := range s {
+		if v == vpn {
+			copy(s[1:i+1], s[0:i])
+			s[0] = vpn
+			return 0, false
+		}
+	}
+	if len(s) < t.cfg.Ways {
+		s = append(s, 0)
+	} else {
+		evicted = s[len(s)-1]
+		wasEvicted = true
+	}
+	copy(s[1:], s[:len(s)-1])
+	s[0] = vpn
+	t.sets[si] = s
+	return evicted, wasEvicted
+}
+
+// Len returns the number of resident translations.
+func (t *TLB) Len() int {
+	n := 0
+	for _, s := range t.sets {
+		n += len(s)
+	}
+	return n
+}
+
+// Stats returns access and miss counters.
+func (t *TLB) Stats() (accesses, misses uint64) { return t.accesses, t.misses }
+
+// MissRate returns misses/accesses (0 when no accesses), the m_i used in the
+// paper's Table 2 weighting.
+func (t *TLB) MissRate() float64 {
+	if t.accesses == 0 {
+		return 0
+	}
+	return float64(t.misses) / float64(t.accesses)
+}
+
+// Reset empties the TLB and clears statistics.
+func (t *TLB) Reset() {
+	for i := range t.sets {
+		t.sets[i] = t.sets[i][:0]
+	}
+	t.accesses, t.misses = 0, 0
+}
+
+// Resident returns all resident VPNs (set by set, MRU first within a set);
+// for tests and invariant checks.
+func (t *TLB) Resident() []uint64 {
+	var out []uint64
+	for _, s := range t.sets {
+		out = append(out, s...)
+	}
+	return out
+}

@@ -1,0 +1,81 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// FuzzBinaryReader feeds arbitrary bytes to the binary trace reader: it
+// must either reject the input or terminate cleanly, never panic or loop.
+func FuzzBinaryReader(f *testing.F) {
+	// Seed: a valid 2-record trace, a truncated one, garbage.
+	var buf bytes.Buffer
+	bw, _ := NewBinaryWriter(&buf)
+	bw.Write(Ref{PC: 1, VAddr: 4096})
+	bw.Write(Ref{PC: 2, VAddr: 8192})
+	bw.Flush()
+	f.Add(buf.Bytes())
+	f.Add(buf.Bytes()[:len(buf.Bytes())-3])
+	f.Add([]byte("TLBT garbage"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		br, err := NewBinaryReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for i := 0; i < 1<<16; i++ {
+			if _, err := br.Read(); err != nil {
+				if err != io.EOF && err == nil {
+					t.Fatal("nil error without record")
+				}
+				return
+			}
+		}
+	})
+}
+
+// FuzzTextReader feeds arbitrary text to the text trace reader.
+func FuzzTextReader(f *testing.F) {
+	f.Add("0x10 0x20\n")
+	f.Add("# comment\n\nff 1000\n")
+	f.Add("not hex at all\n")
+	f.Add("0x10")
+	f.Add("ffffffffffffffffffff 0\n")
+
+	f.Fuzz(func(t *testing.T, data string) {
+		tr := NewTextReader(bytes.NewReader([]byte(data)))
+		for i := 0; i < 1<<16; i++ {
+			if _, err := tr.Read(); err != nil {
+				return
+			}
+		}
+	})
+}
+
+// FuzzRoundTrip: any (pc, vaddr) pairs survive a binary write/read cycle.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add(uint64(0), uint64(0))
+	f.Add(^uint64(0), uint64(1))
+
+	f.Fuzz(func(t *testing.T, pc, va uint64) {
+		var buf bytes.Buffer
+		bw, err := NewBinaryWriter(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := bw.Write(Ref{PC: pc, VAddr: va}); err != nil {
+			t.Fatal(err)
+		}
+		bw.Flush()
+		br, err := NewBinaryReader(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := br.Read()
+		if err != nil || got.PC != pc || got.VAddr != va {
+			t.Fatalf("round trip: %+v, %v", got, err)
+		}
+	})
+}

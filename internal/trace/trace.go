@@ -1,0 +1,291 @@
+// Package trace defines the memory-reference record that drives the
+// simulator, plus readers and writers for binary and text trace files.
+//
+// The paper drove its simulations from SimpleScalar (sim-cache) and Shade;
+// both deliver a stream of (instruction address, data address) pairs to the
+// memory hierarchy. Our record carries exactly the fields the prefetching
+// mechanisms can legally observe: the program counter (ASP indexes its table
+// by PC) and the data virtual address (everything else). Synthetic workloads
+// and recorded trace files are interchangeable behind the Reader interface.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Ref is a single data memory reference.
+type Ref struct {
+	PC    uint64 // address of the referencing instruction
+	VAddr uint64 // virtual data address referenced
+}
+
+// Reader yields a stream of references. Read returns io.EOF at the end of
+// the stream.
+type Reader interface {
+	Read() (Ref, error)
+}
+
+// Writer consumes a stream of references.
+type Writer interface {
+	Write(Ref) error
+}
+
+// SliceReader adapts an in-memory slice to Reader.
+type SliceReader struct {
+	refs []Ref
+	pos  int
+}
+
+// NewSliceReader wraps refs (not copied).
+func NewSliceReader(refs []Ref) *SliceReader { return &SliceReader{refs: refs} }
+
+// Read implements Reader.
+func (r *SliceReader) Read() (Ref, error) {
+	if r.pos >= len(r.refs) {
+		return Ref{}, io.EOF
+	}
+	ref := r.refs[r.pos]
+	r.pos++
+	return ref, nil
+}
+
+// Reset rewinds to the start of the slice.
+func (r *SliceReader) Reset() { r.pos = 0 }
+
+// SliceWriter accumulates references in memory.
+type SliceWriter struct {
+	Refs []Ref
+}
+
+// Write implements Writer.
+func (w *SliceWriter) Write(ref Ref) error {
+	w.Refs = append(w.Refs, ref)
+	return nil
+}
+
+// FuncReader adapts a pull function to Reader.
+type FuncReader func() (Ref, error)
+
+// Read implements Reader.
+func (f FuncReader) Read() (Ref, error) { return f() }
+
+// --- Binary format -------------------------------------------------------
+//
+// Header: magic "TLBT" (4 bytes), version byte (1), 3 reserved zero bytes,
+// then little-endian uint64 record count. Records: PC and VAddr as
+// little-endian uint64 (16 bytes each record).
+
+const (
+	binMagic   = "TLBT"
+	binVersion = 1
+)
+
+// ErrBadFormat reports a malformed binary trace.
+var ErrBadFormat = errors.New("trace: malformed binary trace")
+
+// BinaryWriter writes the binary trace format. Close (or Flush) must be
+// called to finalize the header's record count via the returned offset —
+// since we write to a streaming io.Writer, the count is written up front by
+// WriteBinary instead; BinaryWriter itself writes a count of 0 and is meant
+// for pipes where the reader tolerates EOF-terminated streams.
+type BinaryWriter struct {
+	w     *bufio.Writer
+	count uint64
+}
+
+// NewBinaryWriter emits a header with record count 0 (meaning "read until
+// EOF") and returns a streaming writer.
+func NewBinaryWriter(w io.Writer) (*BinaryWriter, error) {
+	bw := &BinaryWriter{w: bufio.NewWriterSize(w, 1<<16)}
+	if _, err := bw.w.WriteString(binMagic); err != nil {
+		return nil, err
+	}
+	header := [12]byte{binVersion}
+	if _, err := bw.w.Write(header[:]); err != nil {
+		return nil, err
+	}
+	return bw, nil
+}
+
+// Write implements Writer.
+func (b *BinaryWriter) Write(ref Ref) error {
+	var rec [16]byte
+	binary.LittleEndian.PutUint64(rec[0:8], ref.PC)
+	binary.LittleEndian.PutUint64(rec[8:16], ref.VAddr)
+	if _, err := b.w.Write(rec[:]); err != nil {
+		return err
+	}
+	b.count++
+	return nil
+}
+
+// Count returns the number of records written so far.
+func (b *BinaryWriter) Count() uint64 { return b.count }
+
+// Flush flushes buffered records to the underlying writer.
+func (b *BinaryWriter) Flush() error { return b.w.Flush() }
+
+// BinaryReader reads the binary trace format.
+type BinaryReader struct {
+	r         *bufio.Reader
+	remaining uint64
+	counted   bool // header carried a nonzero count
+}
+
+// NewBinaryReader validates the header and returns a streaming reader.
+func NewBinaryReader(r io.Reader) (*BinaryReader, error) {
+	br := &BinaryReader{r: bufio.NewReaderSize(r, 1<<16)}
+	var header [16]byte
+	if _, err := io.ReadFull(br.r, header[:]); err != nil {
+		return nil, fmt.Errorf("%w: short header: %v", ErrBadFormat, err)
+	}
+	if string(header[0:4]) != binMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadFormat, header[0:4])
+	}
+	if header[4] != binVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadFormat, header[4])
+	}
+	count := binary.LittleEndian.Uint64(header[8:16])
+	br.remaining = count
+	br.counted = count != 0
+	return br, nil
+}
+
+// Read implements Reader.
+func (b *BinaryReader) Read() (Ref, error) {
+	if b.counted {
+		if b.remaining == 0 {
+			return Ref{}, io.EOF
+		}
+		b.remaining--
+	}
+	var rec [16]byte
+	if _, err := io.ReadFull(b.r, rec[:]); err != nil {
+		if err == io.EOF && !b.counted {
+			return Ref{}, io.EOF
+		}
+		if err == io.ErrUnexpectedEOF || (err == io.EOF && b.counted) {
+			return Ref{}, fmt.Errorf("%w: truncated record", ErrBadFormat)
+		}
+		return Ref{}, err
+	}
+	return Ref{
+		PC:    binary.LittleEndian.Uint64(rec[0:8]),
+		VAddr: binary.LittleEndian.Uint64(rec[8:16]),
+	}, nil
+}
+
+// --- Text format ----------------------------------------------------------
+//
+// One reference per line: "<pc-hex> <vaddr-hex>", e.g. "0x401000 0x7f001234".
+// Lines starting with '#' and blank lines are ignored. Addresses may omit
+// the 0x prefix.
+
+// TextWriter writes the human-readable trace format.
+type TextWriter struct {
+	w *bufio.Writer
+}
+
+// NewTextWriter returns a streaming text writer.
+func NewTextWriter(w io.Writer) *TextWriter {
+	return &TextWriter{w: bufio.NewWriterSize(w, 1<<16)}
+}
+
+// Write implements Writer.
+func (t *TextWriter) Write(ref Ref) error {
+	_, err := fmt.Fprintf(t.w, "0x%x 0x%x\n", ref.PC, ref.VAddr)
+	return err
+}
+
+// Flush flushes buffered output.
+func (t *TextWriter) Flush() error { return t.w.Flush() }
+
+// TextReader reads the text trace format.
+type TextReader struct {
+	sc   *bufio.Scanner
+	line int
+}
+
+// NewTextReader returns a streaming text reader.
+func NewTextReader(r io.Reader) *TextReader {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	return &TextReader{sc: sc}
+}
+
+// Read implements Reader.
+func (t *TextReader) Read() (Ref, error) {
+	for t.sc.Scan() {
+		t.line++
+		line := strings.TrimSpace(t.sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return Ref{}, fmt.Errorf("trace: line %d: want 2 fields, got %d", t.line, len(fields))
+		}
+		pc, err := parseHex(fields[0])
+		if err != nil {
+			return Ref{}, fmt.Errorf("trace: line %d: pc: %v", t.line, err)
+		}
+		va, err := parseHex(fields[1])
+		if err != nil {
+			return Ref{}, fmt.Errorf("trace: line %d: vaddr: %v", t.line, err)
+		}
+		return Ref{PC: pc, VAddr: va}, nil
+	}
+	if err := t.sc.Err(); err != nil {
+		return Ref{}, err
+	}
+	return Ref{}, io.EOF
+}
+
+func parseHex(s string) (uint64, error) {
+	s = strings.TrimPrefix(strings.TrimPrefix(s, "0x"), "0X")
+	if s == "" {
+		return 0, errors.New("empty number")
+	}
+	var v uint64
+	for _, c := range s {
+		var d uint64
+		switch {
+		case c >= '0' && c <= '9':
+			d = uint64(c - '0')
+		case c >= 'a' && c <= 'f':
+			d = uint64(c-'a') + 10
+		case c >= 'A' && c <= 'F':
+			d = uint64(c-'A') + 10
+		default:
+			return 0, fmt.Errorf("bad hex digit %q", c)
+		}
+		if v > (^uint64(0))>>4 {
+			return 0, errors.New("overflow")
+		}
+		v = v<<4 | d
+	}
+	return v, nil
+}
+
+// Copy pumps src into dst until EOF, returning the number of records copied.
+func Copy(dst Writer, src Reader) (uint64, error) {
+	var n uint64
+	for {
+		ref, err := src.Read()
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+		if err := dst.Write(ref); err != nil {
+			return n, err
+		}
+		n++
+	}
+}

@@ -1,0 +1,94 @@
+package workload
+
+// The 5 Etch trace models (paper Figure 8, bottom-left): Win32 desktop
+// applications traced with Etch. The paper's narrative places mpegply,
+// msvc and perl4 in the group where "DP does much better than the others"
+// (msvc also in the DP-only, <=20% group), and shows generally lower, more
+// diffuse accuracy for the interactive applications.
+
+const pcEtch = 0x00600000
+
+func init() {
+	// bcc: a compiler — like gcc, stable irregular revisits of front-end
+	// and back-end structures (history wins, DP close via block locality).
+	register(Workload{
+		Name:      "bcc",
+		Suite:     "Etch",
+		Seed:      0x7101,
+		PaperNote: "compiler pass structure: RP/MP good, DP close",
+		Build: func() []Phase {
+			return []Phase{
+				&PointerChase{PC: pcEtch + 0x000, Base: 1 << 20, Pages: 620, RefsPerHop: 95, LocalityPages: 14},
+				&Seq{PC: pcEtch + 0x010, Base: 1<<20 + 8219, Pages: 90, RefsPerPage: 95},
+			}
+		},
+	})
+
+	// mpegply: video playback — macroblock motifs over fresh frames
+	// ("DP does much better": same regime as mpeg-dec).
+	register(Workload{
+		Name:      "mpegply",
+		Suite:     "Etch",
+		Seed:      0x7102,
+		PaperNote: "macroblock motif over fresh frames: DP well ahead",
+		Build: func() []Phase {
+			return []Phase{
+				&BlockMotif{PC: pcEtch + 0x100, Start: 1 << 21, Fresh: true,
+					Motif: []int64{0, 2, 1, 4, 3, 6}, BlockPages: 8, Blocks: 12,
+					RefsPerStop: 110, NoiseProb: 0.2, NoiseSpread: 14},
+				&HotSet{PC: pcEtch + 0x110, Base: 1 << 20, Pages: 44, Refs: 2000, Theta: 0.5},
+			}
+		},
+	})
+
+	// msvc: the IDE/compiler — in the paper both "DP does much better" and
+	// DP-only with modest absolute accuracy; heavy noise over a weak motif.
+	register(Workload{
+		Name:      "msvc",
+		Suite:     "Etch",
+		Seed:      0x7103,
+		PaperNote: "noisy build-system walks with a weak repeating motif: DP-only, modest",
+		Build: func() []Phase {
+			return []Phase{
+				&BlockMotif{PC: pcEtch + 0x200, Start: 1 << 21, Fresh: true,
+					Motif: []int64{0, 3, 1, 6, 2, 5, 4}, BlockPages: 9, Blocks: 10,
+					RefsPerStop: 110, NoiseProb: 0.5, NoiseSpread: 20},
+				&RandomWalk{PC: pcEtch + 0x210, Base: 1 << 20, Pages: 900, Hops: 25, RefsPerStop: 110},
+				&HotSet{PC: pcEtch + 0x220, Base: 1<<20 + 131101, Pages: 48, Refs: 2500, Theta: 0.5},
+			}
+		},
+	})
+
+	// perl4: scripting interpreter — hash/AST walks with a repeating
+	// allocation motif ("DP does much better").
+	register(Workload{
+		Name:      "perl4",
+		Suite:     "Etch",
+		Seed:      0x7104,
+		PaperNote: "interpreter allocation motif over fresh arenas: DP well ahead",
+		Build: func() []Phase {
+			return []Phase{
+				&BlockMotif{PC: pcEtch + 0x300, Start: 1 << 21, Fresh: true,
+					Motif: []int64{0, 1, 3, 2, 5, 4, 7}, BlockPages: 9, Blocks: 10,
+					RefsPerStop: 120, NoiseProb: 0.18, NoiseSpread: 14},
+				&HotSet{PC: pcEtch + 0x310, Base: 1 << 20, Pages: 56, Refs: 3500, Theta: 0.6},
+			}
+		},
+	})
+
+	// winword: interactive word processor — large hot document cache with
+	// diffuse excursions; weak signals for everyone.
+	register(Workload{
+		Name:      "winword",
+		Suite:     "Etch",
+		Seed:      0x7105,
+		PaperNote: "interactive hot set + diffuse excursions: weak accuracy all around",
+		Build: func() []Phase {
+			return []Phase{
+				&HotSet{PC: pcEtch + 0x400, Base: 1 << 20, Pages: 100, Refs: 20000, Theta: 0.5},
+				&RandomWalk{PC: pcEtch + 0x410, Base: 1<<20 + 65551, Pages: 1200, Hops: 80, RefsPerStop: 45},
+				&PointerChase{PC: pcEtch + 0x420, Base: 1<<20 + 131101, Pages: 70, RefsPerHop: 45, LocalityPages: 10},
+			}
+		},
+	})
+}

@@ -1,0 +1,333 @@
+package workload
+
+// The 20 MediaBench models (paper Figure 8, top four rows). MediaBench
+// applications are block-structured signal-processing kernels; the paper's
+// key observations here are (i) adpcm and texgen behave like long repeated
+// strided sweeps where RP and ASP both excel but MP "performs very poorly"
+// for lack of rows, and (ii) for gsm and jpeg, "DP is the only mechanism
+// which makes any noticeable predictions (even if the accuracy does not
+// exceed 20%)".
+
+const pcMedia = 0x00500000
+
+func init() {
+	// adpcm-enc: one of the eight highest-miss-rate applications (paper
+	// rate 0.192): the codec streams repeatedly over a large sample
+	// buffer. "In some applications, where past history is a good
+	// indication of the future (i.e. RP does very well) such as in
+	// adpcm-enc/dec, MP performs very poorly" (footprint >> MP rows);
+	// ASP and DP ride the constant stride.
+	register(Workload{
+		Name:  "adpcm-enc",
+		Suite: "MediaBench",
+		Seed:  0x6101,
+		PaperNote: "repeated unit-stride sweep over a large buffer: RP/ASP/DP high, " +
+			"MP starved for rows; miss rate ~0.19",
+		Build: func() []Phase {
+			return []Phase{
+				&Stride{PC: pcMedia + 0x000, Base: 1 << 20, StridePages: 1, Count: 2100, RefsPerStop: 5},
+				&HotSet{PC: pcMedia + 0x010, Base: 1<<20 + 262165, Pages: 24, Refs: 700, Theta: 0.5},
+			}
+		},
+	})
+
+	register(Workload{
+		Name:  "adpcm-dec",
+		Suite: "MediaBench",
+		Seed:  0x6102,
+		PaperNote: "decoder twin of adpcm-enc: same repeated sweep shape, " +
+			"slightly smaller buffer",
+		Build: func() []Phase {
+			return []Phase{
+				&Stride{PC: pcMedia + 0x100, Base: 1 << 20, StridePages: 1, Count: 2060, RefsPerStop: 95},
+				&HotSet{PC: pcMedia + 0x110, Base: 1<<20 + 262165, Pages: 24, Refs: 800, Theta: 0.5},
+			}
+		},
+	})
+
+	// epic/unepic: wavelet image (de)compression sweeping fresh image
+	// planes — the paper's ASP first-touch group ("as in gzip, perlbmk,
+	// equake, epic/unepic, ...").
+	register(Workload{
+		Name:      "epic",
+		Suite:     "MediaBench",
+		Seed:      0x6103,
+		PaperNote: "first-touch strided image passes: ASP/DP predict cold pages",
+		Build: func() []Phase {
+			return []Phase{
+				&FreshScan{PC: pcMedia + 0x200, StartPage: 1 << 21, PagesPerRun: 30, RefsPerPage: 105},
+				&Seq{PC: pcMedia + 0x210, Base: 1 << 20, Pages: 80, RefsPerPage: 105},
+				&RandomWalk{PC: pcMedia + 0x220, Base: 1<<20 + 2097169, Pages: 1000, Hops: 22, RefsPerStop: 105},
+			}
+		},
+	})
+
+	register(Workload{
+		Name:      "unepic",
+		Suite:     "MediaBench",
+		Seed:      0x6104,
+		PaperNote: "first-touch strided reconstruction: ASP/DP predict cold pages",
+		Build: func() []Phase {
+			return []Phase{
+				&FreshScan{PC: pcMedia + 0x300, StartPage: 1 << 21, PagesPerRun: 24, RefsPerPage: 75},
+				&Seq{PC: pcMedia + 0x310, Base: 1 << 20, Pages: 64, RefsPerPage: 75},
+				&RandomWalk{PC: pcMedia + 0x320, Base: 1<<20 + 2097169, Pages: 1000, Hops: 18, RefsPerStop: 75},
+			}
+		},
+	})
+
+	// gsm-enc/dec: "for gsm-enc/dec, jpeg-enc/dec, ks, msvc and bc, DP is
+	// the only mechanism which makes any noticeable predictions (even if
+	// the accuracy does not exceed 20%)" — frame-structured processing:
+	// a fixed intra-frame offset motif applied to fresh frames, heavily
+	// diluted by data-dependent noise.
+	register(Workload{
+		Name:  "gsm-enc",
+		Suite: "MediaBench",
+		Seed:  0x6105,
+		PaperNote: "fresh frames + noisy fixed motif: only DP predicts, " +
+			"and only modestly (paper: <= ~20%)",
+		Build: func() []Phase {
+			return []Phase{
+				&BlockMotif{PC: pcMedia + 0x400, Start: 1 << 21, Fresh: true,
+					Motif: []int64{0, 2, 5, 1, 4, 3, 6}, BlockPages: 8, Blocks: 10,
+					RefsPerStop: 60, NoiseProb: 0.45, NoiseSpread: 150},
+				&HotSet{PC: pcMedia + 0x410, Base: 1 << 20, Pages: 40, Refs: 2500, Theta: 0.5},
+			}
+		},
+	})
+
+	register(Workload{
+		Name:      "gsm-dec",
+		Suite:     "MediaBench",
+		Seed:      0x6106,
+		PaperNote: "decoder twin of gsm-enc: noisy motif over fresh frames, DP-only",
+		Build: func() []Phase {
+			return []Phase{
+				&BlockMotif{PC: pcMedia + 0x500, Start: 1 << 21, Fresh: true,
+					Motif: []int64{0, 3, 1, 5, 2, 4}, BlockPages: 7, Blocks: 10,
+					RefsPerStop: 60, NoiseProb: 0.45, NoiseSpread: 140},
+				&HotSet{PC: pcMedia + 0x510, Base: 1 << 20, Pages: 40, Refs: 2200, Theta: 0.5},
+			}
+		},
+	})
+
+	// rasta: speech recognition front-end — mixed strided windows and
+	// irregular filter-bank hops; middling accuracy everywhere.
+	register(Workload{
+		Name:      "rasta",
+		Suite:     "MediaBench",
+		Seed:      0x6107,
+		PaperNote: "mixed windows + irregular hops: modest accuracy all around",
+		Build: func() []Phase {
+			return []Phase{
+				&FreshScan{PC: pcMedia + 0x600, StartPage: 1 << 21, PagesPerRun: 12, RefsPerPage: 140},
+				&RandomWalk{PC: pcMedia + 0x610, Base: 1 << 20, Pages: 600, Hops: 15, RefsPerStop: 140},
+				&Seq{PC: pcMedia + 0x620, Base: 1<<20 + 4111, Pages: 40, RefsPerPage: 140},
+			}
+		},
+	})
+
+	// gs: ghostscript — the paper's RP group ("RP giving the best, or close
+	// to the best performance for applications such as ... gs").
+	register(Workload{
+		Name:      "gs",
+		Suite:     "MediaBench",
+		Seed:      0x6108,
+		PaperNote: "stable irregular page revisits (font/path caches): RP best",
+		Build: func() []Phase {
+			return []Phase{
+				&PointerChase{PC: pcMedia + 0x700, Base: 1 << 20, Pages: 520, RefsPerHop: 95, LocalityPages: 24},
+				&Seq{PC: pcMedia + 0x710, Base: 1<<20 + 262165, Pages: 80, RefsPerPage: 95},
+			}
+		},
+	})
+
+	// g721-enc/dec: "so few TLB misses that a significant history does not
+	// build up nor does a strided pattern (and TLB prefetching is not as
+	// important for them anyway)".
+	register(Workload{
+		Name:      "g721-enc",
+		Suite:     "MediaBench",
+		Seed:      0x6109,
+		PaperNote: "tiny working set: almost no TLB misses",
+		Build: func() []Phase {
+			return []Phase{
+				&HotSet{PC: pcMedia + 0x800, Base: 1 << 20, Pages: 70, Refs: 26000, Theta: 0.4},
+				&RandomWalk{PC: pcMedia + 0x810, Base: 1<<20 + 65551, Pages: 3000, Hops: 8, RefsPerStop: 2},
+			}
+		},
+	})
+
+	register(Workload{
+		Name:      "g721-dec",
+		Suite:     "MediaBench",
+		Seed:      0x610a,
+		PaperNote: "tiny working set: almost no TLB misses",
+		Build: func() []Phase {
+			return []Phase{
+				&HotSet{PC: pcMedia + 0x900, Base: 1 << 20, Pages: 64, Refs: 24000, Theta: 0.4},
+				&RandomWalk{PC: pcMedia + 0x910, Base: 1<<20 + 65551, Pages: 3000, Hops: 8, RefsPerStop: 2},
+			}
+		},
+	})
+
+	// mipmap (mesa): texture mipmap generation — strided first-touch passes
+	// over texture levels (paper's ASP group).
+	register(Workload{
+		Name:      "mipmap-mesa",
+		Suite:     "MediaBench",
+		Seed:      0x610b,
+		PaperNote: "first-touch strided texture passes: ASP/DP predict cold pages",
+		Build: func() []Phase {
+			return []Phase{
+				&FreshScan{PC: pcMedia + 0xa00, StartPage: 1 << 21, PagesPerRun: 16, RefsPerPage: 110},
+				&FreshScan{PC: pcMedia + 0xa10, StartPage: 1 << 22, PagesPerRun: 8, RefsPerPage: 110, StridePages: 2},
+				&RandomWalk{PC: pcMedia + 0xa20, Base: 1<<20 + 2097169, Pages: 1000, Hops: 18, RefsPerStop: 110},
+			}
+		},
+	})
+
+	// jpeg-enc/dec: 8x8-block zig-zag processing over fresh image rows —
+	// the second member of the DP-only group.
+	register(Workload{
+		Name:      "jpeg-enc",
+		Suite:     "MediaBench",
+		Seed:      0x610c,
+		PaperNote: "zig-zag block motif over fresh image data: DP-only, modest accuracy",
+		Build: func() []Phase {
+			return []Phase{
+				&BlockMotif{PC: pcMedia + 0xb00, Start: 1 << 21, Fresh: true,
+					Motif: []int64{0, 1, 4, 8, 5, 2, 3, 6}, BlockPages: 10, Blocks: 8,
+					RefsPerStop: 55, NoiseProb: 0.45, NoiseSpread: 150},
+				&HotSet{PC: pcMedia + 0xb10, Base: 1 << 20, Pages: 36, Refs: 2000, Theta: 0.5},
+			}
+		},
+	})
+
+	register(Workload{
+		Name:      "jpeg-dec",
+		Suite:     "MediaBench",
+		Seed:      0x610d,
+		PaperNote: "inverse zig-zag block motif over fresh output: DP-only, modest",
+		Build: func() []Phase {
+			return []Phase{
+				&BlockMotif{PC: pcMedia + 0xc00, Start: 1 << 21, Fresh: true,
+					Motif: []int64{0, 2, 1, 5, 3, 7, 4}, BlockPages: 9, Blocks: 8,
+					RefsPerStop: 55, NoiseProb: 0.45, NoiseSpread: 140},
+				&HotSet{PC: pcMedia + 0xc10, Base: 1 << 20, Pages: 36, Refs: 1800, Theta: 0.5},
+			}
+		},
+	})
+
+	// texgen (mesa): like adpcm, RP ahead of MP with ASP also strong —
+	// repeated strided texture sweeps over a footprint beyond MP's tables.
+	register(Workload{
+		Name:      "texgen-mesa",
+		Suite:     "MediaBench",
+		Seed:      0x610e,
+		PaperNote: "repeated strided texture sweeps: RP/ASP/DP high, MP starved",
+		Build: func() []Phase {
+			return []Phase{
+				&Stride{PC: pcMedia + 0xd00, Base: 1 << 20, StridePages: 1, Count: 1600, RefsPerStop: 95},
+				&Stride{PC: pcMedia + 0xd10, Base: 1 << 20, StridePages: 4, Count: 400, RefsPerStop: 95},
+				&RandomWalk{PC: pcMedia + 0xd20, Base: 1<<20 + 2097169, Pages: 2000, Hops: 150, RefsPerStop: 95},
+			}
+		},
+	})
+
+	// mpeg-enc: motion estimation touches reference frames in a noisy
+	// block pattern; some motif survives for DP, a little stride for ASP.
+	register(Workload{
+		Name:      "mpeg-enc",
+		Suite:     "MediaBench",
+		Seed:      0x610f,
+		PaperNote: "noisy macroblock walks over fresh frames: DP ahead, modest overall",
+		Build: func() []Phase {
+			return []Phase{
+				&BlockMotif{PC: pcMedia + 0xe00, Start: 1 << 21, Fresh: true,
+					Motif: []int64{0, 1, 3, 2, 6, 4}, BlockPages: 8, Blocks: 10,
+					RefsPerStop: 190, NoiseProb: 0.35, NoiseSpread: 14},
+				&FreshScan{PC: pcMedia + 0xe10, StartPage: 1 << 22, PagesPerRun: 20, RefsPerPage: 190},
+			}
+		},
+	})
+
+	// mpeg-dec: "there are several applications such as ... mpeg-dec ...
+	// where DP does much better than the others" — cleaner motif than the
+	// encoder (no motion search).
+	register(Workload{
+		Name:      "mpeg-dec",
+		Suite:     "MediaBench",
+		Seed:      0x6110,
+		PaperNote: "clean macroblock motif over fresh frames: DP well ahead",
+		Build: func() []Phase {
+			return []Phase{
+				&BlockMotif{PC: pcMedia + 0xf00, Start: 1 << 21, Fresh: true,
+					Motif: []int64{0, 1, 4, 2, 5, 3}, BlockPages: 7, Blocks: 12,
+					RefsPerStop: 160, NoiseProb: 0.12, NoiseSpread: 12},
+				&HotSet{PC: pcMedia + 0xf10, Base: 1 << 20, Pages: 40, Refs: 1500, Theta: 0.5},
+			}
+		},
+	})
+
+	// pgp-enc: bulk cipher streaming fresh plaintext (ASP group).
+	register(Workload{
+		Name:      "pgp-enc",
+		Suite:     "MediaBench",
+		Seed:      0x6111,
+		PaperNote: "first-touch sequential cipher stream: ASP/DP predict cold pages",
+		Build: func() []Phase {
+			return []Phase{
+				&FreshScan{PC: pcMedia + 0x1000, StartPage: 1 << 21, PagesPerRun: 28, RefsPerPage: 65},
+				&HotSet{PC: pcMedia + 0x1010, Base: 1 << 20, Pages: 48, Refs: 6000, Theta: 0.5},
+				&RandomWalk{PC: pcMedia + 0x1020, Base: 1<<20 + 2097169, Pages: 1000, Hops: 12, RefsPerStop: 65},
+			}
+		},
+	})
+
+	// pgp-dec: listed by the paper among the applications where no
+	// mechanism predicts — keys/tables fit the TLB, few misses.
+	register(Workload{
+		Name:      "pgp-dec",
+		Suite:     "MediaBench",
+		Seed:      0x6112,
+		PaperNote: "tiny working set: almost no TLB misses, nothing to predict",
+		Build: func() []Phase {
+			return []Phase{
+				&HotSet{PC: pcMedia + 0x1100, Base: 1 << 20, Pages: 76, Refs: 28000, Theta: 0.4},
+				&RandomWalk{PC: pcMedia + 0x1110, Base: 1<<20 + 65551, Pages: 4000, Hops: 9, RefsPerStop: 2},
+			}
+		},
+	})
+
+	// pegwit-enc/dec: elliptic-curve crypto — small hot state with short
+	// fresh bursts; low miss counts, modest strided predictability.
+	register(Workload{
+		Name:      "pegwit-enc",
+		Suite:     "MediaBench",
+		Seed:      0x6113,
+		PaperNote: "small hot state + short fresh bursts: low misses, modest ASP/DP",
+		Build: func() []Phase {
+			return []Phase{
+				&HotSet{PC: pcMedia + 0x1200, Base: 1 << 20, Pages: 84, Refs: 16000, Theta: 0.4},
+				&FreshScan{PC: pcMedia + 0x1210, StartPage: 1 << 21, PagesPerRun: 20, RefsPerPage: 40},
+				&RandomWalk{PC: pcMedia + 0x1220, Base: 1<<20 + 2097169, Pages: 800, Hops: 12, RefsPerStop: 40},
+			}
+		},
+	})
+
+	register(Workload{
+		Name:      "pegwit-dec",
+		Suite:     "MediaBench",
+		Seed:      0x6114,
+		PaperNote: "small hot state + short fresh bursts: low misses, modest ASP/DP",
+		Build: func() []Phase {
+			return []Phase{
+				&HotSet{PC: pcMedia + 0x1300, Base: 1 << 20, Pages: 80, Refs: 15000, Theta: 0.4},
+				&FreshScan{PC: pcMedia + 0x1310, StartPage: 1 << 21, PagesPerRun: 16, RefsPerPage: 40},
+				&RandomWalk{PC: pcMedia + 0x1320, Base: 1<<20 + 2097169, Pages: 800, Hops: 10, RefsPerStop: 40},
+			}
+		},
+	})
+}

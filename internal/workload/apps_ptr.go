@@ -1,0 +1,91 @@
+package workload
+
+// The 5 Pointer-Intensive Benchmark models (paper Figure 8, bottom-right).
+// "The Pointer Intensive suite helps us evaluate the mechanisms for
+// non-array based reference behavior, which can be more irregular", and
+// "The working sets are much smaller in some of the non-SPEC 2000
+// applications, and cold misses do become prominent for these."
+
+const pcPtr = 0x00700000
+
+func init() {
+	// anagram: dictionary permutation search — the paper lists it in the
+	// ASP first-touch group; small working set, cold misses prominent.
+	register(Workload{
+		Name:      "anagram",
+		Suite:     "PointerIntensive",
+		Seed:      0x8101,
+		PaperNote: "first-touch dictionary sweeps, small working set: ASP/DP on cold pages",
+		Build: func() []Phase {
+			return []Phase{
+				&FreshScan{PC: pcPtr + 0x000, StartPage: 1 << 21, PagesPerRun: 14, RefsPerPage: 55},
+				&HotSet{PC: pcPtr + 0x010, Base: 1 << 20, Pages: 56, Refs: 7000, Theta: 0.5},
+				&RandomWalk{PC: pcPtr + 0x020, Base: 1<<20 + 2097169, Pages: 800, Hops: 10, RefsPerStop: 55},
+			}
+		},
+	})
+
+	// bc: calculator — listed both with "so few TLB misses" and in the
+	// DP-only-noticeable group: a tiny hot state plus a weak arena motif.
+	register(Workload{
+		Name:      "bc",
+		Suite:     "PointerIntensive",
+		Seed:      0x8102,
+		PaperNote: "few misses; weak arena motif leaves DP the only (modest) predictor",
+		Build: func() []Phase {
+			return []Phase{
+				&HotSet{PC: pcPtr + 0x100, Base: 1 << 20, Pages: 72, Refs: 18000, Theta: 0.4},
+				&BlockMotif{PC: pcPtr + 0x110, Start: 1 << 21, Fresh: true,
+					Motif: []int64{0, 2, 1, 4}, BlockPages: 5, Blocks: 6,
+					RefsPerStop: 45, NoiseProb: 0.45, NoiseSpread: 120},
+			}
+		},
+	})
+
+	// ft: minimum spanning tree over an irregular graph — a stable
+	// pointer-linked traversal: history (RP/MP) territory.
+	register(Workload{
+		Name:      "ft",
+		Suite:     "PointerIntensive",
+		Seed:      0x8103,
+		PaperNote: "stable irregular graph traversal: RP/MP good, ASP near zero",
+		Build: func() []Phase {
+			return []Phase{
+				&PointerChase{PC: pcPtr + 0x200, Base: 1 << 20, Pages: 340, RefsPerHop: 100},
+				&HotSet{PC: pcPtr + 0x210, Base: 1<<20 + 4111, Pages: 40, Refs: 4000, Theta: 0.5},
+			}
+		},
+	})
+
+	// ks: Kernighan-Lin graph partitioning — few misses with a weak
+	// repeating swap motif (DP-only-noticeable group).
+	register(Workload{
+		Name:      "ks",
+		Suite:     "PointerIntensive",
+		Seed:      0x8104,
+		PaperNote: "few misses; weak swap motif leaves DP the only (modest) predictor",
+		Build: func() []Phase {
+			return []Phase{
+				&HotSet{PC: pcPtr + 0x300, Base: 1 << 20, Pages: 68, Refs: 16000, Theta: 0.4},
+				&BlockMotif{PC: pcPtr + 0x310, Start: 1 << 21, Fresh: true,
+					Motif: []int64{0, 3, 1, 5, 2}, BlockPages: 6, Blocks: 6,
+					RefsPerStop: 45, NoiseProb: 0.45, NoiseSpread: 120},
+			}
+		},
+	})
+
+	// yacr2: channel router — strided track sweeps (ASP first-touch group).
+	register(Workload{
+		Name:      "yacr2",
+		Suite:     "PointerIntensive",
+		Seed:      0x8105,
+		PaperNote: "strided track sweeps: ASP/DP predict cold and repeated tracks",
+		Build: func() []Phase {
+			return []Phase{
+				&FreshScan{PC: pcPtr + 0x400, StartPage: 1 << 21, PagesPerRun: 20, RefsPerPage: 110},
+				&Seq{PC: pcPtr + 0x410, Base: 1 << 20, Pages: 90, RefsPerPage: 110},
+				&RandomWalk{PC: pcPtr + 0x420, Base: 1<<20 + 2097169, Pages: 800, Hops: 22, RefsPerStop: 110},
+			}
+		},
+	})
+}

@@ -1,0 +1,424 @@
+package workload
+
+// The 26 SPEC CPU2000 models (paper Figure 7). Each model's phase
+// composition encodes the §3.2 narrative for that benchmark; the miss-rate
+// dilution (RefsPerPage / RefsPerStop / HotSet refs) is tuned so that the
+// eight applications the paper singles out as having the highest d-TLB miss
+// rates (galgel .228, adpcm-enc .192, mcf .090, apsi .018, vpr .016, lucas
+// .016, twolf .013, ammp .0113 for the 128-entry fully associative TLB)
+// land near those rates and every other model stays below them.
+
+const (
+	pcSPEC = 0x00400000 // PC region for SPEC models
+)
+
+func init() {
+	// gzip: "[ASP's] regularity also helps ASP capture many of the first
+	// time reference predictions that history based mechanisms are not
+	// very well suited to, as in gzip ..." — a compressor streams over
+	// fresh input/output buffers (class (a)) with a hot dictionary.
+	register(Workload{
+		Name:  "gzip",
+		Suite: "SPEC",
+		Seed:  0x5101,
+		PaperNote: "first-touch sequential streams: ASP/DP predict cold pages, " +
+			"RP/MP have no history to replay",
+		Build: func() []Phase {
+			return []Phase{
+				&FreshScan{PC: pcSPEC + 0x00, StartPage: 1 << 21, PagesPerRun: 30, RefsPerPage: 60},
+				&HotSet{PC: pcSPEC + 0x10, Base: 1 << 20, Pages: 48, Refs: 9000, Theta: 0.6},
+				&FreshScan{PC: pcSPEC + 0x20, StartPage: 1 << 22, PagesPerRun: 30, RefsPerPage: 60},
+				&RandomWalk{PC: pcSPEC + 0x30, Base: 1<<20 + 2097169, Pages: 1500, Hops: 28, RefsPerStop: 60},
+			}
+		},
+	})
+
+	// vpr: placement/routing over a netlist — an irregular but stable
+	// visit order. "Of these 8 chosen applications, RP provides better
+	// accuracy than DP for 5 applications - vpr, mcf, twolf, ammp and
+	// lucas." Paper miss rate 0.016.
+	register(Workload{
+		Name:  "vpr",
+		Suite: "SPEC",
+		Seed:  0x5102,
+		PaperNote: "repeating irregular traversal: history (RP) best, DP close via " +
+			"the bounded distance alphabet, ASP starved",
+		Build: func() []Phase {
+			return []Phase{
+				&PointerChase{PC: pcSPEC + 0x100, Base: 1 << 20, Pages: 760, RefsPerHop: 56, LocalityPages: 20},
+				&Stride{PC: pcSPEC + 0x120, Base: 1<<20 + 262165, StridePages: 1, Count: 260, RefsPerStop: 56},
+				&HotSet{PC: pcSPEC + 0x110, Base: 1<<20 + 4111, Pages: 40, Refs: 5000, Theta: 0.5},
+			}
+		},
+	})
+
+	// gcc: "RP giving the best, or close to the best performance for
+	// applications such as gcc ..." and "DP comes very close to RP or MP
+	// in several applications where history-based predictions do the best
+	// such as gcc ...".
+	register(Workload{
+		Name:  "gcc",
+		Suite: "SPEC",
+		Seed:  0x5103,
+		PaperNote: "compiler IR walks: stable irregular revisits (RP best), " +
+			"block-local pointers keep DP close",
+		Build: func() []Phase {
+			return []Phase{
+				&PointerChase{PC: pcSPEC + 0x200, Base: 1 << 20, Pages: 900, RefsPerHop: 100, LocalityPages: 12},
+				&Seq{PC: pcSPEC + 0x210, Base: 1<<20 + 8219, Pages: 120, RefsPerPage: 100},
+			}
+		},
+	})
+
+	// mcf: network-simplex pointer chasing over a large graph; the
+	// highest-miss-rate integer code (paper rate 0.090). RP beats DP on
+	// accuracy but loses on cycles (Table 3: RP 1.09 vs DP 0.95).
+	register(Workload{
+		Name:  "mcf",
+		Suite: "SPEC",
+		Seed:  0x5104,
+		PaperNote: "large-footprint pointer chase: RP's in-memory history wins accuracy; " +
+			"its 4 pointer ops per miss lose the cycle race",
+		Build: func() []Phase {
+			return []Phase{
+				&PointerChase{PC: pcSPEC + 0x300, Base: 1 << 20, Pages: 3600, RefsPerHop: 10, LocalityPages: 36},
+				&HotSet{PC: pcSPEC + 0x310, Base: 1<<20 + 16421, Pages: 48, Refs: 4000, Theta: 0.4},
+			}
+		},
+	})
+
+	// crafty: chess hash/board structures — history repeats, no strides.
+	// "there are applications such as crafty and parser where the accesses
+	// are not strided enough for ASP to perform well, but historical
+	// indications can give a much better perspective ... for RP and MP."
+	register(Workload{
+		Name:  "crafty",
+		Suite: "SPEC",
+		Seed:  0x5105,
+		PaperNote: "unstrided repeating traversal: RP/MP good, ASP near zero, " +
+			"DP middling (wide distance alphabet)",
+		Build: func() []Phase {
+			return []Phase{
+				&PointerChase{PC: pcSPEC + 0x400, Base: 1 << 20, Pages: 300, RefsPerHop: 110},
+				&HotSet{PC: pcSPEC + 0x410, Base: 1<<20 + 2063, Pages: 64, Refs: 12000, Theta: 0.7},
+			}
+		},
+	})
+
+	// parser: "There are some applications such as parser and vortex where
+	// MP does better than even RP ... it is possible that there is
+	// alternation in history" — the paper's 1,2,3,4 / 1,5,2,6,3,7,4,8
+	// example, which Alternating reproduces literally.
+	register(Workload{
+		Name:  "parser",
+		Suite: "SPEC",
+		Seed:  0x5106,
+		PaperNote: "alternating successors: MP's two slots beat RP's single " +
+			"adjacency; DP tracks the alternating distance pair",
+		Build: func() []Phase {
+			return []Phase{
+				&Alternating{PC: pcSPEC + 0x500, Base: 1 << 20, N: 280, RefsPerStop: 100},
+				&PointerChase{PC: pcSPEC + 0x510, Base: 1<<20 + 5681, Pages: 200, RefsPerHop: 100, LocalityPages: 16},
+			}
+		},
+	})
+
+	// perlbmk: interpreter sweeping fresh op/string buffers (ASP group in
+	// the paper) over a hot interpreter core.
+	register(Workload{
+		Name:      "perlbmk",
+		Suite:     "SPEC",
+		Seed:      0x5107,
+		PaperNote: "first-touch strided allocation sweeps: ASP/DP capture cold pages",
+		Build: func() []Phase {
+			return []Phase{
+				&FreshScan{PC: pcSPEC + 0x600, StartPage: 1 << 21, PagesPerRun: 24, RefsPerPage: 70},
+				&HotSet{PC: pcSPEC + 0x610, Base: 1 << 20, Pages: 72, Refs: 14000, Theta: 0.6},
+				&RandomWalk{PC: pcSPEC + 0x620, Base: 1<<20 + 2097169, Pages: 1200, Hops: 14, RefsPerStop: 70},
+			}
+		},
+	})
+
+	// eon: "Many of these applications (eon, ...) have so few TLB misses
+	// that a significant history does not build up" — a raytracer whose
+	// scene fits the TLB.
+	register(Workload{
+		Name:      "eon",
+		Suite:     "SPEC",
+		Seed:      0x5108,
+		PaperNote: "working set inside the TLB: almost no misses, nothing to predict",
+		Build: func() []Phase {
+			return []Phase{
+				&HotSet{PC: pcSPEC + 0x700, Base: 1 << 20, Pages: 90, Refs: 30000, Theta: 0.3},
+				&RandomWalk{PC: pcSPEC + 0x710, Base: 1<<20 + 65551, Pages: 5000, Hops: 10, RefsPerStop: 2},
+			}
+		},
+	})
+
+	// wupwise/swim/mgrid/applu: "there are several applications such as
+	// wupwise, swim, mgrid, applu ... where DP does much better than the
+	// others." Modelled as blocked stencil sweeps (Tiles): short per-PC
+	// miss runs at every tile boundary tax ASP's relock, changing tile
+	// orders scramble RP/MP's page adjacency, and only the distance motif
+	// persists.
+	registerStencil("wupwise", 0x5109, pcSPEC+0x800, 4, 330, 4, 96)
+	registerStencil("swim", 0x510a, pcSPEC+0xa00, 3, 450, 4, 96)
+	registerStencil("mgrid", 0x510b, pcSPEC+0xc00, 4, 340, 4, 96)
+	registerStencil("applu", 0x510c, pcSPEC+0xe00, 5, 270, 5, 96)
+
+	// mesa: "applications such as facerec, galgel, art, gap, and mesa where
+	// nearly all mechanisms give quite good prediction accuracies ... The
+	// only exception is that in some cases (such as galgel, art, mesa) MP
+	// performs poorly with small r" — repeated regular sweeps over a
+	// footprint larger than MP's small tables.
+	register(Workload{
+		Name:  "mesa",
+		Suite: "SPEC",
+		Seed:  0x510d,
+		PaperNote: "repeated regular sweeps, large footprint: all good except " +
+			"MP at small r (needs a row per page)",
+		Build: func() []Phase {
+			return []Phase{
+				&Seq{PC: pcSPEC + 0x1000, Base: 1 << 20, Pages: 700, RefsPerPage: 105},
+				&Seq{PC: pcSPEC + 0x1010, Base: 1<<20 + 1048601, Pages: 700, RefsPerPage: 105, Backward: true},
+				&RandomWalk{PC: pcSPEC + 0x1020, Base: 1<<20 + 2097169, Pages: 3000, Hops: 250, RefsPerStop: 105},
+			}
+		},
+	})
+
+	// galgel: the highest d-TLB miss rate in the study (0.228) — Fortran
+	// column-order sweeps where nearly every access opens a new page.
+	register(Workload{
+		Name:  "galgel",
+		Suite: "SPEC",
+		Seed:  0x510e,
+		PaperNote: "column-major strided sweeps, repeated: ASP/DP/RP all high; " +
+			"MP needs more rows than its table has; miss rate ~0.23",
+		Build: func() []Phase {
+			return []Phase{
+				&Stride{PC: pcSPEC + 0x1100, Base: 1 << 20, StridePages: 1, Count: 900, RefsPerStop: 4},
+				&Stride{PC: pcSPEC + 0x1110, Base: 1 << 20, StridePages: 1, Count: 900, RefsPerStop: 4},
+				&PointerChase{PC: pcSPEC + 0x1130, Base: 1<<20 + 131101, Pages: 130, RefsPerHop: 4},
+				&HotSet{PC: pcSPEC + 0x1120, Base: 1<<20 + 1048601, Pages: 32, Refs: 600, Theta: 0.5},
+			}
+		},
+	})
+
+	// art: neural-net image scan — repeated sweeps over two big layers.
+	register(Workload{
+		Name:      "art",
+		Suite:     "SPEC",
+		Seed:      0x510f,
+		PaperNote: "repeated sweeps over large layers: all good, MP small-r poor",
+		Build: func() []Phase {
+			return []Phase{
+				&Seq{PC: pcSPEC + 0x1200, Base: 1 << 20, Pages: 600, RefsPerPage: 110},
+				&Seq{PC: pcSPEC + 0x1210, Base: 1<<20 + 524309, Pages: 450, RefsPerPage: 110},
+				&RandomWalk{PC: pcSPEC + 0x1220, Base: 1<<20 + 2097169, Pages: 2500, Hops: 180, RefsPerStop: 110},
+			}
+		},
+	})
+
+	// gap: group-theory workspace swept regularly and repeatedly.
+	register(Workload{
+		Name:      "gap",
+		Suite:     "SPEC",
+		Seed:      0x5110,
+		PaperNote: "repeated regular sweeps: all mechanisms good",
+		Build: func() []Phase {
+			return []Phase{
+				&Seq{PC: pcSPEC + 0x1300, Base: 1 << 20, Pages: 380, RefsPerPage: 110},
+				&Stride{PC: pcSPEC + 0x1310, Base: 1<<20 + 262165, StridePages: 2, Count: 190, RefsPerStop: 110},
+				&RandomWalk{PC: pcSPEC + 0x1320, Base: 1<<20 + 2097169, Pages: 2000, Hops: 100, RefsPerStop: 110},
+			}
+		},
+	})
+
+	// vortex: OO database — alternation plus stable history (MP > RP).
+	register(Workload{
+		Name:      "vortex",
+		Suite:     "SPEC",
+		Seed:      0x5111,
+		PaperNote: "alternating successors in DB lookups: MP beats RP",
+		Build: func() []Phase {
+			return []Phase{
+				&Alternating{PC: pcSPEC + 0x1400, Base: 1 << 20, N: 220, RefsPerStop: 100},
+				&PointerChase{PC: pcSPEC + 0x1410, Base: 1<<20 + 4537, Pages: 260, RefsPerHop: 100, LocalityPages: 24},
+			}
+		},
+	})
+
+	// bzip2: block compressor — fresh block sweeps with a hot work area.
+	register(Workload{
+		Name:      "bzip",
+		Suite:     "SPEC",
+		Seed:      0x5112,
+		PaperNote: "first-touch block sweeps: strided predictors ahead",
+		Build: func() []Phase {
+			return []Phase{
+				&FreshScan{PC: pcSPEC + 0x1500, StartPage: 1 << 21, PagesPerRun: 26, RefsPerPage: 100},
+				&Seq{PC: pcSPEC + 0x1510, Base: 1 << 20, Pages: 130, RefsPerPage: 100},
+				&RandomWalk{PC: pcSPEC + 0x1520, Base: 1<<20 + 2097169, Pages: 1200, Hops: 36, RefsPerStop: 100},
+			}
+		},
+	})
+
+	// twolf: placement annealing — like vpr, stable irregular revisits
+	// (paper miss rate 0.013, RP slightly ahead of DP).
+	register(Workload{
+		Name:      "twolf",
+		Suite:     "SPEC",
+		Seed:      0x5113,
+		PaperNote: "repeating irregular traversal: RP best, DP close",
+		Build: func() []Phase {
+			return []Phase{
+				&PointerChase{PC: pcSPEC + 0x1600, Base: 1 << 20, Pages: 640, RefsPerHop: 72, LocalityPages: 20},
+				&Stride{PC: pcSPEC + 0x1620, Base: 1<<20 + 262165, StridePages: 1, Count: 200, RefsPerStop: 72},
+				&HotSet{PC: pcSPEC + 0x1610, Base: 1<<20 + 4111, Pages: 48, Refs: 4200, Theta: 0.5},
+			}
+		},
+	})
+
+	// equake: sparse solver streaming fresh mesh data (ASP group).
+	register(Workload{
+		Name:      "equake",
+		Suite:     "SPEC",
+		Seed:      0x5114,
+		PaperNote: "first-touch strided mesh sweeps: ASP/DP capture cold pages",
+		Build: func() []Phase {
+			return []Phase{
+				&FreshScan{PC: pcSPEC + 0x1700, StartPage: 1 << 21, PagesPerRun: 30, RefsPerPage: 100, StridePages: 1},
+				&Seq{PC: pcSPEC + 0x1710, Base: 1 << 20, Pages: 100, RefsPerPage: 100},
+				&RandomWalk{PC: pcSPEC + 0x1720, Base: 1<<20 + 2097169, Pages: 1200, Hops: 32, RefsPerStop: 100},
+			}
+		},
+	})
+
+	// facerec: image matching — repeated regular sweeps, moderate footprint.
+	register(Workload{
+		Name:      "facerec",
+		Suite:     "SPEC",
+		Seed:      0x5115,
+		PaperNote: "repeated regular sweeps: all mechanisms good",
+		Build: func() []Phase {
+			return []Phase{
+				&Seq{PC: pcSPEC + 0x1800, Base: 1 << 20, Pages: 240, RefsPerPage: 110},
+				&Stride{PC: pcSPEC + 0x1810, Base: 1<<20 + 131101, StridePages: 2, Count: 120, RefsPerStop: 110},
+				&RandomWalk{PC: pcSPEC + 0x1820, Base: 1<<20 + 2097169, Pages: 1500, Hops: 60, RefsPerStop: 110},
+			}
+		},
+	})
+
+	// ammp: molecular dynamics neighbour lists — block-sorted irregular
+	// walk; RP best (paper rate 0.0113), DP close behind, and the Table 3
+	// cycle win for DP is largest here (RP 0.97 vs DP 0.86).
+	register(Workload{
+		Name:      "ammp",
+		Suite:     "SPEC",
+		Seed:      0x5116,
+		PaperNote: "block-local irregular neighbour walk: RP best, DP close",
+		Build: func() []Phase {
+			return []Phase{
+				&PointerChase{PC: pcSPEC + 0x1900, Base: 1 << 20, Pages: 560, RefsPerHop: 88, LocalityPages: 14},
+				&Stride{PC: pcSPEC + 0x1910, Base: 1<<20 + 262165, StridePages: 1, Count: 150, RefsPerStop: 88},
+			}
+		},
+	})
+
+	// lucas: FFT-style bit-reversed passes — repeating irregularity with
+	// block structure; RP best, paper rate 0.016.
+	register(Workload{
+		Name:      "lucas",
+		Suite:     "SPEC",
+		Seed:      0x5117,
+		PaperNote: "bit-reversal-like repeating permutation: history wins, DP moderate",
+		Build: func() []Phase {
+			return []Phase{
+				&PointerChase{PC: pcSPEC + 0x1a00, Base: 1 << 20, Pages: 720, RefsPerHop: 62, LocalityPages: 48},
+				&Stride{PC: pcSPEC + 0x1a10, Base: 1<<20 + 262165, StridePages: 2, Count: 220, RefsPerStop: 62},
+			}
+		},
+	})
+
+	// fma3d: "the irregularity makes it very difficult for any mechanism to
+	// do well."
+	register(Workload{
+		Name:      "fma3d",
+		Suite:     "SPEC",
+		Seed:      0x5118,
+		PaperNote: "unstructured random walk: nothing predicts",
+		Build: func() []Phase {
+			return []Phase{
+				&RandomWalk{PC: pcSPEC + 0x1b00, Base: 1 << 20, Pages: 4000, Hops: 600, RefsPerStop: 110},
+			}
+		},
+	})
+
+	// sixtrack: particle tracking — stable revisit order (RP group).
+	register(Workload{
+		Name:      "sixtrack",
+		Suite:     "SPEC",
+		Seed:      0x5119,
+		PaperNote: "stable repeating traversal: RP best or close to it",
+		Build: func() []Phase {
+			return []Phase{
+				&PointerChase{PC: pcSPEC + 0x1c00, Base: 1 << 20, Pages: 420, RefsPerHop: 110, LocalityPages: 32},
+				&Seq{PC: pcSPEC + 0x1c10, Base: 1<<20 + 262165, Pages: 90, RefsPerPage: 110},
+			}
+		},
+	})
+
+	// apsi: weather code mixing strided field sweeps with a repeating
+	// irregular component (RP group; paper rate 0.018). ASP's accuracy
+	// notably drops at r=1024 here in the paper (buffer thrash from
+	// aggressive prediction), an effect the small prefetch buffer
+	// reproduces.
+	register(Workload{
+		Name:      "apsi",
+		Suite:     "SPEC",
+		Seed:      0x511a,
+		PaperNote: "strided field sweeps + repeating irregular walk: RP best, DP close",
+		Build: func() []Phase {
+			return []Phase{
+				&Stride{PC: pcSPEC + 0x1d00, Base: 1 << 20, StridePages: 1, Count: 250, RefsPerStop: 55},
+				&PointerChase{PC: pcSPEC + 0x1d10, Base: 1<<20 + 524309, Pages: 340, RefsPerHop: 55, LocalityPages: 18},
+				&Stride{PC: pcSPEC + 0x1d20, Base: 1<<20 + 1048601, StridePages: 5, Count: 180, RefsPerStop: 55},
+			}
+		},
+	})
+}
+
+// registerStencil builds the wupwise/swim/mgrid/applu family: blocked
+// sweeps (Tiles) over `arrays` shared arrays of `pages` pages each, with
+// two distinct code regions (PC bases) for the alternating nests. Short
+// per-PC miss runs (tilePages) plus rotating tile orders leave only the
+// distance motif stable — the regime where the paper finds "DP does much
+// better than the others".
+func registerStencil(name string, seed, pcBase uint64, arrays, pages, tilePages, elemsPerPage int) {
+	register(Workload{
+		Name:  name,
+		Suite: "SPEC",
+		Seed:  seed,
+		PaperNote: "blocked multi-array stencil sweeps with rotating tile order: " +
+			"only the distance pattern persists -> DP well ahead",
+		Build: func() []Phase {
+			bases := make([]uint64, arrays)
+			for k := range bases {
+				bases[k] = 1<<20 + uint64(k)*uint64(pages+37)
+			}
+			return []Phase{
+				&Tiles{PCBase: pcBase + 0x00, Bases: bases, PagesPerArray: pages,
+					TilePages: tilePages, ElemsPerPage: elemsPerPage},
+				&Tiles{PCBase: pcBase + 0x80, Bases: rotate(bases), PagesPerArray: pages,
+					TilePages: tilePages, ElemsPerPage: elemsPerPage},
+			}
+		},
+	})
+}
+
+func rotate(in []uint64) []uint64 {
+	out := make([]uint64, len(in))
+	copy(out, in[1:])
+	out[len(in)-1] = in[0]
+	return out
+}

@@ -1,0 +1,202 @@
+// Package tlbprefetch is a library for studying TLB prefetching, built as a
+// full reproduction of Kandiraju & Sivasubramaniam, "Going the Distance for
+// TLB Prefetching: An Application-driven Study" (ISCA 2002).
+//
+// The package provides:
+//
+//   - the five prefetching mechanisms of the paper — tagged Sequential
+//     Prefetching (SP), Arbitrary Stride Prefetching (ASP, the Chen-Baer
+//     reference prediction table), Markov Prefetching (MP), Recency-based
+//     Prefetching (RP, Saulsbury et al.) and the paper's contribution,
+//     Distance Prefetching (DP) — all behind one Prefetcher interface;
+//   - a functional TLB + prefetch-buffer simulator measuring the paper's
+//     prediction-accuracy metric, and a timing simulator implementing the
+//     paper's Table 3 cycle model;
+//   - the 56 synthetic application models standing in for the paper's
+//     SPEC CPU2000 / MediaBench / Etch / Pointer-Intensive workloads;
+//   - binary and text trace formats for driving the simulator from
+//     recorded reference streams.
+//
+// # Quick start
+//
+//	cfg := tlbprefetch.DefaultConfig() // 128-entry FA TLB, 16-entry buffer, 4K pages
+//	pf := tlbprefetch.NewDistance(256, 1, 2)
+//	w, _ := tlbprefetch.WorkloadByName("swim")
+//	st := tlbprefetch.RunWorkload(cfg, pf, w, 1_000_000)
+//	fmt.Printf("accuracy %.3f\n", st.Accuracy())
+//
+// Everything here is a thin facade over the internal packages; the
+// experiment harness that regenerates the paper's tables and figures lives
+// in cmd/experiments.
+package tlbprefetch
+
+import (
+	"tlbprefetch/internal/core"
+	"tlbprefetch/internal/prefetch"
+	"tlbprefetch/internal/sim"
+	"tlbprefetch/internal/tlb"
+	"tlbprefetch/internal/trace"
+	"tlbprefetch/internal/workload"
+)
+
+// Ref is one memory reference: the program counter of the instruction and
+// the data virtual address it touches.
+type Ref = trace.Ref
+
+// TraceReader yields a stream of references (io.EOF at the end).
+type TraceReader = trace.Reader
+
+// TraceWriter consumes a stream of references.
+type TraceWriter = trace.Writer
+
+// Prefetcher is a TLB prefetching mechanism: it observes the TLB miss
+// stream and proposes pages to load into the prefetch buffer.
+type Prefetcher = prefetch.Prefetcher
+
+// Event describes one TLB miss as seen by a Prefetcher.
+type Event = prefetch.Event
+
+// Action is a Prefetcher's response to a miss.
+type Action = prefetch.Action
+
+// HardwareInfo summarizes a mechanism's hardware cost (the paper's
+// Table 1).
+type HardwareInfo = prefetch.HardwareInfo
+
+// TLBConfig describes a TLB geometry.
+type TLBConfig = tlb.Config
+
+// Config parameterizes a functional simulation.
+type Config = sim.Config
+
+// TimingConfig parameterizes a timing simulation (paper Table 3 model).
+type TimingConfig = sim.TimingConfig
+
+// Stats are the functional counters of a run; Stats.Accuracy is the paper's
+// prediction-accuracy metric.
+type Stats = sim.Stats
+
+// TimingStats extend Stats with cycle accounting.
+type TimingStats = sim.TimingStats
+
+// Simulator is the functional TLB + prefetch-buffer pipeline.
+type Simulator = sim.Simulator
+
+// TimingSimulator adds the cycle model.
+type TimingSimulator = sim.TimingSimulator
+
+// Workload is a named synthetic application model.
+type Workload = workload.Workload
+
+// DefaultConfig returns the paper's baseline: 128-entry fully associative
+// TLB, 16-entry prefetch buffer, 4 KB pages.
+func DefaultConfig() Config { return sim.Default() }
+
+// DefaultTimingConfig returns the paper's Table 3 cycle model on top of the
+// baseline configuration.
+func DefaultTimingConfig() TimingConfig { return sim.DefaultTiming() }
+
+// NewSimulator builds a functional simulator around a mechanism (nil means
+// no prefetching — the baseline).
+func NewSimulator(cfg Config, pf Prefetcher) *Simulator { return sim.New(cfg, pf) }
+
+// NewTimingSimulator builds a timing simulator around a mechanism.
+func NewTimingSimulator(cfg TimingConfig, pf Prefetcher) *TimingSimulator {
+	return sim.NewTiming(cfg, pf)
+}
+
+// NewDistance returns the paper's contribution, Distance Prefetching: a
+// table of `entries` rows with `ways` associativity (1 = direct-mapped) and
+// `slots` predicted distances per row. The paper's recommended operating
+// point is NewDistance(256, 1, 2), and even 32 rows work well.
+func NewDistance(entries, ways, slots int) Prefetcher { return core.NewDistance(entries, ways, slots) }
+
+// NewDistancePC returns the PC+distance-indexed DP variant (paper §4 future
+// work).
+func NewDistancePC(entries, ways, slots int) Prefetcher {
+	return core.NewDistancePC(entries, ways, slots)
+}
+
+// NewDistance2 returns the two-consecutive-distances DP variant (paper §4
+// future work).
+func NewDistance2(entries, ways, slots int) Prefetcher {
+	return core.NewDistance2(entries, ways, slots)
+}
+
+// NewRecency returns Recency-based Prefetching (Saulsbury et al.): an LRU
+// stack threaded through the page table; prefetches the missing page's
+// stack neighbours.
+func NewRecency() Prefetcher { return prefetch.NewRecency() }
+
+// NewMarkov returns Markov Prefetching adapted to TLBs: a page-indexed
+// table holding `slots` successor pages per row.
+func NewMarkov(entries, ways, slots int) Prefetcher { return prefetch.NewMarkov(entries, ways, slots) }
+
+// NewASP returns Arbitrary Stride Prefetching (Chen & Baer's reference
+// prediction table), PC-indexed with one stride slot per row.
+func NewASP(entries, ways int) Prefetcher { return prefetch.NewASP(entries, ways) }
+
+// NewSequential returns sequential prefetching; tagged selects the variant
+// that also triggers on the first hit to a prefetched entry (the one the
+// paper evaluates).
+func NewSequential(tagged bool) Prefetcher { return prefetch.NewSequential(tagged) }
+
+// NewAdaptiveSequential returns the Dahlgren/Dubois/Stenström adaptive
+// sequential prefetcher the paper cites in §2.1 (prefetch degree tracks
+// measured usefulness).
+func NewAdaptiveSequential() Prefetcher { return prefetch.NewAdaptiveSequential() }
+
+// NewRecencyDegree returns RP with a wider stack prefetch window (degree 3
+// reproduces Saulsbury et al.'s three-entry variant).
+func NewRecencyDegree(degree int) Prefetcher { return prefetch.NewRecencyDegree(degree) }
+
+// Workloads returns all 56 application models, sorted by suite then name.
+func Workloads() []Workload { return workload.All() }
+
+// WorkloadsBySuite returns one suite ("SPEC", "MediaBench", "Etch",
+// "PointerIntensive") in paper-figure order.
+func WorkloadsBySuite(suite string) []Workload { return workload.Suite(suite) }
+
+// WorkloadByName looks up an application model by its benchmark name.
+func WorkloadByName(name string) (Workload, bool) { return workload.ByName(name) }
+
+// GenerateWorkload streams refs references of a workload into a trace
+// writer.
+func GenerateWorkload(w Workload, refs uint64, dst TraceWriter) (uint64, error) {
+	return workload.GenerateTo(w, refs, dst)
+}
+
+// WorkloadReader adapts a workload to a TraceReader producing refs
+// references (materialized; 16 bytes per reference).
+func WorkloadReader(w Workload, refs uint64) TraceReader { return workload.Reader(w, refs) }
+
+// RunWorkload simulates refs references of a workload against a mechanism
+// and returns the functional statistics.
+func RunWorkload(cfg Config, pf Prefetcher, w Workload, refs uint64) Stats {
+	s := sim.New(cfg, pf)
+	workload.Generate(w, refs, func(pc, vaddr uint64) bool {
+		s.Ref(pc, vaddr)
+		return true
+	})
+	return s.Stats()
+}
+
+// RunWorkloadTimed simulates refs references under the cycle model and
+// returns the timing statistics.
+func RunWorkloadTimed(cfg TimingConfig, pf Prefetcher, w Workload, refs uint64) TimingStats {
+	s := sim.NewTiming(cfg, pf)
+	workload.Generate(w, refs, func(pc, vaddr uint64) bool {
+		s.Ref(pc, vaddr)
+		return true
+	})
+	return s.Stats()
+}
+
+// NewBinaryTraceWriter / NewBinaryTraceReader expose the compact trace file
+// format (16 bytes per record after a 16-byte header).
+var (
+	NewBinaryTraceWriter = trace.NewBinaryWriter
+	NewBinaryTraceReader = trace.NewBinaryReader
+	NewTextTraceWriter   = trace.NewTextWriter
+	NewTextTraceReader   = trace.NewTextReader
+)
