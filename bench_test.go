@@ -6,6 +6,7 @@
 package tlbprefetch_test
 
 import (
+	"fmt"
 	"testing"
 
 	"tlbprefetch"
@@ -249,9 +250,109 @@ func BenchmarkAblationRPSkipRule(b *testing.B) {
 	}
 }
 
+// --- Hot-path benches: raw references/second and allocations ---------------
+
+// benchTrace materializes a workload's reference stream once per
+// (workload, length) so the throughput benches time the simulator
+// pipeline, not the generator.
+var benchTraceCache = map[string][]tlbprefetch.Ref{}
+
+func benchTrace(b *testing.B, name string, n uint64) []tlbprefetch.Ref {
+	key := fmt.Sprintf("%s/%d", name, n)
+	if refs, ok := benchTraceCache[key]; ok {
+		return refs
+	}
+	w, ok := tlbprefetch.WorkloadByName(name)
+	if !ok {
+		b.Fatalf("workload %s missing", name)
+	}
+	refs := make([]tlbprefetch.Ref, 0, n)
+	r := tlbprefetch.WorkloadReader(w, n)
+	for {
+		ref, err := r.Read()
+		if err != nil {
+			break
+		}
+		refs = append(refs, ref)
+	}
+	benchTraceCache[key] = refs
+	return refs
+}
+
+// throughputMechs are the per-mechanism sub-benchmark targets: the five
+// families of the paper at their figure operating points.
+func throughputMechs() map[string]func() tlbprefetch.Prefetcher {
+	return map[string]func() tlbprefetch.Prefetcher{
+		"none": func() tlbprefetch.Prefetcher { return nil },
+		"SP":   func() tlbprefetch.Prefetcher { return tlbprefetch.NewSequential(true) },
+		"ASP":  func() tlbprefetch.Prefetcher { return tlbprefetch.NewASP(256, 1) },
+		"MP":   func() tlbprefetch.Prefetcher { return tlbprefetch.NewMarkov(256, 1, 2) },
+		"RP":   func() tlbprefetch.Prefetcher { return tlbprefetch.NewRecency() },
+		"DP":   func() tlbprefetch.Prefetcher { return tlbprefetch.NewDistance(256, 1, 2) },
+	}
+}
+
 // BenchmarkSimulatorThroughput measures raw simulation speed (references
-// per second drive every experiment's wall-clock).
+// per second drive every experiment's wall-clock) by replaying a
+// pre-materialized trace through each mechanism's pipeline. ns/op is
+// ns/reference; allocs/op must be 0 in steady state for the on-chip
+// mechanisms (RP allocates only while its page table is still growing).
+// "swim" exercises the TLB-hit fast path (~1% miss rate); the /mcf
+// sub-benchmarks exercise the miss pipeline (~9% miss rate), where the
+// O(1) structures pay off most.
 func BenchmarkSimulatorThroughput(b *testing.B) {
+	refs := benchTrace(b, "swim", 4_000_000)
+	for _, name := range []string{"none", "SP", "ASP", "MP", "RP", "DP"} {
+		mk := throughputMechs()[name]
+		b.Run(name, func(b *testing.B) {
+			s := tlbprefetch.NewSimulator(tlbprefetch.DefaultConfig(), mk())
+			// Warm all structures to steady state before measuring.
+			for _, r := range refs[:len(refs)/4] {
+				s.Ref(r.PC, r.VAddr)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			idx := 0
+			for i := 0; i < b.N; i++ {
+				r := refs[idx]
+				if idx++; idx == len(refs) {
+					idx = 0
+				}
+				s.Ref(r.PC, r.VAddr)
+			}
+		})
+	}
+}
+
+// BenchmarkSimulatorThroughputMcf replays the miss-heavy mcf stream (the
+// paper's hardest SPEC application) through the baseline and DP pipelines.
+func BenchmarkSimulatorThroughputMcf(b *testing.B) {
+	refs := benchTrace(b, "mcf", 4_000_000)
+	for _, name := range []string{"none", "DP"} {
+		mk := throughputMechs()[name]
+		b.Run(name, func(b *testing.B) {
+			s := tlbprefetch.NewSimulator(tlbprefetch.DefaultConfig(), mk())
+			for _, r := range refs[:len(refs)/4] {
+				s.Ref(r.PC, r.VAddr)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			idx := 0
+			for i := 0; i < b.N; i++ {
+				r := refs[idx]
+				if idx++; idx == len(refs) {
+					idx = 0
+				}
+				s.Ref(r.PC, r.VAddr)
+			}
+		})
+	}
+}
+
+// BenchmarkSimulatorThroughputGenerated is the pre-refactor fused loop —
+// workload generation feeding the DP,256 simulator — kept for continuity
+// with older baselines (generation itself costs ~6 ns/ref of the total).
+func BenchmarkSimulatorThroughputGenerated(b *testing.B) {
 	w, _ := tlbprefetch.WorkloadByName("swim")
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -260,4 +361,51 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	if st.Refs != refs {
 		b.Fatalf("simulated %d refs, want %d", st.Refs, refs)
 	}
+}
+
+// BenchmarkGroupFanout measures the shared-frontend win: the full 21-way
+// mechanism fan-out of Figure 7 driven per reference, with the canonical
+// shared TLB (the Group default for homogeneous members) against 21
+// independent pipelines. ns/op is ns per reference delivered to the group.
+func BenchmarkGroupFanout(b *testing.B) {
+	refs := benchTrace(b, "swim", 4_000_000)
+	build := func() []*tlbprefetch.Simulator {
+		var ms []*tlbprefetch.Simulator
+		for _, m := range experiments.Fig7Configs() {
+			ms = append(ms, tlbprefetch.NewSimulator(tlbprefetch.DefaultConfig(),
+				m.Build(experiments.DefaultOptions())))
+		}
+		return ms
+	}
+	b.Run("shared", func(b *testing.B) {
+		g := tlbprefetch.NewGroup(build()...)
+		if !g.SharedFrontend() {
+			b.Fatal("homogeneous group did not share the frontend")
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		idx := 0
+		for i := 0; i < b.N; i++ {
+			r := refs[idx]
+			if idx++; idx == len(refs) {
+				idx = 0
+			}
+			g.Ref(r.PC, r.VAddr)
+		}
+	})
+	b.Run("independent", func(b *testing.B) {
+		members := build()
+		b.ReportAllocs()
+		b.ResetTimer()
+		idx := 0
+		for i := 0; i < b.N; i++ {
+			r := refs[idx]
+			if idx++; idx == len(refs) {
+				idx = 0
+			}
+			for _, m := range members {
+				m.Ref(r.PC, r.VAddr)
+			}
+		}
+	})
 }

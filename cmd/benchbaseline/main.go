@@ -1,0 +1,164 @@
+// Command benchbaseline measures the hot-path throughput of the simulator
+// and writes the numbers to a JSON file (default BENCH_baseline.json), so
+// future changes can be checked against a recorded performance trajectory:
+//
+//	go run ./cmd/benchbaseline              # writes BENCH_baseline.json
+//	go run ./cmd/benchbaseline -refs 8e6    # longer measurement
+//	go run ./cmd/benchbaseline -out -       # print to stdout only
+//
+// It measures, per mechanism, replay throughput over a pre-materialized
+// trace (so generation cost is excluded), plus the 21-way experiment
+// fan-out with the shared frontend and with independent pipelines. Each
+// measurement reports ns/ref and refs/sec.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"tlbprefetch"
+	"tlbprefetch/internal/experiments"
+	"tlbprefetch/internal/trace"
+	"tlbprefetch/internal/workload"
+)
+
+// Measurement is one benchmark row.
+type Measurement struct {
+	Name       string  `json:"name"`
+	Workload   string  `json:"workload"`
+	Refs       uint64  `json:"refs"`
+	NsPerRef   float64 `json:"ns_per_ref"`
+	RefsPerSec float64 `json:"refs_per_sec"`
+}
+
+// Baseline is the file layout of BENCH_baseline.json.
+type Baseline struct {
+	GoVersion    string        `json:"go_version"`
+	NumCPU       int           `json:"num_cpu"`
+	Date         string        `json:"date"`
+	Measurements []Measurement `json:"measurements"`
+}
+
+func materialize(name string, n uint64) []trace.Ref {
+	w, ok := workload.ByName(name)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "benchbaseline: unknown workload %q\n", name)
+		os.Exit(1)
+	}
+	refs := make([]trace.Ref, 0, n)
+	workload.Generate(w, n, func(pc, vaddr uint64) bool {
+		refs = append(refs, trace.Ref{PC: pc, VAddr: vaddr})
+		return true
+	})
+	return refs
+}
+
+func measure(name, wname string, refs []trace.Ref, passes int, ref func(pc, vaddr uint64)) Measurement {
+	// One warmup pass brings every structure to steady state.
+	for _, r := range refs {
+		ref(r.PC, r.VAddr)
+	}
+	start := time.Now()
+	for p := 0; p < passes; p++ {
+		for _, r := range refs {
+			ref(r.PC, r.VAddr)
+		}
+	}
+	el := time.Since(start)
+	total := uint64(passes) * uint64(len(refs))
+	ns := float64(el.Nanoseconds()) / float64(total)
+	return Measurement{
+		Name:       name,
+		Workload:   wname,
+		Refs:       total,
+		NsPerRef:   ns,
+		RefsPerSec: 1e9 / ns,
+	}
+}
+
+func main() {
+	out := flag.String("out", "BENCH_baseline.json", "output file ('-' for stdout only)")
+	nrefs := flag.Float64("refs", 2e6, "trace length per measurement")
+	passes := flag.Int("passes", 2, "measured passes over the trace")
+	flag.Parse()
+
+	n := uint64(*nrefs)
+	if n == 0 || *passes <= 0 {
+		fmt.Fprintln(os.Stderr, "benchbaseline: -refs and -passes must be positive")
+		os.Exit(1)
+	}
+	base := Baseline{
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+		Date:      time.Now().UTC().Format(time.RFC3339),
+	}
+
+	mechs := []struct {
+		name string
+		mk   func() tlbprefetch.Prefetcher
+	}{
+		{"none", func() tlbprefetch.Prefetcher { return nil }},
+		{"SP", func() tlbprefetch.Prefetcher { return tlbprefetch.NewSequential(true) }},
+		{"ASP", func() tlbprefetch.Prefetcher { return tlbprefetch.NewASP(256, 1) }},
+		{"MP", func() tlbprefetch.Prefetcher { return tlbprefetch.NewMarkov(256, 1, 2) }},
+		{"RP", func() tlbprefetch.Prefetcher { return tlbprefetch.NewRecency() }},
+		{"DP", func() tlbprefetch.Prefetcher { return tlbprefetch.NewDistance(256, 1, 2) }},
+	}
+	for _, wname := range []string{"swim", "mcf"} {
+		refs := materialize(wname, n)
+		for _, m := range mechs {
+			s := tlbprefetch.NewSimulator(tlbprefetch.DefaultConfig(), m.mk())
+			base.Measurements = append(base.Measurements,
+				measure("simulator/"+m.name, wname, refs, *passes, s.Ref))
+			fmt.Fprintf(os.Stderr, "%-24s %-6s %8.2f ns/ref  %12.0f refs/s\n",
+				"simulator/"+m.name, wname,
+				base.Measurements[len(base.Measurements)-1].NsPerRef,
+				base.Measurements[len(base.Measurements)-1].RefsPerSec)
+		}
+	}
+
+	// The 21-configuration fan-out of Figures 7/8, shared vs independent.
+	refs := materialize("swim", n)
+	buildGroup := func() *tlbprefetch.Group {
+		g := tlbprefetch.NewGroup()
+		for _, m := range experiments.Fig7Configs() {
+			g.Add(tlbprefetch.NewSimulator(tlbprefetch.DefaultConfig(),
+				m.Build(experiments.DefaultOptions())))
+		}
+		return g
+	}
+	g := buildGroup()
+	base.Measurements = append(base.Measurements,
+		measure("group21/shared", "swim", refs, 1, g.Ref))
+	ind := buildGroup().Members()
+	base.Measurements = append(base.Measurements,
+		measure("group21/independent", "swim", refs, 1, func(pc, vaddr uint64) {
+			for _, m := range ind {
+				m.Ref(pc, vaddr)
+			}
+		}))
+	for _, m := range base.Measurements[len(base.Measurements)-2:] {
+		fmt.Fprintf(os.Stderr, "%-24s %-6s %8.2f ns/ref  %12.0f refs/s\n",
+			m.Name, m.Workload, m.NsPerRef, m.RefsPerSec)
+	}
+
+	blob, err := json.MarshalIndent(base, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchbaseline:", err)
+		os.Exit(1)
+	}
+	blob = append(blob, '\n')
+	if *out == "-" {
+		os.Stdout.Write(blob)
+		return
+	}
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchbaseline:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d measurements)\n", *out, len(base.Measurements))
+}

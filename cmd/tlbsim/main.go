@@ -146,7 +146,7 @@ func printStats(st tlbprefetch.Stats) {
 	fmt.Printf("buffer hits         %12d\n", st.BufferHits)
 	fmt.Printf("demand fetches      %12d\n", st.DemandFetches)
 	fmt.Printf("prediction accuracy %12.4f\n", st.Accuracy())
-	fmt.Printf("prefetches issued   %12d  (%d duplicates dropped, %d evicted unused)\n",
+	fmt.Printf("prefetches issued   %12d  (%d duplicates dropped, %d never used)\n",
 		st.PrefetchesIssued, st.PrefetchDuplicates, st.PrefetchesUnused)
 	fmt.Printf("extra memory ops    %12d  (%d metadata + %d fetches)\n",
 		st.MemOps(), st.StateMemOps, st.PrefetchesIssued)

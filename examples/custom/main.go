@@ -16,8 +16,7 @@ import (
 
 // hybrid wraps DP and adds a next-page fallback when DP stays silent.
 type hybrid struct {
-	dp  tlbprefetch.Prefetcher
-	buf []uint64
+	dp tlbprefetch.Prefetcher
 }
 
 func newHybrid() *hybrid {
@@ -27,14 +26,14 @@ func newHybrid() *hybrid {
 // Name implements tlbprefetch.Prefetcher.
 func (h *hybrid) Name() string { return "DP+seq" }
 
-// OnMiss implements tlbprefetch.Prefetcher.
-func (h *hybrid) OnMiss(ev tlbprefetch.Event) tlbprefetch.Action {
-	act := h.dp.OnMiss(ev)
+// OnMiss implements tlbprefetch.Prefetcher. Predictions are appended to
+// the simulator-owned dst buffer, as the interface requires.
+func (h *hybrid) OnMiss(ev tlbprefetch.Event, dst []uint64) tlbprefetch.Action {
+	act := h.dp.OnMiss(ev, dst)
 	if len(act.Prefetches) > 0 {
 		return act
 	}
-	h.buf = append(h.buf[:0], ev.VPN+1)
-	return tlbprefetch.Action{Prefetches: h.buf}
+	return tlbprefetch.Action{Prefetches: append(dst, ev.VPN+1)}
 }
 
 // Reset implements tlbprefetch.Prefetcher.

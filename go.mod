@@ -1,0 +1,3 @@
+module tlbprefetch
+
+go 1.24

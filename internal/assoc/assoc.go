@@ -1,0 +1,357 @@
+// Package assoc is the shared storage engine behind the simulator's
+// metadata structures: the TLB, the prefetch buffer and the prediction
+// tables. It provides a fixed-capacity, set-associative key/value store
+// whose per-set recency order is kept in array-backed intrusive
+// doubly-linked lists and whose key lookup goes through a compact
+// open-addressing index, so the per-reference operations — probe, promote,
+// insert, evict, delete — are all O(1) instead of the O(ways)
+// scan-and-memmove of a slice-per-set layout.
+//
+// The engine is policy-free: callers decide when to promote, which makes
+// the same structure serve true-LRU (TLB, prediction tables: promote on
+// every touch) and FIFO (prefetch buffer: never promote) disciplines.
+//
+// Layout. Slots live in one flat arena of `entries` elements; slot i
+// carries keys[i], vals[i] and its list linkage in links[i] (next/prev
+// slot indices, -1 terminated, plus the slot's set so promotion never
+// divides — one cache line holds a slot's entire linkage). Each set owns a
+// head/tail pair (MRU/LRU ends) and a freelist of unused slots threaded
+// through the next links. The set of a key is key mod nsets —
+// hardware-style low-bit indexing, a mask when nsets is a power of two.
+//
+// Index. A linear-probing hash table of power-of-two capacity at most 50%
+// load, mapping key -> slot via Fibonacci hashing; key and slot sit in one
+// 16-byte entry so a probe costs one cache line. Deletion uses
+// backward-shift compaction, so there are no tombstones and probe chains
+// stay short no matter how many evict/insert cycles the simulation runs.
+package assoc
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+const fibMul = 0x9E3779B97F4A7C15 // 2^64 / golden ratio
+
+// link is a slot's intrusive list state: neighbours in its set's recency
+// list and the set it belongs to.
+type link struct {
+	next, prev int32
+	set        int32
+}
+
+// idxEnt is one open-addressing index cell. slot < 0 means empty.
+type idxEnt struct {
+	key  uint64
+	slot int32
+	_    int32
+}
+
+// Store is the set-associative arena. The zero value is not usable;
+// construct with New.
+type Store[V any] struct {
+	ways  int
+	nsets uint64
+	mask  uint64 // nsets-1 when nsets is a power of two
+	pow2  bool
+
+	keys  []uint64
+	vals  []V
+	links []link
+
+	head []int32 // per-set MRU slot, -1 when empty
+	tail []int32 // per-set LRU slot, -1 when empty
+	free []int32 // per-set freelist head (linked via next), -1 when full
+	size int
+
+	idx      []idxEnt
+	idxMask  uint64
+	idxShift uint
+}
+
+// New builds a store with `entries` total slots and `ways` slots per set.
+// entries must be a positive multiple of ways.
+func New[V any](entries, ways int) *Store[V] {
+	if entries <= 0 || ways <= 0 || entries%ways != 0 {
+		panic(fmt.Sprintf("assoc: invalid geometry entries=%d ways=%d", entries, ways))
+	}
+	nsets := entries / ways
+	idxCap := 8
+	for idxCap < 2*entries {
+		idxCap <<= 1
+	}
+	s := &Store[V]{
+		ways:     ways,
+		nsets:    uint64(nsets),
+		mask:     uint64(nsets - 1),
+		pow2:     nsets&(nsets-1) == 0,
+		keys:     make([]uint64, entries),
+		vals:     make([]V, entries),
+		links:    make([]link, entries),
+		head:     make([]int32, nsets),
+		tail:     make([]int32, nsets),
+		free:     make([]int32, nsets),
+		idx:      make([]idxEnt, idxCap),
+		idxMask:  uint64(idxCap - 1),
+		idxShift: uint(64 - bits.Len(uint(idxCap-1))),
+	}
+	s.Reset()
+	return s
+}
+
+// Entries returns the total slot capacity.
+func (s *Store[V]) Entries() int { return len(s.keys) }
+
+// Ways returns the associativity.
+func (s *Store[V]) Ways() int { return s.ways }
+
+// Sets returns the number of sets.
+func (s *Store[V]) Sets() int { return int(s.nsets) }
+
+// Len returns the number of occupied slots.
+func (s *Store[V]) Len() int { return s.size }
+
+// SetOf returns the set a key maps to: key mod nsets.
+func (s *Store[V]) SetOf(key uint64) int32 {
+	if s.pow2 {
+		return int32(key & s.mask)
+	}
+	return int32(key % s.nsets)
+}
+
+// Key returns the key stored in an occupied slot.
+func (s *Store[V]) Key(slot int32) uint64 { return s.keys[slot] }
+
+// Val returns a pointer to a slot's value. The pointer stays valid until
+// the slot is recycled by an eviction or removal.
+func (s *Store[V]) Val(slot int32) *V { return &s.vals[slot] }
+
+// Head returns the MRU slot of a set (-1 when the set is empty).
+func (s *Store[V]) Head(set int32) int32 { return s.head[set] }
+
+// Next returns the next-older slot in a set's recency list (-1 at LRU end).
+func (s *Store[V]) Next(slot int32) int32 { return s.links[slot].next }
+
+// Find returns the slot holding key, or -1, false.
+func (s *Store[V]) Find(key uint64) (int32, bool) {
+	idx := s.idx
+	mask := uint64(len(idx) - 1)
+	for i := (key * fibMul) >> s.idxShift; ; i = (i + 1) & mask {
+		e := &idx[i&mask]
+		if e.slot < 0 {
+			return -1, false
+		}
+		if e.key == key {
+			return e.slot, true
+		}
+	}
+}
+
+// Has reports whether key is resident, without touching recency.
+func (s *Store[V]) Has(key uint64) bool {
+	_, ok := s.Find(key)
+	return ok
+}
+
+// Promote moves an occupied slot to the MRU position of its set.
+func (s *Store[V]) Promote(slot int32) {
+	set := s.links[slot].set
+	if s.head[set] == slot {
+		return
+	}
+	s.unlink(set, slot)
+	s.pushFront(set, slot)
+}
+
+// Touch finds key and, when present, promotes it to MRU; it reports
+// whether the key was found. This is the one-call probe of an LRU cache —
+// the single hottest operation of the simulator — so the promote is a
+// fused move-to-front: a non-head resident slot always has a predecessor,
+// and its set's head always exists, which removes the emptiness branches
+// unlink/pushFront carry. The set comes from the key (a mask in the
+// power-of-two case), not the slot's link record, keeping the head load
+// off the index probe's dependency chain.
+func (s *Store[V]) Touch(key uint64) bool {
+	idx := s.idx
+	mask := uint64(len(idx) - 1)
+	var slot int32
+	for i := (key * fibMul) >> s.idxShift; ; i = (i + 1) & mask {
+		e := &idx[i&mask]
+		if e.slot < 0 {
+			return false
+		}
+		if e.key == key {
+			slot = e.slot
+			break
+		}
+	}
+	set := s.SetOf(key)
+	h := s.head[set]
+	if h == slot {
+		return true
+	}
+	// Resident and not the head, so h >= 0 and the slot has a
+	// predecessor: fused move-to-front.
+	l := s.links[slot]
+	s.links[l.prev].next = l.next
+	if l.next >= 0 {
+		s.links[l.next].prev = l.prev
+	} else {
+		s.tail[set] = l.prev
+	}
+	s.links[slot].prev = -1
+	s.links[slot].next = h
+	s.links[h].prev = slot
+	s.head[set] = slot
+	return true
+}
+
+// InsertMRU places key (which must not be resident — callers Find first)
+// into the MRU slot of its set, evicting the set's LRU slot when full. The
+// returned slot's value is whatever the slot last held: a zero V on first
+// use, or the evicted slot's old value afterwards — callers that need a
+// clean value reset it, and callers that recycle per-slot storage (the
+// prediction tables' slot lists) reuse it, which is what keeps the steady
+// state allocation-free.
+func (s *Store[V]) InsertMRU(key uint64) (slot int32, evictedKey uint64, evicted bool) {
+	set := s.SetOf(key)
+	if f := s.free[set]; f >= 0 {
+		s.free[set] = s.links[f].next
+		slot = f
+		s.size++
+	} else {
+		slot = s.tail[set]
+		evictedKey = s.keys[slot]
+		evicted = true
+		s.idxDelete(evictedKey)
+		s.unlink(set, slot)
+	}
+	s.keys[slot] = key
+	s.pushFront(set, slot)
+	s.idxInsert(key, slot)
+	return slot, evictedKey, evicted
+}
+
+// Remove deletes an occupied slot, returning it to its set's freelist. The
+// slot's value is left in place for recycling.
+func (s *Store[V]) Remove(slot int32) {
+	set := s.links[slot].set
+	s.idxDelete(s.keys[slot])
+	s.unlink(set, slot)
+	s.links[slot].next = s.free[set]
+	s.free[set] = slot
+	s.size--
+}
+
+// AppendSetKeys appends one set's resident keys, MRU first, to dst.
+func (s *Store[V]) AppendSetKeys(dst []uint64, set int32) []uint64 {
+	for sl := s.head[set]; sl >= 0; sl = s.links[sl].next {
+		dst = append(dst, s.keys[sl])
+	}
+	return dst
+}
+
+// AppendKeys appends every resident key, set by set (MRU first within a
+// set), to dst — the iteration order tests and invariant checks rely on.
+func (s *Store[V]) AppendKeys(dst []uint64) []uint64 {
+	for set := int32(0); set < int32(s.nsets); set++ {
+		dst = s.AppendSetKeys(dst, set)
+	}
+	return dst
+}
+
+// Reset empties the store. Slot values are kept in the arena for
+// recycling; callers that hand out recycled values reset them on reuse.
+func (s *Store[V]) Reset() {
+	for i := range s.head {
+		s.head[i] = -1
+		s.tail[i] = -1
+	}
+	// Rebuild per-set freelists over the arena: set i owns slots
+	// [i*ways, (i+1)*ways).
+	for set := 0; set < int(s.nsets); set++ {
+		first := set * s.ways
+		s.free[set] = int32(first)
+		for w := 0; w < s.ways; w++ {
+			sl := first + w
+			s.links[sl].set = int32(set)
+			if w+1 < s.ways {
+				s.links[sl].next = int32(sl + 1)
+			} else {
+				s.links[sl].next = -1
+			}
+		}
+	}
+	for i := range s.idx {
+		s.idx[i].slot = -1
+	}
+	s.size = 0
+}
+
+func (s *Store[V]) unlink(set, slot int32) {
+	l := s.links[slot]
+	if l.prev >= 0 {
+		s.links[l.prev].next = l.next
+	} else {
+		s.head[set] = l.next
+	}
+	if l.next >= 0 {
+		s.links[l.next].prev = l.prev
+	} else {
+		s.tail[set] = l.prev
+	}
+}
+
+func (s *Store[V]) pushFront(set, slot int32) {
+	h := s.head[set]
+	s.links[slot].prev = -1
+	s.links[slot].next = h
+	if h >= 0 {
+		s.links[h].prev = slot
+	} else {
+		s.tail[set] = slot
+	}
+	s.head[set] = slot
+}
+
+func (s *Store[V]) idxInsert(key uint64, slot int32) {
+	i := (key * fibMul) >> s.idxShift
+	for s.idx[i].slot >= 0 {
+		i = (i + 1) & s.idxMask
+	}
+	s.idx[i] = idxEnt{key: key, slot: slot}
+}
+
+// idxDelete removes key from the index using backward-shift compaction:
+// entries displaced past the hole are slid back so no tombstone is needed.
+func (s *Store[V]) idxDelete(key uint64) {
+	i := (key * fibMul) >> s.idxShift
+	for {
+		if s.idx[i].slot < 0 {
+			return // not present (never happens for resident keys)
+		}
+		if s.idx[i].key == key {
+			break
+		}
+		i = (i + 1) & s.idxMask
+	}
+	mask := s.idxMask
+	j := i
+	for {
+		s.idx[i].slot = -1
+		for {
+			j = (j + 1) & mask
+			if s.idx[j].slot < 0 {
+				return
+			}
+			home := (s.idx[j].key * fibMul) >> s.idxShift
+			// The entry at j may fill the hole at i only if its home
+			// position lies cyclically at or before i.
+			if (j-home)&mask >= (j-i)&mask {
+				break
+			}
+		}
+		s.idx[i] = s.idx[j]
+		i = j
+	}
+}

@@ -1,0 +1,283 @@
+package assoc
+
+import (
+	"testing"
+
+	"tlbprefetch/internal/xrand"
+)
+
+// sliceModel is the pre-refactor structure the Store replaced: one
+// MRU-first slice per set, scan to find, memmove to promote. It is the
+// behavioural reference the O(1) engine must match operation for
+// operation.
+type sliceModel struct {
+	sets  [][]uint64
+	ways  int
+	nsets uint64
+}
+
+func newSliceModel(entries, ways int) *sliceModel {
+	return &sliceModel{
+		sets:  make([][]uint64, entries/ways),
+		ways:  ways,
+		nsets: uint64(entries / ways),
+	}
+}
+
+func (m *sliceModel) set(key uint64) int { return int(key % m.nsets) }
+
+func (m *sliceModel) touch(key uint64) bool {
+	s := m.sets[m.set(key)]
+	for i, v := range s {
+		if v == key {
+			copy(s[1:i+1], s[0:i])
+			s[0] = key
+			return true
+		}
+	}
+	return false
+}
+
+func (m *sliceModel) has(key uint64) bool {
+	for _, v := range m.sets[m.set(key)] {
+		if v == key {
+			return true
+		}
+	}
+	return false
+}
+
+func (m *sliceModel) insertMRU(key uint64) (evictedKey uint64, evicted bool) {
+	si := m.set(key)
+	s := m.sets[si]
+	if len(s) < m.ways {
+		s = append(s, 0)
+	} else {
+		evictedKey = s[len(s)-1]
+		evicted = true
+	}
+	copy(s[1:], s[:len(s)-1])
+	s[0] = key
+	m.sets[si] = s
+	return evictedKey, evicted
+}
+
+func (m *sliceModel) remove(key uint64) bool {
+	si := m.set(key)
+	s := m.sets[si]
+	for i, v := range s {
+		if v == key {
+			copy(s[i:], s[i+1:])
+			m.sets[si] = s[:len(s)-1]
+			return true
+		}
+	}
+	return false
+}
+
+func (m *sliceModel) keys() []uint64 {
+	var out []uint64
+	for _, s := range m.sets {
+		out = append(out, s...)
+	}
+	return out
+}
+
+func (m *sliceModel) len() int {
+	n := 0
+	for _, s := range m.sets {
+		n += len(s)
+	}
+	return n
+}
+
+// checkAgainstModel verifies full structural agreement: occupancy and the
+// exact per-set recency order.
+func checkAgainstModel[V any](t *testing.T, s *Store[V], m *sliceModel) {
+	t.Helper()
+	if s.Len() != m.len() {
+		t.Fatalf("Len = %d, model %d", s.Len(), m.len())
+	}
+	got := s.AppendKeys(nil)
+	want := m.keys()
+	if len(got) != len(want) {
+		t.Fatalf("keys %v, model %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("recency order diverged at %d: %v vs model %v", i, got, want)
+		}
+	}
+}
+
+// TestStoreMatchesSliceLRUModel drives the Store and the reference
+// slice-LRU through long randomized operation sequences (touch, insert,
+// remove, has, reset) across a spread of geometries — including non-power-
+// of-two set counts, which exercise the modulo path — and demands the two
+// agree on every return value and on the full recency order throughout.
+func TestStoreMatchesSliceLRUModel(t *testing.T) {
+	geoms := []struct{ entries, ways int }{
+		{1, 1}, {8, 8}, {8, 2}, {16, 1}, {128, 128}, {256, 4}, {24, 3}, {12, 12},
+	}
+	for _, g := range geoms {
+		s := New[int](g.entries, g.ways)
+		m := newSliceModel(g.entries, g.ways)
+		r := xrand.New(uint64(g.entries)*31 + uint64(g.ways))
+		keyspace := uint64(4 * g.entries)
+		for op := 0; op < 20000; op++ {
+			key := r.Uint64n(keyspace)
+			switch r.Uint64n(8) {
+			case 0: // remove if present
+				if sl, ok := s.Find(key); ok {
+					s.Remove(sl)
+					if !m.remove(key) {
+						t.Fatalf("%+v: Store had %d, model did not", g, key)
+					}
+				} else if m.remove(key) {
+					t.Fatalf("%+v: model had %d, Store did not", g, key)
+				}
+			case 1: // membership probe
+				if s.Has(key) != m.has(key) {
+					t.Fatalf("%+v: Has(%d) diverged", g, key)
+				}
+			case 2: // occasional reset
+				if r.Uint64n(500) == 0 {
+					s.Reset()
+					m = newSliceModel(g.entries, g.ways)
+				}
+			default: // cache access: touch or insert (the TLB/table pattern)
+				if s.Touch(key) {
+					if !m.touch(key) {
+						t.Fatalf("%+v: Touch(%d) hit, model missed", g, key)
+					}
+				} else {
+					if m.touch(key) {
+						t.Fatalf("%+v: Touch(%d) missed, model hit", g, key)
+					}
+					_, ek, ev := s.InsertMRU(key)
+					mek, mev := m.insertMRU(key)
+					if ev != mev || ek != mek {
+						t.Fatalf("%+v: eviction diverged: %d,%v vs model %d,%v", g, ek, ev, mek, mev)
+					}
+				}
+			}
+			if op%1000 == 999 {
+				checkAgainstModel(t, s, m)
+			}
+		}
+		checkAgainstModel(t, s, m)
+	}
+}
+
+// TestStoreFIFODiscipline runs the Store as the prefetch buffer does —
+// insert at MRU, never promote, remove on use — against a plain FIFO
+// slice model.
+func TestStoreFIFODiscipline(t *testing.T) {
+	const cap = 16
+	s := New[uint64](cap, cap)
+	var fifo []uint64 // oldest last (MRU-first like the store's list)
+	r := xrand.New(99)
+	contains := func(k uint64) bool {
+		for _, v := range fifo {
+			if v == k {
+				return true
+			}
+		}
+		return false
+	}
+	for op := 0; op < 20000; op++ {
+		key := r.Uint64n(64)
+		if r.Uint64n(3) == 0 { // take out
+			sl, ok := s.Find(key)
+			if ok != contains(key) {
+				t.Fatalf("Find(%d) = %v, model %v", key, ok, contains(key))
+			}
+			if ok {
+				s.Remove(sl)
+				for i, v := range fifo {
+					if v == key {
+						fifo = append(fifo[:i], fifo[i+1:]...)
+						break
+					}
+				}
+			}
+		} else if !s.Has(key) { // insert if absent (duplicates keep order)
+			_, ek, ev := s.InsertMRU(key)
+			if len(fifo) == cap {
+				want := fifo[len(fifo)-1]
+				if !ev || ek != want {
+					t.Fatalf("evicted %d,%v; model wants %d", ek, ev, want)
+				}
+				fifo = fifo[:len(fifo)-1]
+			} else if ev {
+				t.Fatalf("eviction from non-full buffer")
+			}
+			fifo = append([]uint64{key}, fifo...)
+		}
+		if s.Len() != len(fifo) {
+			t.Fatalf("Len = %d, model %d", s.Len(), len(fifo))
+		}
+	}
+	got := s.AppendKeys(nil)
+	for i := range got {
+		if got[i] != fifo[i] {
+			t.Fatalf("FIFO order diverged: %v vs %v", got, fifo)
+		}
+	}
+}
+
+// TestIndexDeleteCompaction hammers one small index with colliding
+// insert/delete cycles to exercise backward-shift deletion; a stale or
+// lost index entry would surface as a Find failure.
+func TestIndexDeleteCompaction(t *testing.T) {
+	s := New[int](4, 4)
+	r := xrand.New(7)
+	resident := map[uint64]bool{}
+	for op := 0; op < 50000; op++ {
+		key := r.Uint64n(12)
+		if sl, ok := s.Find(key); ok {
+			if !resident[key] {
+				t.Fatalf("Find(%d) hit, model says absent", key)
+			}
+			if s.Key(sl) != key {
+				t.Fatalf("index maps %d to slot holding %d", key, s.Key(sl))
+			}
+			if r.Uint64n(2) == 0 {
+				s.Remove(sl)
+				delete(resident, key)
+			}
+		} else {
+			if resident[key] {
+				t.Fatalf("Find(%d) missed, model says present", key)
+			}
+			_, ek, ev := s.InsertMRU(key)
+			if ev {
+				delete(resident, ek)
+			}
+			resident[key] = true
+		}
+	}
+}
+
+func BenchmarkStoreTouchHit(b *testing.B) {
+	s := New[struct{}](128, 128)
+	for i := 0; i < 128; i++ {
+		s.InsertMRU(uint64(i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Touch(uint64(i % 128))
+	}
+}
+
+func BenchmarkStoreInsertEvict(b *testing.B) {
+	s := New[struct{}](128, 128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !s.Touch(uint64(i)) {
+			s.InsertMRU(uint64(i))
+		}
+	}
+}

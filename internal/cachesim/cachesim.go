@@ -78,6 +78,7 @@ type Cache struct {
 	buf        *tlb.PrefetchBuffer
 	pf         prefetch.Prefetcher
 	stat       Stats
+	scratch    []uint64 // reusable prediction buffer handed to the mechanism
 }
 
 // New builds a cache around the given prefetcher (nil = no prefetching).
@@ -125,12 +126,15 @@ func (c *Cache) Ref(pc, addr uint64) {
 		BufferHit:  bufferHit,
 		EvictedVPN: evicted,
 		HasEvicted: hasEvicted,
-	})
+	}, c.scratch[:0])
 	for _, p := range act.Prefetches {
 		if c.tags.Contains(p) || c.buf.Contains(p) {
 			continue
 		}
 		c.buf.Insert(p, 0)
+	}
+	if cap(act.Prefetches) > cap(c.scratch) {
+		c.scratch = act.Prefetches
 	}
 }
 

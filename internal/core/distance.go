@@ -38,8 +38,6 @@ type Distance struct {
 	hasPrev  bool
 	prevDist int64
 	hasDist  bool
-
-	buf []uint64
 }
 
 // NewDistance builds a DP prefetcher: entries rows, ways-associative,
@@ -49,7 +47,6 @@ func NewDistance(entries, ways, s int) *Distance {
 	return &Distance{
 		t:     table.New[table.SlotList](entries, ways),
 		slots: s,
-		buf:   make([]uint64, 0, s),
 	}
 }
 
@@ -70,34 +67,33 @@ func (d *Distance) ConfigString() string {
 //  4. store the current distance as a predicted distance of the previous
 //     distance;
 //  5. overwrite the previous distance by the current distance.
-func (d *Distance) OnMiss(ev prefetch.Event) prefetch.Action {
+func (d *Distance) OnMiss(ev prefetch.Event, dst []uint64) prefetch.Action {
 	if !d.hasPrev {
 		// First miss: establishes the previous page only.
 		d.prevVPN = ev.VPN
 		d.hasPrev = true
 		return prefetch.Action{}
 	}
-	dist := int64(ev.VPN) - int64(d.prevVPN) // step 1
-	d.buf = d.buf[:0]
+	dist := int64(ev.VPN) - int64(d.prevVPN)     // step 1
 	if row, ok := d.t.Lookup(uint64(dist)); ok { // step 2
 		for _, pd := range row.Values() { // step 3
-			d.buf = append(d.buf, uint64(int64(ev.VPN)+pd))
+			dst = append(dst, uint64(int64(ev.VPN)+pd))
 		}
 	}
 	if d.hasDist { // step 4
-		row, existed := d.t.GetOrInsert(uint64(d.prevDist))
+		row, existed := d.t.GetOrInsertLazy(uint64(d.prevDist))
 		if !existed {
-			*row = table.NewSlotList(d.slots)
+			row.Reset(d.slots)
 		}
 		row.Touch(dist)
 	}
 	d.prevVPN = ev.VPN // step 5
 	d.prevDist = dist
 	d.hasDist = true
-	if len(d.buf) == 0 {
+	if len(dst) == 0 {
 		return prefetch.Action{}
 	}
-	return prefetch.Action{Prefetches: d.buf}
+	return prefetch.Action{Prefetches: dst}
 }
 
 // Reset implements prefetch.Prefetcher.
@@ -105,7 +101,6 @@ func (d *Distance) Reset() {
 	d.t.Reset()
 	d.hasPrev = false
 	d.hasDist = false
-	d.buf = d.buf[:0]
 }
 
 // TableLen reports occupied rows (diagnostics; the paper's point is that

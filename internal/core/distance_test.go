@@ -27,18 +27,18 @@ func wantPrefetches(t *testing.T, act prefetch.Action, want ...uint64) {
 // entry table to make a prediction."
 func TestDistancePaperExample(t *testing.T) {
 	d := NewDistance(256, 1, 2)
-	if got := d.OnMiss(ev(1)); len(got.Prefetches) != 0 {
+	if got := d.OnMiss(ev(1), nil); len(got.Prefetches) != 0 {
 		t.Fatalf("first miss acted: %v", got.Prefetches)
 	}
-	if got := d.OnMiss(ev(2)); len(got.Prefetches) != 0 { // dist 1, table empty
+	if got := d.OnMiss(ev(2), nil); len(got.Prefetches) != 0 { // dist 1, table empty
 		t.Fatalf("second miss acted: %v", got.Prefetches)
 	}
-	if got := d.OnMiss(ev(4)); len(got.Prefetches) != 0 { // dist 2, learns 1->2
+	if got := d.OnMiss(ev(4), nil); len(got.Prefetches) != 0 { // dist 2, learns 1->2
 		t.Fatalf("third miss acted: %v", got.Prefetches)
 	}
-	wantPrefetches(t, d.OnMiss(ev(5)), 7)  // dist 1: predicts +2 -> page 7
-	wantPrefetches(t, d.OnMiss(ev(7)), 8)  // dist 2: predicts +1 -> page 8
-	wantPrefetches(t, d.OnMiss(ev(8)), 10) // dist 1: predicts +2 -> page 10
+	wantPrefetches(t, d.OnMiss(ev(5), nil), 7)  // dist 1: predicts +2 -> page 7
+	wantPrefetches(t, d.OnMiss(ev(7), nil), 8)  // dist 2: predicts +1 -> page 8
+	wantPrefetches(t, d.OnMiss(ev(8), nil), 10) // dist 1: predicts +2 -> page 10
 	if d.TableLen() != 2 {
 		t.Fatalf("table len = %d; the paper's point is that 2 rows suffice", d.TableLen())
 	}
@@ -48,11 +48,11 @@ func TestDistanceSequentialScan(t *testing.T) {
 	// Pure sequential misses: one row ("1 -> 1") suffices; prefetching
 	// starts on the fourth miss.
 	d := NewDistance(32, 1, 2)
-	d.OnMiss(ev(100)) // establishes prev page
-	d.OnMiss(ev(101)) // dist 1; no history yet
-	d.OnMiss(ev(102)) // dist 1; learns 1->1
+	d.OnMiss(ev(100), nil) // establishes prev page
+	d.OnMiss(ev(101), nil) // dist 1; no history yet
+	d.OnMiss(ev(102), nil) // dist 1; learns 1->1
 	for p := uint64(103); p < 120; p++ {
-		wantPrefetches(t, d.OnMiss(ev(p)), p+1)
+		wantPrefetches(t, d.OnMiss(ev(p), nil), p+1)
 	}
 	if d.TableLen() != 1 {
 		t.Fatalf("table len = %d, want 1", d.TableLen())
@@ -62,10 +62,10 @@ func TestDistanceSequentialScan(t *testing.T) {
 func TestDistanceNegativeStrides(t *testing.T) {
 	// Backward scan: distance -1 repeating.
 	d := NewDistance(32, 1, 2)
-	d.OnMiss(ev(500))
-	d.OnMiss(ev(499))
-	d.OnMiss(ev(498))
-	wantPrefetches(t, d.OnMiss(ev(497)), 496)
+	d.OnMiss(ev(500), nil)
+	d.OnMiss(ev(499), nil)
+	d.OnMiss(ev(498), nil)
+	wantPrefetches(t, d.OnMiss(ev(497), nil), 496)
 }
 
 func TestDistanceAlternatingMotif(t *testing.T) {
@@ -75,7 +75,7 @@ func TestDistanceAlternatingMotif(t *testing.T) {
 	// Action.Prefetches is only valid until the next OnMiss, so copy.
 	var acts []prefetch.Action
 	for _, p := range pages {
-		a := d.OnMiss(ev(p))
+		a := d.OnMiss(ev(p), nil)
 		a.Prefetches = append([]uint64(nil), a.Prefetches...)
 		acts = append(acts, a)
 	}
@@ -95,15 +95,15 @@ func TestDistanceMultipleSlots(t *testing.T) {
 	d := NewDistance(64, 1, 2)
 	// Build: 0,1,3 teaches 1->2. Then 10,11,16 teaches 1->5.
 	for _, p := range []uint64{0, 1, 3} {
-		d.OnMiss(ev(p))
+		d.OnMiss(ev(p), nil)
 	}
 	for _, p := range []uint64{10, 11} {
-		d.OnMiss(ev(p))
+		d.OnMiss(ev(p), nil)
 	}
-	d.OnMiss(ev(16)) // dist 5 after dist 1: row(1) = [5, 2]
+	d.OnMiss(ev(16), nil) // dist 5 after dist 1: row(1) = [5, 2]
 	// Next time distance 1 appears, both prefetches issue (MRU first).
-	d.OnMiss(ev(100))
-	act := d.OnMiss(ev(101)) // dist 1
+	d.OnMiss(ev(100), nil)
+	act := d.OnMiss(ev(101), nil) // dist 1
 	wantPrefetches(t, act, 106, 103)
 }
 
@@ -111,29 +111,29 @@ func TestDistanceSlotLRU(t *testing.T) {
 	// s=1: only the most recent successor is kept.
 	d := NewDistance(64, 1, 1)
 	for _, p := range []uint64{0, 1, 3} { // 1 -> 2
-		d.OnMiss(ev(p))
+		d.OnMiss(ev(p), nil)
 	}
 	for _, p := range []uint64{10, 11, 16} { // 1 -> 5 replaces 1 -> 2
-		d.OnMiss(ev(p))
+		d.OnMiss(ev(p), nil)
 	}
-	d.OnMiss(ev(100))
-	act := d.OnMiss(ev(101))
+	d.OnMiss(ev(100), nil)
+	act := d.OnMiss(ev(101), nil)
 	wantPrefetches(t, act, 106)
 }
 
 func TestDistanceReset(t *testing.T) {
 	d := NewDistance(32, 1, 2)
 	for _, p := range []uint64{0, 1, 2, 3} {
-		d.OnMiss(ev(p))
+		d.OnMiss(ev(p), nil)
 	}
 	d.Reset()
 	if d.TableLen() != 0 {
 		t.Fatal("table not cleared")
 	}
-	if got := d.OnMiss(ev(50)); len(got.Prefetches) != 0 {
+	if got := d.OnMiss(ev(50), nil); len(got.Prefetches) != 0 {
 		t.Fatal("stale prev page after reset")
 	}
-	if got := d.OnMiss(ev(51)); len(got.Prefetches) != 0 {
+	if got := d.OnMiss(ev(51), nil); len(got.Prefetches) != 0 {
 		t.Fatal("stale history after reset")
 	}
 }
@@ -142,21 +142,21 @@ func TestDistanceTableConflict(t *testing.T) {
 	// 2-row direct-mapped table: distances 1 and 3 conflict (1 % 2 == 3 % 2).
 	d := NewDistance(2, 1, 2)
 	for _, p := range []uint64{0, 1, 2, 3} { // learns 1 -> 1 in row "1"
-		d.OnMiss(ev(p))
+		d.OnMiss(ev(p), nil)
 	}
 	// Distances 3,3,3 alias into the same set, evicting row 1.
 	for _, p := range []uint64{100, 103, 106, 109} {
-		d.OnMiss(ev(p))
+		d.OnMiss(ev(p), nil)
 	}
 	// Back to stride 1: the first prediction needs one relearn round.
-	d.OnMiss(ev(200)) // dist 91 (noise)
-	d.OnMiss(ev(201)) // dist 1: row 1 was evicted -> no prediction expected
-	got := d.OnMiss(ev(202))
+	d.OnMiss(ev(200), nil) // dist 91 (noise)
+	d.OnMiss(ev(201), nil) // dist 1: row 1 was evicted -> no prediction expected
+	got := d.OnMiss(ev(202), nil)
 	// Depending on aliasing the row may or may not be back; the point of
 	// this test is only that nothing panics and predictions resume within
 	// one round.
 	_ = got
-	act := d.OnMiss(ev(203))
+	act := d.OnMiss(ev(203), nil)
 	wantPrefetches(t, act, 204)
 }
 
@@ -167,8 +167,8 @@ func TestQuickDistanceDeterminism(t *testing.T) {
 		d1 := NewDistance(64, 2, 2)
 		d2 := NewDistance(64, 2, 2)
 		for _, p := range pages {
-			a1 := d1.OnMiss(ev(uint64(p)))
-			a2 := d2.OnMiss(ev(uint64(p)))
+			a1 := d1.OnMiss(ev(uint64(p)), nil)
+			a2 := d2.OnMiss(ev(uint64(p)), nil)
 			if len(a1.Prefetches) != len(a2.Prefetches) {
 				return false
 			}
@@ -191,7 +191,7 @@ func TestQuickDistanceBoundedDegree(t *testing.T) {
 		s := int(sHint%6) + 1
 		d := NewDistance(64, 1, s)
 		for _, p := range pages {
-			if len(d.OnMiss(ev(uint64(p))).Prefetches) > s {
+			if len(d.OnMiss(ev(uint64(p)), nil).Prefetches) > s {
 				return false
 			}
 		}
@@ -206,18 +206,18 @@ func TestDistancePCVariantLearns(t *testing.T) {
 	d := NewDistancePC(64, 1, 2)
 	// Same PC, stride 1: behaves like DP.
 	mk := func(pc, vpn uint64) prefetch.Event { return prefetch.Event{PC: pc, VPN: vpn} }
-	d.OnMiss(mk(9, 0))
-	d.OnMiss(mk(9, 1))
-	d.OnMiss(mk(9, 2))
-	act := d.OnMiss(mk(9, 3))
+	d.OnMiss(mk(9, 0), nil)
+	d.OnMiss(mk(9, 1), nil)
+	d.OnMiss(mk(9, 2), nil)
+	act := d.OnMiss(mk(9, 3), nil)
 	wantPrefetches(t, act, 4)
 	// A different PC with the same distance has its own row: no carryover.
 	d2 := NewDistancePC(64, 1, 2)
-	d2.OnMiss(mk(1, 0))
-	d2.OnMiss(mk(1, 1))
-	d2.OnMiss(mk(1, 2)) // learned under PC 1
-	d2.OnMiss(mk(2, 3))
-	if got := d2.OnMiss(mk(2, 4)); len(got.Prefetches) != 0 {
+	d2.OnMiss(mk(1, 0), nil)
+	d2.OnMiss(mk(1, 1), nil)
+	d2.OnMiss(mk(1, 2), nil) // learned under PC 1
+	d2.OnMiss(mk(2, 3), nil)
+	if got := d2.OnMiss(mk(2, 4), nil); len(got.Prefetches) != 0 {
 		t.Fatalf("PC-qualified row leaked across PCs: %v", got.Prefetches)
 	}
 }
@@ -228,7 +228,7 @@ func TestDistance2VariantLearns(t *testing.T) {
 	pages := []uint64{0, 1, 3, 4, 6, 7, 9}
 	var last prefetch.Action
 	for _, p := range pages {
-		last = d.OnMiss(ev(p))
+		last = d.OnMiss(ev(p), nil)
 	}
 	// By the second repetition the pair (1,2) predicts 1 and (2,1) predicts
 	// 2; the final miss (page 9, pair (2)) must predict 9+1 = 10.
@@ -238,11 +238,11 @@ func TestDistance2VariantLearns(t *testing.T) {
 func TestDistance2Reset(t *testing.T) {
 	d := NewDistance2(64, 1, 2)
 	for _, p := range []uint64{0, 1, 3, 4, 6} {
-		d.OnMiss(ev(p))
+		d.OnMiss(ev(p), nil)
 	}
 	d.Reset()
 	for _, p := range []uint64{100, 101, 103} {
-		if got := d.OnMiss(ev(p)); len(got.Prefetches) != 0 {
+		if got := d.OnMiss(ev(p), nil); len(got.Prefetches) != 0 {
 			t.Fatal("stale state after reset")
 		}
 	}
@@ -253,6 +253,6 @@ func BenchmarkDistanceOnMiss(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		// Alternating distances exercise lookup+update on every miss.
-		d.OnMiss(ev(uint64(i) * uint64(1+i%3)))
+		d.OnMiss(ev(uint64(i)*uint64(1+i%3)), nil)
 	}
 }

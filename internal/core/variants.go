@@ -26,7 +26,6 @@ type DistancePC struct {
 	hasPrev bool
 	prevKey uint64
 	hasKey  bool
-	buf     []uint64
 }
 
 // NewDistancePC builds the PC+distance variant.
@@ -34,7 +33,6 @@ func NewDistancePC(entries, ways, s int) *DistancePC {
 	return &DistancePC{
 		t:     table.New[table.SlotList](entries, ways),
 		slots: s,
-		buf:   make([]uint64, 0, s),
 	}
 }
 
@@ -53,7 +51,7 @@ func (d *DistancePC) ConfigString() string {
 }
 
 // OnMiss implements prefetch.Prefetcher.
-func (d *DistancePC) OnMiss(ev prefetch.Event) prefetch.Action {
+func (d *DistancePC) OnMiss(ev prefetch.Event, dst []uint64) prefetch.Action {
 	if !d.hasPrev {
 		d.prevVPN = ev.VPN
 		d.hasPrev = true
@@ -61,33 +59,31 @@ func (d *DistancePC) OnMiss(ev prefetch.Event) prefetch.Action {
 	}
 	dist := int64(ev.VPN) - int64(d.prevVPN)
 	key := pcDistKey(ev.PC, dist)
-	d.buf = d.buf[:0]
 	if row, ok := d.t.Lookup(key); ok {
 		for _, pd := range row.Values() {
-			d.buf = append(d.buf, uint64(int64(ev.VPN)+pd))
+			dst = append(dst, uint64(int64(ev.VPN)+pd))
 		}
 	}
 	if d.hasKey {
-		row, existed := d.t.GetOrInsert(d.prevKey)
+		row, existed := d.t.GetOrInsertLazy(d.prevKey)
 		if !existed {
-			*row = table.NewSlotList(d.slots)
+			row.Reset(d.slots)
 		}
 		row.Touch(dist)
 	}
 	d.prevVPN = ev.VPN
 	d.prevKey = key
 	d.hasKey = true
-	if len(d.buf) == 0 {
+	if len(dst) == 0 {
 		return prefetch.Action{}
 	}
-	return prefetch.Action{Prefetches: d.buf}
+	return prefetch.Action{Prefetches: dst}
 }
 
 // Reset implements prefetch.Prefetcher.
 func (d *DistancePC) Reset() {
 	d.t.Reset()
 	d.hasPrev, d.hasKey = false, false
-	d.buf = d.buf[:0]
 }
 
 // Distance2 is the two-consecutive-distances variant: the table key is the
@@ -102,7 +98,6 @@ type Distance2 struct {
 	hasPrev   bool
 	d1, d2    int64 // last two distances (d2 is the most recent)
 	haveDists int   // 0, 1 or 2
-	buf       []uint64
 }
 
 // NewDistance2 builds the two-distance variant.
@@ -110,7 +105,6 @@ func NewDistance2(entries, ways, s int) *Distance2 {
 	return &Distance2{
 		t:     table.New[table.SlotList](entries, ways),
 		slots: s,
-		buf:   make([]uint64, 0, s),
 	}
 }
 
@@ -129,28 +123,27 @@ func (d *Distance2) ConfigString() string {
 }
 
 // OnMiss implements prefetch.Prefetcher.
-func (d *Distance2) OnMiss(ev prefetch.Event) prefetch.Action {
+func (d *Distance2) OnMiss(ev prefetch.Event, dst []uint64) prefetch.Action {
 	if !d.hasPrev {
 		d.prevVPN = ev.VPN
 		d.hasPrev = true
 		return prefetch.Action{}
 	}
 	dist := int64(ev.VPN) - int64(d.prevVPN)
-	d.buf = d.buf[:0]
 	if d.haveDists >= 1 {
 		// Current context: (previous distance, current distance).
 		key := distPairKey(d.d2, dist)
 		if row, ok := d.t.Lookup(key); ok {
 			for _, pd := range row.Values() {
-				d.buf = append(d.buf, uint64(int64(ev.VPN)+pd))
+				dst = append(dst, uint64(int64(ev.VPN)+pd))
 			}
 		}
 	}
 	if d.haveDists >= 2 {
 		// Record: the pair (d1, d2) was followed by dist.
-		row, existed := d.t.GetOrInsert(distPairKey(d.d1, d.d2))
+		row, existed := d.t.GetOrInsertLazy(distPairKey(d.d1, d.d2))
 		if !existed {
-			*row = table.NewSlotList(d.slots)
+			row.Reset(d.slots)
 		}
 		row.Touch(dist)
 	}
@@ -159,10 +152,10 @@ func (d *Distance2) OnMiss(ev prefetch.Event) prefetch.Action {
 	if d.haveDists < 2 {
 		d.haveDists++
 	}
-	if len(d.buf) == 0 {
+	if len(dst) == 0 {
 		return prefetch.Action{}
 	}
-	return prefetch.Action{Prefetches: d.buf}
+	return prefetch.Action{Prefetches: dst}
 }
 
 // Reset implements prefetch.Prefetcher.
@@ -170,7 +163,6 @@ func (d *Distance2) Reset() {
 	d.t.Reset()
 	d.hasPrev = false
 	d.haveDists = 0
-	d.buf = d.buf[:0]
 }
 
 var _ prefetch.Prefetcher = (*DistancePC)(nil)

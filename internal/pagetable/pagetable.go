@@ -91,23 +91,31 @@ func (pt *PageTable) Neighbors(vpn uint64) []uint64 {
 // one prev and one next pointer read from the missed PTE, never a deeper
 // walk down a single side (the paper's RP reads only the two pointers).
 func (pt *PageTable) NeighborsN(vpn uint64, n int) []uint64 {
+	return pt.AppendNeighborsN(nil, vpn, n)
+}
+
+// AppendNeighborsN is NeighborsN appending into dst — the allocation-free
+// form the simulator's hot path uses (RP issues its candidates straight
+// into the caller's scratch buffer).
+func (pt *PageTable) AppendNeighborsN(dst []uint64, vpn uint64, n int) []uint64 {
 	e, ok := pt.entries[vpn]
 	if !ok || !e.inStack || n <= 0 {
-		return nil
+		return dst
 	}
 	perSide := (n + 1) / 2
-	out := make([]uint64, 0, n)
+	out := dst
+	base := len(dst)
 	up, hasUp := e.prev, e.hasPrev
 	down, hasDown := e.next, e.hasNext
 	ups, downs := 0, 0
-	for len(out) < n && ((hasUp && ups < perSide) || (hasDown && downs < perSide)) {
+	for len(out)-base < n && ((hasUp && ups < perSide) || (hasDown && downs < perSide)) {
 		if hasUp && ups < perSide {
 			out = append(out, up)
 			ups++
 			u := pt.entries[up]
 			up, hasUp = u.prev, u.hasPrev
 		}
-		if len(out) < n && hasDown && downs < perSide {
+		if len(out)-base < n && hasDown && downs < perSide {
 			out = append(out, down)
 			downs++
 			d := pt.entries[down]

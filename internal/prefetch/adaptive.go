@@ -22,10 +22,9 @@ type AdaptiveSequential struct {
 	// 0.75 and 0.40).
 	RaiseAt, LowerAt float64
 
-	degree  int
-	hits    int
-	misses  int
-	scratch []uint64
+	degree int
+	hits   int
+	misses int
 }
 
 // NewAdaptiveSequential returns an adaptive SP with the default tuning.
@@ -61,7 +60,7 @@ func (a *AdaptiveSequential) Degree() int {
 }
 
 // OnMiss implements Prefetcher.
-func (a *AdaptiveSequential) OnMiss(ev Event) Action {
+func (a *AdaptiveSequential) OnMiss(ev Event, dst []uint64) Action {
 	a.defaults()
 	if ev.BufferHit {
 		a.hits++
@@ -78,18 +77,16 @@ func (a *AdaptiveSequential) OnMiss(ev Event) Action {
 		}
 		a.hits, a.misses = 0, 0
 	}
-	a.scratch = a.scratch[:0]
 	for d := 1; d <= a.degree; d++ {
-		a.scratch = append(a.scratch, ev.VPN+uint64(d))
+		dst = append(dst, ev.VPN+uint64(d))
 	}
-	return Action{Prefetches: a.scratch}
+	return Action{Prefetches: dst}
 }
 
 // Reset implements Prefetcher.
 func (a *AdaptiveSequential) Reset() {
 	a.degree = 1
 	a.hits, a.misses = 0, 0
-	a.scratch = a.scratch[:0]
 }
 
 // HardwareInfo implements HardwareDescriber.

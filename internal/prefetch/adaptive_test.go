@@ -4,7 +4,7 @@ import "testing"
 
 func TestAdaptiveSPStartsAtDegreeOne(t *testing.T) {
 	a := NewAdaptiveSequential()
-	act := a.OnMiss(ev(10))
+	act := a.OnMiss(ev(10), nil)
 	wantPrefetches(t, act, 11)
 	if a.Degree() != 1 {
 		t.Fatalf("initial degree = %d", a.Degree())
@@ -15,23 +15,23 @@ func TestAdaptiveSPRampsUpOnSuccess(t *testing.T) {
 	a := NewAdaptiveSequential()
 	// A full window of buffer hits doubles the degree.
 	for i := 0; i < 16; i++ {
-		a.OnMiss(Event{VPN: uint64(10 + i), BufferHit: true})
+		a.OnMiss(Event{VPN: uint64(10 + i), BufferHit: true}, nil)
 	}
 	if a.Degree() != 2 {
 		t.Fatalf("degree after hot window = %d, want 2", a.Degree())
 	}
 	// Prefetches now cover two sequential pages.
-	act := a.OnMiss(Event{VPN: 100, BufferHit: true})
+	act := a.OnMiss(Event{VPN: 100, BufferHit: true}, nil)
 	wantPrefetches(t, act, 101, 102)
 	// Two more hot windows saturate at MaxDegree (4).
 	for i := 0; i < 32; i++ {
-		a.OnMiss(Event{VPN: uint64(200 + i), BufferHit: true})
+		a.OnMiss(Event{VPN: uint64(200 + i), BufferHit: true}, nil)
 	}
 	if a.Degree() != 4 {
 		t.Fatalf("degree = %d, want cap 4", a.Degree())
 	}
 	for i := 0; i < 16; i++ {
-		a.OnMiss(Event{VPN: uint64(300 + i), BufferHit: true})
+		a.OnMiss(Event{VPN: uint64(300 + i), BufferHit: true}, nil)
 	}
 	if a.Degree() != 4 {
 		t.Fatalf("degree exceeded cap: %d", a.Degree())
@@ -41,14 +41,14 @@ func TestAdaptiveSPRampsUpOnSuccess(t *testing.T) {
 func TestAdaptiveSPBacksOffOnFailure(t *testing.T) {
 	a := NewAdaptiveSequential()
 	for i := 0; i < 16; i++ {
-		a.OnMiss(Event{VPN: uint64(10 + i), BufferHit: true})
+		a.OnMiss(Event{VPN: uint64(10 + i), BufferHit: true}, nil)
 	}
 	if a.Degree() != 2 {
 		t.Fatalf("setup degree = %d", a.Degree())
 	}
 	// A cold window halves it again.
 	for i := 0; i < 16; i++ {
-		a.OnMiss(Event{VPN: uint64(1000 + 97*i)})
+		a.OnMiss(Event{VPN: uint64(1000 + 97*i)}, nil)
 	}
 	if a.Degree() != 1 {
 		t.Fatalf("degree after cold window = %d, want 1", a.Degree())
@@ -58,7 +58,7 @@ func TestAdaptiveSPBacksOffOnFailure(t *testing.T) {
 func TestAdaptiveSPReset(t *testing.T) {
 	a := NewAdaptiveSequential()
 	for i := 0; i < 16; i++ {
-		a.OnMiss(Event{VPN: uint64(10 + i), BufferHit: true})
+		a.OnMiss(Event{VPN: uint64(10 + i), BufferHit: true}, nil)
 	}
 	a.Reset()
 	if a.Degree() != 1 {
@@ -77,10 +77,10 @@ func TestRecencyDegreeThree(t *testing.T) {
 	r := NewRecencyDegree(3)
 	// Build stack [4, 3, 2, 1] via evictions.
 	for i, e := range []uint64{1, 2, 3, 4} {
-		r.OnMiss(Event{VPN: uint64(100 + i), EvictedVPN: e, HasEvicted: true})
+		r.OnMiss(Event{VPN: uint64(100 + i), EvictedVPN: e, HasEvicted: true}, nil)
 	}
 	// Miss on 3: neighbours outward = prev(4), next(2), next's next(1).
-	act := r.OnMiss(Event{VPN: 3, EvictedVPN: 100, HasEvicted: true})
+	act := r.OnMiss(Event{VPN: 3, EvictedVPN: 100, HasEvicted: true}, nil)
 	wantPrefetches(t, act, 4, 2, 1)
 	if hi := r.HardwareInfo(); hi.MaxPrefetches != "3" {
 		t.Fatalf("hardware info: %+v", hi)
@@ -90,10 +90,10 @@ func TestRecencyDegreeThree(t *testing.T) {
 func TestRecencyDegreeOne(t *testing.T) {
 	r := NewRecencyDegree(1)
 	for i, e := range []uint64{1, 2, 3} {
-		r.OnMiss(Event{VPN: uint64(100 + i), EvictedVPN: e, HasEvicted: true})
+		r.OnMiss(Event{VPN: uint64(100 + i), EvictedVPN: e, HasEvicted: true}, nil)
 	}
 	// Stack [3, 2, 1]; miss on 2 prefetches only the prev neighbour (3).
-	act := r.OnMiss(Event{VPN: 2, EvictedVPN: 100, HasEvicted: true})
+	act := r.OnMiss(Event{VPN: 2, EvictedVPN: 100, HasEvicted: true}, nil)
 	wantPrefetches(t, act, 3)
 }
 

@@ -48,8 +48,7 @@ type aspRow struct {
 // table with one slot per row, issuing at most one prefetch (current page +
 // stride) per miss.
 type ASP struct {
-	t   *table.Table[aspRow]
-	buf [1]uint64
+	t *table.Table[aspRow]
 }
 
 // NewASP builds an ASP prefetcher with an entries-row, ways-associative RPT.
@@ -68,7 +67,7 @@ func (a *ASP) ConfigString() string {
 }
 
 // OnMiss implements Prefetcher.
-func (a *ASP) OnMiss(ev Event) Action {
+func (a *ASP) OnMiss(ev Event, dst []uint64) Action {
 	row, ok := a.t.Lookup(ev.PC)
 	if !ok {
 		a.t.Insert(ev.PC, aspRow{prevVPN: ev.VPN, state: aspInitial})
@@ -106,8 +105,7 @@ func (a *ASP) OnMiss(ev Event) Action {
 	}
 	row.prevVPN = ev.VPN
 	if row.state == aspSteady && row.stride != 0 {
-		a.buf[0] = uint64(int64(ev.VPN) + row.stride)
-		return Action{Prefetches: a.buf[:]}
+		return Action{Prefetches: append(dst, uint64(int64(ev.VPN)+row.stride))}
 	}
 	return Action{}
 }

@@ -25,7 +25,6 @@ type Markov struct {
 	slots   int
 	prevVPN uint64
 	hasPrev bool
-	buf     []uint64
 }
 
 // NewMarkov builds an MP prefetcher: entries rows, ways-associative,
@@ -34,7 +33,6 @@ func NewMarkov(entries, ways, s int) *Markov {
 	return &Markov{
 		t:     table.New[table.SlotList](entries, ways),
 		slots: s,
-		buf:   make([]uint64, 0, s),
 	}
 }
 
@@ -47,38 +45,36 @@ func (m *Markov) ConfigString() string {
 }
 
 // OnMiss implements Prefetcher.
-func (m *Markov) OnMiss(ev Event) Action {
-	m.buf = m.buf[:0]
-	// 1. Predict from the current page's row.
-	if row, ok := m.t.Lookup(ev.VPN); ok {
+func (m *Markov) OnMiss(ev Event, dst []uint64) Action {
+	// 1. Predict from the current page's row; 2. allocate it with empty
+	// slots when absent (recycling an evicted row's backing storage).
+	if row, existed := m.t.GetOrInsertLazy(ev.VPN); existed {
 		for _, succ := range row.Values() {
-			m.buf = append(m.buf, uint64(succ))
+			dst = append(dst, uint64(succ))
 		}
 	} else {
-		// 2. Allocate the row with empty slots.
-		m.t.Insert(ev.VPN, table.NewSlotList(m.slots))
+		row.Reset(m.slots)
 	}
 	// 3. Record the transition prev -> current.
 	if m.hasPrev && m.prevVPN != ev.VPN {
-		row, existed := m.t.GetOrInsert(m.prevVPN)
+		row, existed := m.t.GetOrInsertLazy(m.prevVPN)
 		if !existed {
-			*row = table.NewSlotList(m.slots)
+			row.Reset(m.slots)
 		}
 		row.Touch(int64(ev.VPN))
 	}
 	m.prevVPN = ev.VPN
 	m.hasPrev = true
-	if len(m.buf) == 0 {
+	if len(dst) == 0 {
 		return Action{}
 	}
-	return Action{Prefetches: m.buf}
+	return Action{Prefetches: dst}
 }
 
 // Reset implements Prefetcher.
 func (m *Markov) Reset() {
 	m.t.Reset()
 	m.hasPrev = false
-	m.buf = m.buf[:0]
 }
 
 // TableLen reports occupied rows (diagnostics).

@@ -32,8 +32,10 @@ type Event struct {
 // Action is a prefetcher's response to a miss.
 type Action struct {
 	// Prefetches lists the virtual pages to fetch into the prefetch
-	// buffer, strongest prediction first. The slice is only valid until
-	// the next OnMiss call (implementations may reuse it).
+	// buffer, strongest prediction first. It is the dst slice passed to
+	// OnMiss with this miss's predictions appended (nil when the call
+	// appended nothing), so it aliases the caller's scratch buffer and is
+	// only valid until that buffer's next use.
 	Prefetches []uint64
 	// StateMemOps counts memory system operations the mechanism performed
 	// to maintain its own metadata (RP's LRU-stack pointer writes). These
@@ -46,8 +48,13 @@ type Action struct {
 type Prefetcher interface {
 	// Name returns the mechanism's short name (e.g. "DP", "RP").
 	Name() string
-	// OnMiss observes one TLB miss and returns the pages to prefetch.
-	OnMiss(ev Event) Action
+	// OnMiss observes one TLB miss and returns the pages to prefetch,
+	// appended to dst. The simulator owns dst (a reusable scratch buffer
+	// passed with length 0) so that the prediction path performs no
+	// allocation in steady state; implementations must append rather than
+	// retain or reallocate storage of their own. Passing nil dst is valid
+	// (tests do) — append grows a fresh slice.
+	OnMiss(ev Event, dst []uint64) Action
 	// Reset clears all prediction state (used between runs and by the
 	// multiprogramming flush study).
 	Reset()
@@ -78,7 +85,7 @@ type Nop struct{}
 func (Nop) Name() string { return "none" }
 
 // OnMiss implements Prefetcher.
-func (Nop) OnMiss(Event) Action { return Action{} }
+func (Nop) OnMiss(Event, []uint64) Action { return Action{} }
 
 // Reset implements Prefetcher.
 func (Nop) Reset() {}

@@ -24,7 +24,7 @@ func wantPrefetches(t *testing.T, act Action, want ...uint64) {
 
 func TestNop(t *testing.T) {
 	var n Nop
-	if got := n.OnMiss(ev(5)); len(got.Prefetches) != 0 || got.StateMemOps != 0 {
+	if got := n.OnMiss(ev(5), nil); len(got.Prefetches) != 0 || got.StateMemOps != 0 {
 		t.Fatalf("Nop acted: %+v", got)
 	}
 	if n.Name() != "none" {
@@ -34,15 +34,15 @@ func TestNop(t *testing.T) {
 
 func TestSequentialTagged(t *testing.T) {
 	s := NewSequential(true)
-	wantPrefetches(t, s.OnMiss(ev(10)), 11)
+	wantPrefetches(t, s.OnMiss(ev(10), nil), 11)
 	// Tagged: a buffer hit also triggers.
-	wantPrefetches(t, s.OnMiss(Event{VPN: 11, BufferHit: true}), 12)
+	wantPrefetches(t, s.OnMiss(Event{VPN: 11, BufferHit: true}, nil), 12)
 }
 
 func TestSequentialUntagged(t *testing.T) {
 	s := NewSequential(false)
-	wantPrefetches(t, s.OnMiss(ev(10)), 11)
-	if got := s.OnMiss(Event{VPN: 11, BufferHit: true}); len(got.Prefetches) != 0 {
+	wantPrefetches(t, s.OnMiss(ev(10), nil), 11)
+	if got := s.OnMiss(Event{VPN: 11, BufferHit: true}, nil); len(got.Prefetches) != 0 {
 		t.Fatalf("untagged SP prefetched on buffer hit: %v", got.Prefetches)
 	}
 }
@@ -50,17 +50,17 @@ func TestSequentialUntagged(t *testing.T) {
 func TestASPWarmupThenSteady(t *testing.T) {
 	a := NewASP(64, 1)
 	// Miss 1: allocate row, no prefetch.
-	if got := a.OnMiss(evPC(100, 10)); len(got.Prefetches) != 0 {
+	if got := a.OnMiss(evPC(100, 10), nil); len(got.Prefetches) != 0 {
 		t.Fatalf("prefetch on first sighting: %v", got.Prefetches)
 	}
 	// Miss 2: stride 2 learned (initial -> transient), no prefetch yet.
-	if got := a.OnMiss(evPC(100, 12)); len(got.Prefetches) != 0 {
+	if got := a.OnMiss(evPC(100, 12), nil); len(got.Prefetches) != 0 {
 		t.Fatalf("prefetch before stride confirmed: %v", got.Prefetches)
 	}
 	// Miss 3: stride confirmed (transient -> steady) -> prefetch 14+2.
-	wantPrefetches(t, a.OnMiss(evPC(100, 14)), 16)
+	wantPrefetches(t, a.OnMiss(evPC(100, 14), nil), 16)
 	// Steady continues.
-	wantPrefetches(t, a.OnMiss(evPC(100, 16)), 18)
+	wantPrefetches(t, a.OnMiss(evPC(100, 16), nil), 18)
 	if a.TableLen() != 1 {
 		t.Fatalf("table len = %d, want 1", a.TableLen())
 	}
@@ -68,37 +68,37 @@ func TestASPWarmupThenSteady(t *testing.T) {
 
 func TestASPForgivesOneBlip(t *testing.T) {
 	a := NewASP(64, 1)
-	a.OnMiss(evPC(7, 100))
-	a.OnMiss(evPC(7, 102))
-	wantPrefetches(t, a.OnMiss(evPC(7, 104)), 106) // steady, stride 2
+	a.OnMiss(evPC(7, 100), nil)
+	a.OnMiss(evPC(7, 102), nil)
+	wantPrefetches(t, a.OnMiss(evPC(7, 104), nil), 106) // steady, stride 2
 	// Blip: jump to 200 (steady -> initial, stride kept at 2).
-	if got := a.OnMiss(evPC(7, 200)); len(got.Prefetches) != 0 {
+	if got := a.OnMiss(evPC(7, 200), nil); len(got.Prefetches) != 0 {
 		t.Fatalf("prefetch on blip: %v", got.Prefetches)
 	}
 	// Old stride resumes: initial + correct -> steady immediately.
-	wantPrefetches(t, a.OnMiss(evPC(7, 202)), 204)
+	wantPrefetches(t, a.OnMiss(evPC(7, 202), nil), 204)
 }
 
 func TestASPStrideChangeRelearns(t *testing.T) {
 	a := NewASP(64, 1)
-	a.OnMiss(evPC(7, 0))
-	a.OnMiss(evPC(7, 2))
-	wantPrefetches(t, a.OnMiss(evPC(7, 4)), 6) // steady at 2
+	a.OnMiss(evPC(7, 0), nil)
+	a.OnMiss(evPC(7, 2), nil)
+	wantPrefetches(t, a.OnMiss(evPC(7, 4), nil), 6) // steady at 2
 	// Stride changes to 5 and stays there.
-	if got := a.OnMiss(evPC(7, 9)); len(got.Prefetches) != 0 { // steady->initial
+	if got := a.OnMiss(evPC(7, 9), nil); len(got.Prefetches) != 0 { // steady->initial
 		t.Fatalf("prefetch during change: %v", got.Prefetches)
 	}
-	if got := a.OnMiss(evPC(7, 14)); len(got.Prefetches) != 0 { // initial->transient (stride=5)
+	if got := a.OnMiss(evPC(7, 14), nil); len(got.Prefetches) != 0 { // initial->transient (stride=5)
 		t.Fatalf("prefetch during relearn: %v", got.Prefetches)
 	}
-	wantPrefetches(t, a.OnMiss(evPC(7, 19)), 24) // transient->steady
+	wantPrefetches(t, a.OnMiss(evPC(7, 19), nil), 24) // transient->steady
 }
 
 func TestASPErraticSuppressed(t *testing.T) {
 	a := NewASP(64, 1)
 	pages := []uint64{0, 3, 9, 100, 7, 250, 31}
 	for _, p := range pages {
-		if got := a.OnMiss(evPC(7, p)); len(got.Prefetches) != 0 {
+		if got := a.OnMiss(evPC(7, p), nil); len(got.Prefetches) != 0 {
 			t.Fatalf("erratic stream produced prefetch at page %d: %v", p, got.Prefetches)
 		}
 	}
@@ -107,7 +107,7 @@ func TestASPErraticSuppressed(t *testing.T) {
 func TestASPZeroStrideSuppressed(t *testing.T) {
 	a := NewASP(64, 1)
 	for i := 0; i < 5; i++ {
-		if got := a.OnMiss(evPC(7, 42)); len(got.Prefetches) != 0 {
+		if got := a.OnMiss(evPC(7, 42), nil); len(got.Prefetches) != 0 {
 			t.Fatalf("zero-stride prefetch: %v", got.Prefetches)
 		}
 	}
@@ -118,8 +118,8 @@ func TestASPSeparatePCsIndependent(t *testing.T) {
 	// Interleaved streams by two PCs, each stride 1.
 	var last Action
 	for i := uint64(0); i < 4; i++ {
-		a.OnMiss(evPC(1, 10+i))
-		last = a.OnMiss(evPC(2, 500+2*i))
+		a.OnMiss(evPC(1, 10+i), nil)
+		last = a.OnMiss(evPC(2, 500+2*i), nil)
 	}
 	// PC 2 is steady at stride 2 by its third miss.
 	wantPrefetches(t, last, 500+2*3+2)
@@ -131,11 +131,11 @@ func TestASPSeparatePCsIndependent(t *testing.T) {
 func TestASPTableConflictEvicts(t *testing.T) {
 	// 2-entry direct-mapped table: PCs 0 and 2 conflict (both even set... 2 sets: 0,2 -> set 0).
 	a := NewASP(2, 1)
-	a.OnMiss(evPC(0, 10))
-	a.OnMiss(evPC(2, 50)) // evicts PC 0's row
-	a.OnMiss(evPC(0, 12)) // reallocates: treated as first sighting
-	a.OnMiss(evPC(0, 14))
-	if got := a.OnMiss(evPC(0, 16)); len(got.Prefetches) != 1 {
+	a.OnMiss(evPC(0, 10), nil)
+	a.OnMiss(evPC(2, 50), nil) // evicts PC 0's row
+	a.OnMiss(evPC(0, 12), nil) // reallocates: treated as first sighting
+	a.OnMiss(evPC(0, 14), nil)
+	if got := a.OnMiss(evPC(0, 16), nil); len(got.Prefetches) != 1 {
 		// 12 -> 14 (transient), 14 -> 16 (steady): prefetch
 		t.Fatalf("relearn after conflict failed: %v", got.Prefetches)
 	}
@@ -143,21 +143,21 @@ func TestASPTableConflictEvicts(t *testing.T) {
 
 func TestMarkovLearnsSuccessors(t *testing.T) {
 	m := NewMarkov(64, 64, 2)
-	m.OnMiss(ev(1)) // allocate 1
-	m.OnMiss(ev(2)) // allocate 2, record 1->2
+	m.OnMiss(ev(1), nil) // allocate 1
+	m.OnMiss(ev(2), nil) // allocate 2, record 1->2
 	// Second visit to 1 predicts 2.
-	wantPrefetches(t, m.OnMiss(ev(1)), 2) // also records 2->1
-	wantPrefetches(t, m.OnMiss(ev(2)), 1)
+	wantPrefetches(t, m.OnMiss(ev(1), nil), 2) // also records 2->1
+	wantPrefetches(t, m.OnMiss(ev(2), nil), 1)
 }
 
 func TestMarkovAlternationTwoSlots(t *testing.T) {
 	m := NewMarkov(64, 64, 2)
 	seq := []uint64{1, 2, 3, 4, 1, 5, 2, 6, 3, 7, 4, 8}
 	for _, p := range seq {
-		m.OnMiss(ev(p))
+		m.OnMiss(ev(p), nil)
 	}
 	// Row 1 has seen successors 2 then 5: MRU first = [5, 2].
-	act := m.OnMiss(ev(1))
+	act := m.OnMiss(ev(1), nil)
 	wantPrefetches(t, act, 5, 2)
 }
 
@@ -165,18 +165,18 @@ func TestMarkovSlotLRUEviction(t *testing.T) {
 	m := NewMarkov(64, 64, 2)
 	// 1 is followed by 10, 20, 30 in turn; s=2 keeps the two most recent.
 	for _, succ := range []uint64{10, 20, 30} {
-		m.OnMiss(ev(1))
-		m.OnMiss(ev(succ))
+		m.OnMiss(ev(1), nil)
+		m.OnMiss(ev(succ), nil)
 	}
-	act := m.OnMiss(ev(1))
+	act := m.OnMiss(ev(1), nil)
 	wantPrefetches(t, act, 30, 20)
 }
 
 func TestMarkovSelfLoopNotRecorded(t *testing.T) {
 	m := NewMarkov(64, 64, 2)
-	m.OnMiss(ev(5))
-	m.OnMiss(ev(5)) // same page misses twice in a row: no 5->5 edge
-	if got := m.OnMiss(ev(5)); len(got.Prefetches) != 0 {
+	m.OnMiss(ev(5), nil)
+	m.OnMiss(ev(5), nil) // same page misses twice in a row: no 5->5 edge
+	if got := m.OnMiss(ev(5), nil); len(got.Prefetches) != 0 {
 		t.Fatalf("self-loop recorded: %v", got.Prefetches)
 	}
 }
@@ -184,26 +184,26 @@ func TestMarkovSelfLoopNotRecorded(t *testing.T) {
 func TestMarkovRowReplacedOnConflict(t *testing.T) {
 	// Direct-mapped, 2 rows: pages 2 and 4 map to set 0, page 1/3 to set 1.
 	m := NewMarkov(2, 1, 2)
-	m.OnMiss(ev(2))
-	m.OnMiss(ev(1)) // records 2->1
-	m.OnMiss(ev(4)) // allocating row 4 evicts row 2 (same set), records 1->4
+	m.OnMiss(ev(2), nil)
+	m.OnMiss(ev(1), nil) // records 2->1
+	m.OnMiss(ev(4), nil) // allocating row 4 evicts row 2 (same set), records 1->4
 	// 2 must relearn.
-	if got := m.OnMiss(ev(2)); len(got.Prefetches) != 0 {
+	if got := m.OnMiss(ev(2), nil); len(got.Prefetches) != 0 {
 		t.Fatalf("row should have been evicted: %v", got.Prefetches)
 	}
 }
 
 func TestMarkovReset(t *testing.T) {
 	m := NewMarkov(64, 64, 2)
-	m.OnMiss(ev(1))
-	m.OnMiss(ev(2))
+	m.OnMiss(ev(1), nil)
+	m.OnMiss(ev(2), nil)
 	m.Reset()
 	if m.TableLen() != 0 {
 		t.Fatal("table not cleared")
 	}
 	// No stale prev page: the first post-reset miss records nothing.
-	m.OnMiss(ev(9))
-	if got := m.OnMiss(ev(1)); len(got.Prefetches) != 0 {
+	m.OnMiss(ev(9), nil)
+	if got := m.OnMiss(ev(1), nil); len(got.Prefetches) != 0 {
 		t.Fatalf("stale state after reset: %v", got.Prefetches)
 	}
 }
@@ -211,7 +211,7 @@ func TestMarkovReset(t *testing.T) {
 func TestRecencyColdStartNoPrefetch(t *testing.T) {
 	r := NewRecency()
 	// Nothing evicted yet, nothing in the stack.
-	act := r.OnMiss(ev(1))
+	act := r.OnMiss(ev(1), nil)
 	if len(act.Prefetches) != 0 || act.StateMemOps != 0 {
 		t.Fatalf("cold miss acted: %+v", act)
 	}
@@ -219,8 +219,8 @@ func TestRecencyColdStartNoPrefetch(t *testing.T) {
 
 func TestRecencyPushesEvictions(t *testing.T) {
 	r := NewRecency()
-	r.OnMiss(Event{VPN: 3, EvictedVPN: 1, HasEvicted: true})
-	r.OnMiss(Event{VPN: 4, EvictedVPN: 2, HasEvicted: true})
+	r.OnMiss(Event{VPN: 3, EvictedVPN: 1, HasEvicted: true}, nil)
+	r.OnMiss(Event{VPN: 4, EvictedVPN: 2, HasEvicted: true}, nil)
 	// Stack is now [2, 1] (2 on top).
 	got := r.PageTable().StackWalk()
 	if len(got) != 2 || got[0] != 2 || got[1] != 1 {
@@ -231,12 +231,12 @@ func TestRecencyPushesEvictions(t *testing.T) {
 func TestRecencyPrefetchesNeighbors(t *testing.T) {
 	r := NewRecency()
 	// Build stack [3, 2, 1] via evictions.
-	r.OnMiss(Event{VPN: 10, EvictedVPN: 1, HasEvicted: true})
-	r.OnMiss(Event{VPN: 11, EvictedVPN: 2, HasEvicted: true})
-	r.OnMiss(Event{VPN: 12, EvictedVPN: 3, HasEvicted: true})
+	r.OnMiss(Event{VPN: 10, EvictedVPN: 1, HasEvicted: true}, nil)
+	r.OnMiss(Event{VPN: 11, EvictedVPN: 2, HasEvicted: true}, nil)
+	r.OnMiss(Event{VPN: 12, EvictedVPN: 3, HasEvicted: true}, nil)
 	// Miss on 2 (middle of stack): prefetch neighbours 3 (prev) and 1 (next);
 	// 2 is unlinked and the eviction (10) pushed on top.
-	act := r.OnMiss(Event{VPN: 2, EvictedVPN: 10, HasEvicted: true})
+	act := r.OnMiss(Event{VPN: 2, EvictedVPN: 10, HasEvicted: true}, nil)
 	wantPrefetches(t, act, 3, 1)
 	// Unlink middle (2 writes) + push on non-empty stack (2 writes).
 	if act.StateMemOps != 4 {
@@ -253,16 +253,16 @@ func TestRecencyPrefetchesNeighbors(t *testing.T) {
 
 func TestRecencyMissOnTopOfStack(t *testing.T) {
 	r := NewRecency()
-	r.OnMiss(Event{VPN: 10, EvictedVPN: 1, HasEvicted: true})
-	r.OnMiss(Event{VPN: 11, EvictedVPN: 2, HasEvicted: true})
+	r.OnMiss(Event{VPN: 10, EvictedVPN: 1, HasEvicted: true}, nil)
+	r.OnMiss(Event{VPN: 11, EvictedVPN: 2, HasEvicted: true}, nil)
 	// Miss on 2 (top): only neighbour is 1.
-	act := r.OnMiss(Event{VPN: 2, EvictedVPN: 10, HasEvicted: true})
+	act := r.OnMiss(Event{VPN: 2, EvictedVPN: 10, HasEvicted: true}, nil)
 	wantPrefetches(t, act, 1)
 }
 
 func TestRecencyReset(t *testing.T) {
 	r := NewRecency()
-	r.OnMiss(Event{VPN: 3, EvictedVPN: 1, HasEvicted: true})
+	r.OnMiss(Event{VPN: 3, EvictedVPN: 1, HasEvicted: true}, nil)
 	r.Reset()
 	if r.PageTable().StackSize() != 0 || r.PageTable().Pages() != 0 {
 		t.Fatal("reset left stack state")

@@ -23,7 +23,6 @@ import (
 type Recency struct {
 	pt     *pagetable.PageTable
 	degree int
-	buf    []uint64
 }
 
 // NewRecency builds an RP prefetcher with its own page table, prefetching
@@ -42,22 +41,22 @@ func NewRecencyDegree(degree int) *Recency {
 	if degree < 1 {
 		panic("prefetch: RP degree must be at least 1")
 	}
-	return &Recency{pt: pagetable.New(), degree: degree, buf: make([]uint64, 0, degree)}
+	return &Recency{pt: pagetable.New(), degree: degree}
 }
 
 // Name implements Prefetcher.
 func (r *Recency) Name() string { return "RP" }
 
 // OnMiss implements Prefetcher.
-func (r *Recency) OnMiss(ev Event) Action {
-	r.buf = append(r.buf[:0], r.pt.NeighborsN(ev.VPN, r.degree)...)
+func (r *Recency) OnMiss(ev Event, dst []uint64) Action {
+	dst = r.pt.AppendNeighborsN(dst, ev.VPN, r.degree)
 	ops := r.pt.Unlink(ev.VPN)
 	if ev.HasEvicted {
 		ops += r.pt.Push(ev.EvictedVPN)
 	}
 	act := Action{StateMemOps: ops}
-	if len(r.buf) > 0 {
-		act.Prefetches = r.buf
+	if len(dst) > 0 {
+		act.Prefetches = dst
 	}
 	return act
 }
@@ -65,7 +64,6 @@ func (r *Recency) OnMiss(ev Event) Action {
 // Reset implements Prefetcher.
 func (r *Recency) Reset() {
 	r.pt.Reset()
-	r.buf = r.buf[:0]
 }
 
 // PageTable exposes the underlying page table for tests and invariant

@@ -9,7 +9,6 @@ package prefetch
 // on demand fetches (misses that also missed the prefetch buffer).
 type Sequential struct {
 	tagged bool
-	buf    [1]uint64
 }
 
 // NewSequential returns an SP prefetcher. tagged selects the tagged variant.
@@ -26,12 +25,11 @@ func (s *Sequential) Name() string {
 }
 
 // OnMiss implements Prefetcher.
-func (s *Sequential) OnMiss(ev Event) Action {
+func (s *Sequential) OnMiss(ev Event, dst []uint64) Action {
 	if !s.tagged && ev.BufferHit {
 		return Action{}
 	}
-	s.buf[0] = ev.VPN + 1
-	return Action{Prefetches: s.buf[:]}
+	return Action{Prefetches: append(dst, ev.VPN+1)}
 }
 
 // Reset implements Prefetcher.

@@ -8,12 +8,27 @@ import (
 
 // Group fans one reference stream out to many simulators, so that the
 // experiment harness can evaluate every mechanism configuration of a figure
-// in a single pass over the (regenerated) workload. Each member keeps its
-// own TLB and buffer; because fills always happen at miss time, members with
-// identical TLB geometry see identical miss streams, exactly as if run
-// separately.
+// in a single pass over the (regenerated) workload.
+//
+// Because fills always happen at miss time, members with identical TLB
+// geometry see identical TLB contents and identical miss streams, exactly
+// as if run separately. Group exploits that: when every member shares the
+// same TLB geometry and page size (the common case — experiments.RunApp
+// runs 21 mechanism configurations against one TLB configuration), it runs
+// a single canonical TLB as a shared frontend. Each reference probes that
+// one TLB once, and only misses fan out to the members' private
+// buffer+mechanism back halves — collapsing N-way redundant probe work
+// into one probe while producing bit-identical per-member statistics
+// (pinned by TestGroupSharedFrontendEquivalence).
+//
+// Members with heterogeneous geometry fall back to full independent
+// fan-out transparently.
 type Group struct {
 	members []*Simulator
+
+	prepared bool
+	shared   bool
+	started  bool // references have been delivered
 }
 
 // NewGroup builds a fan-out over the given simulators.
@@ -21,16 +36,79 @@ func NewGroup(members ...*Simulator) *Group {
 	return &Group{members: members}
 }
 
-// Add appends a member.
-func (g *Group) Add(s *Simulator) { g.members = append(g.members, s) }
+// Add appends a member. Adding to a group that has already delivered
+// references in shared-frontend mode is a programming error: the existing
+// members' TLB state lives only in the canonical frontend, so the
+// independent fan-out the new member would force cannot reproduce it.
+// (Adding to a started independent group is fine — the newcomer simply
+// starts cold, as it always did.)
+func (g *Group) Add(s *Simulator) {
+	if g.started && g.shared {
+		panic("sim: cannot Add to a Group that already ran with a shared frontend")
+	}
+	g.members = append(g.members, s)
+	g.prepared = false
+}
 
 // Members returns the member simulators in insertion order.
 func (g *Group) Members() []*Simulator { return g.members }
 
+// SharedFrontend reports whether the group is (or would be, before the
+// first reference) running one canonical TLB for all members.
+func (g *Group) SharedFrontend() bool {
+	if !g.prepared {
+		g.prepare()
+	}
+	return g.shared
+}
+
+// prepare decides the fan-out strategy. The shared frontend is only safe
+// when all members have the same TLB geometry and page size AND are still
+// pristine — a member that already simulated references on its own has TLB
+// state the canonical TLB would not reproduce.
+func (g *Group) prepare() {
+	g.prepared = true
+	g.shared = false
+	if len(g.members) < 2 {
+		return
+	}
+	first := g.members[0]
+	for _, m := range g.members {
+		if m.cfg.TLB != first.cfg.TLB || m.cfg.PageShift != first.cfg.PageShift {
+			return
+		}
+		if m.stat.Refs != 0 || m.tlb.Len() != 0 {
+			return
+		}
+	}
+	g.shared = true
+}
+
 // Ref delivers one reference to every member.
 func (g *Group) Ref(pc, vaddr uint64) {
+	if !g.prepared {
+		g.prepare()
+	}
+	g.started = true
+	if !g.shared {
+		for _, m := range g.members {
+			m.Ref(pc, vaddr)
+		}
+		return
+	}
+	// Shared frontend: one canonical probe, misses fan out.
+	front := g.members[0]
+	vpn := vaddr >> front.cfg.PageShift
+	if front.tlb.Access(vpn) {
+		for _, m := range g.members {
+			m.stat.Refs++
+		}
+		return
+	}
+	evicted, hasEvicted := front.tlb.Insert(vpn)
 	for _, m := range g.members {
-		m.Ref(pc, vaddr)
+		m.stat.Refs++
+		m.miss(pc, vpn, evicted, hasEvicted, front.tlb)
 	}
 }
 

@@ -1,0 +1,267 @@
+package sim
+
+import (
+	"testing"
+
+	"tlbprefetch/internal/core"
+	"tlbprefetch/internal/prefetch"
+	"tlbprefetch/internal/tlb"
+	"tlbprefetch/internal/workload"
+)
+
+// equivMechs is the mechanism mix the experiment harness fans out: every
+// family, with differing buffer-facing behaviour (multi-prefetch batches,
+// PC indexing, in-memory metadata, no-op baseline).
+func equivMechs() []prefetch.Prefetcher {
+	return []prefetch.Prefetcher{
+		nil, // no-prefetch baseline
+		prefetch.NewSequential(true),
+		prefetch.NewAdaptiveSequential(),
+		prefetch.NewASP(64, 1),
+		prefetch.NewMarkov(64, 1, 2),
+		prefetch.NewRecency(),
+		core.NewDistance(64, 1, 2),
+		core.NewDistance2(64, 1, 2),
+	}
+}
+
+// TestGroupSharedFrontendEquivalence is the differential contract of the
+// shared frontend: for each workload, a Group whose members share TLB
+// geometry (and therefore runs one canonical TLB) must produce member
+// Stats byte-identical to running each member as an independent Simulator
+// over the same stream.
+func TestGroupSharedFrontendEquivalence(t *testing.T) {
+	cfg := Config{TLB: tlb.Config{Entries: 32}, BufferEntries: 8, PageShift: 12}
+	for _, wname := range []string{"swim", "gzip", "mcf", "gap", "gsm-enc", "ks"} {
+		w, ok := workload.ByName(wname)
+		if !ok {
+			t.Fatalf("workload %s missing", wname)
+		}
+		// Shared-frontend group run.
+		g := NewGroup()
+		for _, pf := range equivMechs() {
+			g.Add(New(cfg, pf))
+		}
+		if !g.SharedFrontend() {
+			t.Fatalf("%s: homogeneous group did not enable the shared frontend", wname)
+		}
+		workload.Generate(w, 60_000, func(pc, vaddr uint64) bool {
+			g.Ref(pc, vaddr)
+			return true
+		})
+
+		// Independent runs over the identical regenerated stream.
+		for i, pf := range equivMechs() {
+			ind := New(cfg, pf)
+			workload.Generate(w, 60_000, func(pc, vaddr uint64) bool {
+				ind.Ref(pc, vaddr)
+				return true
+			})
+			got := g.Members()[i].Stats()
+			want := ind.Stats()
+			if got != want {
+				t.Errorf("%s member %d (%s): shared %+v != independent %+v",
+					wname, i, g.Members()[i].Prefetcher().Name(), got, want)
+			}
+		}
+	}
+}
+
+// TestGroupSharedFrontendMidRunStatsReset mirrors experiments.RunApp's
+// warmup protocol: counters reset mid-run (structures stay warm) must
+// leave shared and independent pipelines in agreement.
+func TestGroupSharedFrontendMidRunStatsReset(t *testing.T) {
+	cfg := Config{TLB: tlb.Config{Entries: 32}, BufferEntries: 8, PageShift: 12}
+	w, _ := workload.ByName("swim")
+	const warmup, run = 20_000, 40_000
+
+	g := NewGroup()
+	for _, pf := range equivMechs() {
+		g.Add(New(cfg, pf))
+	}
+	var seen uint64
+	workload.Generate(w, warmup+run, func(pc, vaddr uint64) bool {
+		g.Ref(pc, vaddr)
+		seen++
+		if seen == warmup {
+			for _, m := range g.Members() {
+				m.ResetStats()
+			}
+		}
+		return true
+	})
+
+	for i, pf := range equivMechs() {
+		ind := New(cfg, pf)
+		var n uint64
+		workload.Generate(w, warmup+run, func(pc, vaddr uint64) bool {
+			ind.Ref(pc, vaddr)
+			n++
+			if n == warmup {
+				ind.ResetStats()
+			}
+			return true
+		})
+		if got, want := g.Members()[i].Stats(), ind.Stats(); got != want {
+			t.Errorf("member %d: shared %+v != independent %+v", i, got, want)
+		}
+	}
+}
+
+// TestGroupHeterogeneousFallsBack checks that geometry-diverse members
+// disable the shared frontend and still match independent runs (the
+// pre-existing fan-out semantics).
+func TestGroupHeterogeneousFallsBack(t *testing.T) {
+	cfgA := Config{TLB: tlb.Config{Entries: 32}, BufferEntries: 8, PageShift: 12}
+	cfgB := Config{TLB: tlb.Config{Entries: 16, Ways: 2}, BufferEntries: 8, PageShift: 12}
+	g := NewGroup(New(cfgA, prefetch.NewSequential(true)), New(cfgB, core.NewDistance(64, 1, 2)))
+	if g.SharedFrontend() {
+		t.Fatal("heterogeneous group claimed a shared frontend")
+	}
+	w, _ := workload.ByName("gzip")
+	workload.Generate(w, 30_000, func(pc, vaddr uint64) bool {
+		g.Ref(pc, vaddr)
+		return true
+	})
+	for i, cfg := range []Config{cfgA, cfgB} {
+		var pf prefetch.Prefetcher
+		if i == 0 {
+			pf = prefetch.NewSequential(true)
+		} else {
+			pf = core.NewDistance(64, 1, 2)
+		}
+		ind := New(cfg, pf)
+		workload.Generate(w, 30_000, func(pc, vaddr uint64) bool {
+			ind.Ref(pc, vaddr)
+			return true
+		})
+		if got, want := g.Members()[i].Stats(), ind.Stats(); got != want {
+			t.Errorf("member %d: group %+v != independent %+v", i, got, want)
+		}
+	}
+}
+
+// TestGroupUsedMembersFallBack checks the pristine-state guard: a member
+// that already simulated references on its own must force independent
+// fan-out, not a shared frontend seeded from an empty canonical TLB.
+func TestGroupUsedMembersFallBack(t *testing.T) {
+	cfg := Config{TLB: tlb.Config{Entries: 8}, BufferEntries: 4, PageShift: 12}
+	a, b := New(cfg, nil), New(cfg, nil)
+	a.Ref(0, 42<<12) // a now has TLB state the canonical TLB wouldn't share
+	g := NewGroup(a, b)
+	if g.SharedFrontend() {
+		t.Fatal("group with a used member claimed a shared frontend")
+	}
+	g.Ref(0, 42<<12)
+	if st := a.Stats(); st.Misses != 1 {
+		t.Fatalf("member a: %+v (the second touch of page 42 must hit)", st)
+	}
+	if st := b.Stats(); st.Misses != 1 {
+		t.Fatalf("member b: %+v (first touch of page 42 must miss)", st)
+	}
+}
+
+// TestGroupAddAfterSharedStartPanics: once the shared frontend has
+// delivered references, the members' TLB state exists only in the
+// canonical TLB, so growing the group (which would force independent
+// fan-out) must fail loudly instead of silently corrupting members.
+func TestGroupAddAfterSharedStartPanics(t *testing.T) {
+	cfg := Config{TLB: tlb.Config{Entries: 8}, BufferEntries: 4, PageShift: 12}
+	g := NewGroup(New(cfg, nil), New(cfg, nil))
+	g.Ref(0, 42<<12)
+	if !g.SharedFrontend() {
+		t.Fatal("expected shared frontend")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add after shared-frontend start did not panic")
+		}
+	}()
+	g.Add(New(cfg, nil))
+}
+
+// TestGroupAddAfterIndependentStartStaysCorrect: growing a started
+// independent group keeps the old semantics — the newcomer simply starts
+// cold.
+func TestGroupAddAfterIndependentStartStaysCorrect(t *testing.T) {
+	cfgA := Config{TLB: tlb.Config{Entries: 8}, BufferEntries: 4, PageShift: 12}
+	cfgB := Config{TLB: tlb.Config{Entries: 4, Ways: 2}, BufferEntries: 4, PageShift: 12}
+	g := NewGroup(New(cfgA, nil), New(cfgB, nil))
+	g.Ref(0, 42<<12)
+	late := New(cfgA, nil)
+	g.Add(late)
+	g.Ref(0, 42<<12) // hit for the old members, cold miss for the newcomer
+	if st := g.Members()[0].Stats(); st.Refs != 2 || st.Misses != 1 {
+		t.Fatalf("old member: %+v", st)
+	}
+	if st := late.Stats(); st.Refs != 1 || st.Misses != 1 {
+		t.Fatalf("late member: %+v", st)
+	}
+}
+
+// TestStatsWindowedUnusedAfterReset: ResetStats opens a new statistics
+// window; warmup-era prefetches must not appear in the window's unused
+// count (previously the buffer's lifetime counters leaked through, so
+// PrefetchesUnused could exceed PrefetchesIssued).
+func TestStatsWindowedUnusedAfterReset(t *testing.T) {
+	s := New(Config{TLB: tlb.Config{Entries: 8}, BufferEntries: 4, PageShift: 12},
+		prefetch.NewSequential(true))
+	s.Ref(0, 10<<12) // warmup: prefetches page 11, never used
+	s.ResetStats()
+	st := s.Stats()
+	if st.PrefetchesIssued != 0 || st.PrefetchesUnused != 0 {
+		t.Fatalf("fresh window: issued=%d unused=%d, want 0,0",
+			st.PrefetchesIssued, st.PrefetchesUnused)
+	}
+	// A warmup-era prefetch used inside the window counts as a buffer hit
+	// but never as window-unused, and must not underflow anything.
+	s.Ref(0, 11<<12) // uses the warmup prefetch of 11; prefetches 12
+	st = s.Stats()
+	if st.BufferHits != 1 {
+		t.Fatalf("buffer hits = %d, want 1", st.BufferHits)
+	}
+	if st.PrefetchesUnused != 1 { // page 12, issued in-window, unused
+		t.Fatalf("unused = %d, want 1", st.PrefetchesUnused)
+	}
+	if st.PrefetchesUnused > st.PrefetchesIssued {
+		t.Fatalf("unused %d exceeds issued %d", st.PrefetchesUnused, st.PrefetchesIssued)
+	}
+}
+
+// TestStatsCountResidentUnusedPrefetches is the regression test for the
+// unused-prefetch accounting: prefetches still sitting in the buffer at
+// snapshot time were never used and must count, not only the ones the
+// buffer evicted.
+func TestStatsCountResidentUnusedPrefetches(t *testing.T) {
+	s := New(Config{TLB: tlb.Config{Entries: 8}, BufferEntries: 4, PageShift: 12},
+		prefetch.NewSequential(true))
+	// Page 10 misses; SP prefetches page 11, which is never referenced.
+	s.Ref(0, 10<<12)
+	st := s.Stats()
+	if st.PrefetchesIssued != 1 {
+		t.Fatalf("issued = %d, want 1", st.PrefetchesIssued)
+	}
+	if st.PrefetchesUnused != 1 {
+		t.Fatalf("PrefetchesUnused = %d, want 1 (page 11 resident and unused)", st.PrefetchesUnused)
+	}
+	// Using the prefetch removes it from the unused count.
+	s.Ref(0, 11<<12) // buffer hit on 11; SP prefetches 12 (again unused)
+	st = s.Stats()
+	if st.BufferHits != 1 {
+		t.Fatalf("buffer hits = %d, want 1", st.BufferHits)
+	}
+	if st.PrefetchesUnused != 1 {
+		t.Fatalf("PrefetchesUnused = %d, want 1 (only page 12 outstanding)", st.PrefetchesUnused)
+	}
+	// An eviction moves an entry from resident-unused to evicted-unused
+	// without double counting: fill the 4-entry buffer past capacity.
+	for p := uint64(100); p < 108; p += 2 {
+		s.Ref(0, p<<12) // each miss prefetches p+1; none ever used
+	}
+	st = s.Stats()
+	wantUnused := st.PrefetchesIssued - st.BufferHits // nothing else consumed them
+	if st.PrefetchesUnused != wantUnused {
+		t.Fatalf("PrefetchesUnused = %d, want %d (= issued %d - used %d)",
+			st.PrefetchesUnused, wantUnused, st.PrefetchesIssued, st.BufferHits)
+	}
+}

@@ -65,7 +65,11 @@ type Stats struct {
 	PrefetchesRequested uint64 // pages the mechanism asked to prefetch
 	PrefetchesIssued    uint64 // actually fetched (not already in TLB/buffer)
 	PrefetchDuplicates  uint64 // dropped: already resident in TLB or buffer
-	PrefetchesUnused    uint64 // evicted from the buffer before any use
+	// PrefetchesUnused counts prefetches that never served a miss: those
+	// evicted from the buffer before any use, plus those still sitting
+	// unused in the buffer at snapshot time (every resident entry is
+	// unused by definition — a use removes it).
+	PrefetchesUnused uint64
 
 	StateMemOps uint64 // mechanism metadata memory ops (RP pointers)
 }
@@ -98,6 +102,12 @@ type Simulator struct {
 	buf  *tlb.PrefetchBuffer
 	pf   prefetch.Prefetcher
 	stat Stats
+
+	// scratch is the reusable prediction buffer handed to the mechanism on
+	// every miss (see prefetch.Prefetcher.OnMiss); it grows to the largest
+	// prediction batch once and is never reallocated afterwards, keeping
+	// the per-reference path allocation-free.
+	scratch []uint64
 }
 
 // New builds a simulator around the given mechanism. A nil mechanism means
@@ -130,6 +140,15 @@ func (s *Simulator) Ref(pc, vaddr uint64) {
 	if s.tlb.Access(vpn) {
 		return
 	}
+	evicted, hasEvicted := s.tlb.Insert(vpn)
+	s.miss(pc, vpn, evicted, hasEvicted, s.tlb)
+}
+
+// miss runs the back half of the pipeline for one TLB miss: the buffer
+// probe, the mechanism callback and the prefetch issue, checking duplicate
+// residency against t (the simulator's own TLB, or the canonical TLB when
+// driven by a shared-frontend Group).
+func (s *Simulator) miss(pc, vpn uint64, evicted uint64, hasEvicted bool, t *tlb.TLB) {
 	s.stat.Misses++
 
 	// Probe the prefetch buffer; a hit migrates the entry into the TLB.
@@ -140,24 +159,25 @@ func (s *Simulator) Ref(pc, vaddr uint64) {
 		s.stat.DemandFetches++
 	}
 
-	evicted, hasEvicted := s.tlb.Insert(vpn)
-
 	act := s.pf.OnMiss(prefetch.Event{
 		VPN:        vpn,
 		PC:         pc,
 		BufferHit:  bufferHit,
 		EvictedVPN: evicted,
 		HasEvicted: hasEvicted,
-	})
+	}, s.scratch[:0])
 	s.stat.StateMemOps += uint64(act.StateMemOps)
 	for _, p := range act.Prefetches {
 		s.stat.PrefetchesRequested++
-		if s.tlb.Contains(p) || s.buf.Contains(p) {
+		if t.Contains(p) || s.buf.Contains(p) {
 			s.stat.PrefetchDuplicates++
 			continue
 		}
 		s.buf.Insert(p, 0)
 		s.stat.PrefetchesIssued++
+	}
+	if cap(act.Prefetches) > cap(s.scratch) {
+		s.scratch = act.Prefetches
 	}
 }
 
@@ -176,11 +196,13 @@ func (s *Simulator) Run(src trace.Reader) error {
 }
 
 // Stats returns a snapshot of the counters, with the unused-prefetch count
-// finalized from the buffer.
+// finalized from the buffer: evicted-unused plus the entries still
+// resident (and therefore never used) at snapshot time. The count covers
+// the current statistics window — prefetches issued before a ResetStats
+// are excluded, matching the other counters.
 func (s *Simulator) Stats() Stats {
 	st := s.stat
-	_, _, evicted := s.buf.Stats()
-	st.PrefetchesUnused = evicted
+	st.PrefetchesUnused = s.buf.UnusedInEpoch()
 	return st
 }
 
@@ -202,7 +224,9 @@ func (s *Simulator) Reset() {
 // ResetStats clears the counters while keeping all simulation state (TLB,
 // buffer, mechanism tables) warm — used to measure steady-state behaviour
 // after a warmup period, the counterpart of the paper's 2B-instruction
-// fast-forward.
+// fast-forward. The buffer starts a new statistics epoch so warmup-era
+// prefetches do not leak into the measurement window's unused count.
 func (s *Simulator) ResetStats() {
 	s.stat = Stats{}
+	s.buf.BeginEpoch()
 }

@@ -155,9 +155,9 @@ type recorder struct {
 }
 
 func (r *recorder) Name() string { return r.inner.Name() }
-func (r *recorder) OnMiss(ev prefetch.Event) prefetch.Action {
+func (r *recorder) OnMiss(ev prefetch.Event, dst []uint64) prefetch.Action {
 	r.misses = append(r.misses, ev.VPN)
-	return r.inner.OnMiss(ev)
+	return r.inner.OnMiss(ev, dst)
 }
 func (r *recorder) Reset() { r.inner.Reset() }
 

@@ -107,7 +107,8 @@ type TimingSimulator struct {
 
 	refAccum uint64 // references since the last base-cycle charge
 	isRP     bool
-	issuable []bool // per-miss scratch, sized to the prefetch batch
+	issuable []bool   // per-miss scratch, sized to the prefetch batch
+	scratch  []uint64 // reusable prediction buffer handed to the mechanism
 }
 
 // NewTiming builds a timing simulator. A nil mechanism is the
@@ -178,7 +179,10 @@ func (s *TimingSimulator) Ref(pc, vaddr uint64) {
 		BufferHit:  bufferHit,
 		EvictedVPN: evicted,
 		HasEvicted: hasEvicted,
-	})
+	}, s.scratch[:0])
+	if cap(act.Prefetches) > cap(s.scratch) {
+		s.scratch = act.Prefetches
+	}
 
 	// RP's skip rule: when earlier prefetch traffic is still in flight,
 	// update the stack but do not fetch the neighbours ("there would be
@@ -240,12 +244,13 @@ func (s *TimingSimulator) Run(src trace.Reader) error {
 	}
 }
 
-// Stats returns a snapshot including the cycle counters.
+// Stats returns a snapshot including the cycle counters. As in the
+// functional simulator, PrefetchesUnused includes the entries still
+// resident (never used) in the buffer at snapshot time.
 func (s *TimingSimulator) Stats() TimingStats {
 	st := s.stat
 	st.Cycles = s.now
-	_, _, evicted := s.buf.Stats()
-	st.PrefetchesUnused = evicted
+	st.PrefetchesUnused = s.buf.UnusedInEpoch()
 	return st
 }
 

@@ -24,6 +24,22 @@ func NewSlotList(s int) SlotList {
 // Cap returns the configured capacity s.
 func (l *SlotList) Cap() int { return l.cap }
 
+// Reset reinitializes the list to empty with capacity s, reusing the
+// existing backing array when it is large enough. MP and DP call this when
+// they recycle an evicted table row (via Table.GetOrInsertLazy), which is
+// what keeps row turnover allocation-free in steady state.
+func (l *SlotList) Reset(s int) {
+	if s <= 0 {
+		panic("table: SlotList capacity must be positive")
+	}
+	if cap(l.vals) < s {
+		l.vals = make([]int64, 0, s)
+	} else {
+		l.vals = l.vals[:0]
+	}
+	l.cap = s
+}
+
 // Len returns the number of occupied slots.
 func (l *SlotList) Len() int { return len(l.vals) }
 

@@ -8,9 +8,14 @@
 // w ways has r/w sets; a key indexes its set by the key's low bits
 // (hardware-style modulo indexing), and the full key is kept as the tag.
 // Replacement within a set is true LRU.
+//
+// The table is updated on every TLB miss, so it is backed by the O(1)
+// engine in internal/assoc (intrusive per-set recency lists plus an
+// open-addressing key index) instead of scanned slices; lookup, promotion
+// and insert-with-eviction cost the same regardless of associativity.
 package table
 
-import "fmt"
+import "tlbprefetch/internal/assoc"
 
 // Table is a set-associative LRU prediction table mapping uint64 keys to
 // values of type V. The zero value is not usable; construct with New.
@@ -20,107 +25,66 @@ import "fmt"
 // negative distances reinterpreted as uint64 uses the low bits, exactly as a
 // hardware indexing function would.
 type Table[V any] struct {
-	sets  [][]slot[V] // each set ordered MRU first
-	ways  int
-	nsets int
+	s *assoc.Store[V]
 
 	lookups uint64
 	hits    uint64
 	evicts  uint64
 }
 
-type slot[V any] struct {
-	key uint64
-	val V
-}
-
 // New builds a table with the given total number of entries and ways.
 // ways == 1 is direct-mapped; ways == entries is fully associative.
 // entries must be a positive multiple of ways.
 func New[V any](entries, ways int) *Table[V] {
-	if entries <= 0 || ways <= 0 {
-		panic(fmt.Sprintf("table: invalid geometry entries=%d ways=%d", entries, ways))
-	}
-	if entries%ways != 0 {
-		panic(fmt.Sprintf("table: entries %d not a multiple of ways %d", entries, ways))
-	}
-	nsets := entries / ways
-	t := &Table[V]{
-		sets:  make([][]slot[V], nsets),
-		ways:  ways,
-		nsets: nsets,
-	}
-	for i := range t.sets {
-		t.sets[i] = make([]slot[V], 0, ways)
-	}
-	return t
+	return &Table[V]{s: assoc.New[V](entries, ways)}
 }
 
 // Entries returns the total capacity r of the table.
-func (t *Table[V]) Entries() int { return t.nsets * t.ways }
+func (t *Table[V]) Entries() int { return t.s.Entries() }
 
 // Ways returns the associativity.
-func (t *Table[V]) Ways() int { return t.ways }
+func (t *Table[V]) Ways() int { return t.s.Ways() }
 
 // Sets returns the number of sets.
-func (t *Table[V]) Sets() int { return t.nsets }
-
-func (t *Table[V]) set(key uint64) int {
-	return int(key % uint64(t.nsets))
-}
+func (t *Table[V]) Sets() int { return t.s.Sets() }
 
 // Lookup finds key and, if present, promotes it to MRU and returns a pointer
 // to its value. The pointer stays valid until the next mutation of the table.
 func (t *Table[V]) Lookup(key uint64) (*V, bool) {
 	t.lookups++
-	s := t.sets[t.set(key)]
-	for i := range s {
-		if s[i].key == key {
-			t.hits++
-			// Move to front (MRU) preserving order of the rest.
-			e := s[i]
-			copy(s[1:i+1], s[0:i])
-			s[0] = e
-			return &s[0].val, true
-		}
+	sl, ok := t.s.Find(key)
+	if !ok {
+		return nil, false
 	}
-	return nil, false
+	t.hits++
+	t.s.Promote(sl)
+	return t.s.Val(sl), true
 }
 
 // Peek finds key without updating recency.
 func (t *Table[V]) Peek(key uint64) (*V, bool) {
-	s := t.sets[t.set(key)]
-	for i := range s {
-		if s[i].key == key {
-			return &s[i].val, true
-		}
+	sl, ok := t.s.Find(key)
+	if !ok {
+		return nil, false
 	}
-	return nil, false
+	return t.s.Val(sl), true
 }
 
 // Insert places (key, val) as the MRU entry of its set, evicting the LRU
 // entry if the set is full. If the key is already present its value is
 // replaced and it is promoted. It reports the evicted key, if any.
 func (t *Table[V]) Insert(key uint64, val V) (evictedKey uint64, evicted bool) {
-	si := t.set(key)
-	s := t.sets[si]
-	for i := range s {
-		if s[i].key == key {
-			copy(s[1:i+1], s[0:i])
-			s[0] = slot[V]{key: key, val: val}
-			return 0, false
-		}
+	sl, ok := t.s.Find(key)
+	if ok {
+		t.s.Promote(sl)
+		*t.s.Val(sl) = val
+		return 0, false
 	}
-	if len(s) < t.ways {
-		s = append(s, slot[V]{})
-	} else {
-		evictedKey = s[len(s)-1].key
-		evicted = true
+	sl, evictedKey, evicted = t.s.InsertMRU(key)
+	if evicted {
 		t.evicts++
 	}
-	copy(s[1:], s[:len(s)-1])
-	s[0] = slot[V]{key: key, val: val}
-	t.sets[si] = s
+	*t.s.Val(sl) = val
 	return evictedKey, evicted
 }
 
@@ -128,29 +92,37 @@ func (t *Table[V]) Insert(key uint64, val V) (evictedKey uint64, evicted bool) {
 // the zero value (evicting LRU if needed) when absent. The boolean reports
 // whether the entry already existed.
 func (t *Table[V]) GetOrInsert(key uint64) (*V, bool) {
+	v, existed := t.GetOrInsertLazy(key)
+	if !existed {
+		var zero V
+		*v = zero
+	}
+	return v, existed
+}
+
+// GetOrInsertLazy is GetOrInsert without the zeroing: when the key is
+// absent it claims an MRU entry whose value is whatever the slot last held
+// (a recycled row after an eviction, a zero V on first use) and leaves the
+// caller to reinitialize it. This is the hot-path variant for rows that own
+// storage — MP/DP slot lists reuse the evicted row's backing array instead
+// of allocating a fresh one on every replacement.
+func (t *Table[V]) GetOrInsertLazy(key uint64) (*V, bool) {
 	if v, ok := t.Lookup(key); ok {
 		return v, true
 	}
-	var zero V
-	t.Insert(key, zero)
-	// After Insert the entry is at position 0 of its set.
-	return &t.sets[t.set(key)][0].val, false
+	sl, _, evicted := t.s.InsertMRU(key)
+	if evicted {
+		t.evicts++
+	}
+	return t.s.Val(sl), false
 }
 
 // Len returns the number of occupied entries.
-func (t *Table[V]) Len() int {
-	n := 0
-	for _, s := range t.sets {
-		n += len(s)
-	}
-	return n
-}
+func (t *Table[V]) Len() int { return t.s.Len() }
 
 // Reset empties the table and clears statistics.
 func (t *Table[V]) Reset() {
-	for i := range t.sets {
-		t.sets[i] = t.sets[i][:0]
-	}
+	t.s.Reset()
 	t.lookups, t.hits, t.evicts = 0, 0, 0
 }
 
@@ -162,11 +134,5 @@ func (t *Table[V]) Stats() (lookups, hits, evictions uint64) {
 // Keys returns the resident keys of every set in MRU-first order,
 // concatenated set by set. Intended for tests and invariant checks.
 func (t *Table[V]) Keys() []uint64 {
-	var out []uint64
-	for _, s := range t.sets {
-		for _, e := range s {
-			out = append(out, e.key)
-		}
-	}
-	return out
+	return t.s.AppendKeys(nil)
 }

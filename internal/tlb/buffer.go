@@ -1,5 +1,7 @@
 package tlb
 
+import "tlbprefetch/internal/assoc"
+
 // PrefetchBuffer is the small fully associative buffer that receives
 // prefetched translations (paper Figure 1). It is probed on every TLB miss;
 // a hit removes the entry (it migrates into the TLB) and counts toward the
@@ -13,14 +15,30 @@ package tlb
 // Each entry carries a ReadyAt cycle for the timing model (the cycle the
 // prefetch completes and the translation is actually usable). The
 // functional simulator passes 0.
+//
+// The buffer runs the internal/assoc engine as a single fully associative
+// set in FIFO discipline — insert at the recency head, never promote, evict
+// from the tail — so insert, probe and take-out are O(1) with no map and no
+// per-operation allocation.
+//
+// Entries are stamped with a statistics epoch so the simulator's
+// ResetStats (the warmup fast-forward) can count unused prefetches over
+// the measurement window only: BeginEpoch starts a new window, and
+// UnusedInEpoch reports prefetches inserted in the current window that
+// were evicted unused or are still sitting unused.
 type PrefetchBuffer struct {
-	cap   int
-	order []uint64          // FIFO order, oldest first
-	ready map[uint64]uint64 // vpn -> ReadyAt cycle
+	s     *assoc.Store[bufEntry]
+	epoch uint32
 
-	inserted uint64
-	hits     uint64
-	evicted  uint64 // evicted before ever being used
+	inserted     uint64
+	hits         uint64
+	evicted      uint64 // evicted before ever being used (lifetime)
+	evictedEpoch uint64 // as evicted, but current-epoch insertions only
+}
+
+type bufEntry struct {
+	readyAt uint64
+	epoch   uint32
 }
 
 // NewPrefetchBuffer builds a buffer with capacity b > 0.
@@ -28,23 +46,18 @@ func NewPrefetchBuffer(b int) *PrefetchBuffer {
 	if b <= 0 {
 		panic("tlb: prefetch buffer capacity must be positive")
 	}
-	return &PrefetchBuffer{
-		cap:   b,
-		order: make([]uint64, 0, b),
-		ready: make(map[uint64]uint64, b),
-	}
+	return &PrefetchBuffer{s: assoc.New[bufEntry](b, b)}
 }
 
 // Cap returns the configured capacity b.
-func (p *PrefetchBuffer) Cap() int { return p.cap }
+func (p *PrefetchBuffer) Cap() int { return p.s.Entries() }
 
 // Len returns the number of buffered prefetches.
-func (p *PrefetchBuffer) Len() int { return len(p.order) }
+func (p *PrefetchBuffer) Len() int { return p.s.Len() }
 
 // Contains probes for vpn without removing it.
 func (p *PrefetchBuffer) Contains(vpn uint64) bool {
-	_, ok := p.ready[vpn]
-	return ok
+	return p.s.Has(vpn)
 }
 
 // Insert adds a prefetched translation with the given completion cycle,
@@ -53,22 +66,23 @@ func (p *PrefetchBuffer) Contains(vpn uint64) bool {
 // available as soon as the first prefetch lands); it does not change FIFO
 // order. It reports the evicted VPN, if any.
 func (p *PrefetchBuffer) Insert(vpn uint64, readyAt uint64) (evictedVPN uint64, wasEvicted bool) {
-	if old, ok := p.ready[vpn]; ok {
-		if readyAt < old {
-			p.ready[vpn] = readyAt
+	if sl, ok := p.s.Find(vpn); ok {
+		if old := p.s.Val(sl); readyAt < old.readyAt {
+			old.readyAt = readyAt
 		}
 		return 0, false
 	}
-	if len(p.order) == p.cap {
-		evictedVPN = p.order[0]
-		copy(p.order, p.order[1:])
-		p.order = p.order[:len(p.order)-1]
-		delete(p.ready, evictedVPN)
-		wasEvicted = true
+	sl, evictedVPN, wasEvicted := p.s.InsertMRU(vpn)
+	if wasEvicted {
 		p.evicted++
+		// The recycled slot still holds the evicted entry's value here
+		// (InsertMRU leaves values in place), so this reads the epoch the
+		// evicted prefetch was inserted in.
+		if p.s.Val(sl).epoch == p.epoch {
+			p.evictedEpoch++
+		}
 	}
-	p.order = append(p.order, vpn)
-	p.ready[vpn] = readyAt
+	*p.s.Val(sl) = bufEntry{readyAt: readyAt, epoch: p.epoch}
 	p.inserted++
 	return evictedVPN, wasEvicted
 }
@@ -76,30 +90,45 @@ func (p *PrefetchBuffer) Insert(vpn uint64, readyAt uint64) (evictedVPN uint64, 
 // TakeOut removes vpn if present and returns its ReadyAt cycle. This is the
 // buffer-hit path: the entry migrates to the TLB.
 func (p *PrefetchBuffer) TakeOut(vpn uint64) (readyAt uint64, ok bool) {
-	readyAt, ok = p.ready[vpn]
+	sl, ok := p.s.Find(vpn)
 	if !ok {
 		return 0, false
 	}
-	delete(p.ready, vpn)
-	for i, v := range p.order {
-		if v == vpn {
-			copy(p.order[i:], p.order[i+1:])
-			p.order = p.order[:len(p.order)-1]
-			break
-		}
-	}
+	readyAt = p.s.Val(sl).readyAt
+	p.s.Remove(sl)
 	p.hits++
 	return readyAt, true
 }
 
-// Stats returns insertion, hit and unused-eviction counters.
+// Stats returns insertion, hit and unused-eviction counters (lifetime).
 func (p *PrefetchBuffer) Stats() (inserted, hits, evictedUnused uint64) {
 	return p.inserted, p.hits, p.evicted
 }
 
+// BeginEpoch starts a new statistics window: prefetches inserted before
+// this call no longer count toward UnusedInEpoch.
+func (p *PrefetchBuffer) BeginEpoch() {
+	p.epoch++
+	p.evictedEpoch = 0
+}
+
+// UnusedInEpoch counts the current window's never-used prefetches: those
+// evicted unused plus those still resident (every resident entry is unused
+// by definition — a use removes it). The resident scan is O(capacity) and
+// meant for statistics snapshots, not the per-reference path.
+func (p *PrefetchBuffer) UnusedInEpoch() uint64 {
+	n := p.evictedEpoch
+	for sl := p.s.Head(0); sl >= 0; sl = p.s.Next(sl) {
+		if p.s.Val(sl).epoch == p.epoch {
+			n++
+		}
+	}
+	return n
+}
+
 // Reset empties the buffer and clears statistics.
 func (p *PrefetchBuffer) Reset() {
-	p.order = p.order[:0]
-	clear(p.ready)
-	p.inserted, p.hits, p.evicted = 0, 0, 0
+	p.s.Reset()
+	p.epoch = 0
+	p.inserted, p.hits, p.evicted, p.evictedEpoch = 0, 0, 0, 0
 }

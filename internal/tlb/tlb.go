@@ -7,6 +7,12 @@
 // the tags matter for the study — the translation payload (physical frame)
 // has no effect on hit/miss behaviour — so entries are just VPNs.
 //
+// Both structures sit on the simulator's innermost loop, so they are backed
+// by the O(1) engine in internal/assoc (intrusive recency lists plus an
+// open-addressing index) rather than scanned slices; behaviour is
+// bit-identical to the slice layout, which the randomized model tests in
+// internal/assoc pin down.
+//
 // The prefetch buffer is a small fully associative structure probed in
 // parallel with the TLB on a miss; prefetched translations wait there and
 // move into the TLB only when the program references the page, so
@@ -14,7 +20,11 @@
 // can thus not increase the miss rates of the original TLB").
 package tlb
 
-import "fmt"
+import (
+	"fmt"
+
+	"tlbprefetch/internal/assoc"
+)
 
 // Config describes a TLB geometry.
 type Config struct {
@@ -47,9 +57,8 @@ func (c Config) Validate() error {
 // TLB is a set-associative translation lookaside buffer with per-set LRU.
 // Construct with New.
 type TLB struct {
-	cfg   Config
-	nsets int
-	sets  [][]uint64 // each set: VPNs, MRU first
+	cfg Config
+	s   *assoc.Store[struct{}]
 
 	accesses uint64
 	misses   uint64
@@ -62,18 +71,11 @@ func New(cfg Config) *TLB {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	nsets := cfg.Entries / cfg.Ways
-	t := &TLB{cfg: cfg, nsets: nsets, sets: make([][]uint64, nsets)}
-	for i := range t.sets {
-		t.sets[i] = make([]uint64, 0, cfg.Ways)
-	}
-	return t
+	return &TLB{cfg: cfg, s: assoc.New[struct{}](cfg.Entries, cfg.Ways)}
 }
 
 // Config returns the (normalized) geometry.
 func (t *TLB) Config() Config { return t.cfg }
-
-func (t *TLB) set(vpn uint64) int { return int(vpn % uint64(t.nsets)) }
 
 // Access probes the TLB for vpn. On a hit the entry is promoted to MRU and
 // Access returns true. On a miss it returns false WITHOUT inserting — the
@@ -81,13 +83,8 @@ func (t *TLB) set(vpn uint64) int { return int(vpn % uint64(t.nsets)) }
 // prefetch buffer or the page table).
 func (t *TLB) Access(vpn uint64) bool {
 	t.accesses++
-	s := t.sets[t.set(vpn)]
-	for i, v := range s {
-		if v == vpn {
-			copy(s[1:i+1], s[0:i])
-			s[0] = vpn
-			return true
-		}
+	if t.s.Touch(vpn) {
+		return true
 	}
 	t.misses++
 	return false
@@ -95,12 +92,7 @@ func (t *TLB) Access(vpn uint64) bool {
 
 // Contains probes without touching recency or statistics.
 func (t *TLB) Contains(vpn uint64) bool {
-	for _, v := range t.sets[t.set(vpn)] {
-		if v == vpn {
-			return true
-		}
-	}
-	return false
+	return t.s.Has(vpn)
 }
 
 // Insert fills vpn as the MRU entry of its set, evicting the LRU entry if
@@ -109,35 +101,15 @@ func (t *TLB) Contains(vpn uint64) bool {
 // not arise in the simulator (fills follow misses) but is handled for
 // robustness.
 func (t *TLB) Insert(vpn uint64) (evicted uint64, wasEvicted bool) {
-	si := t.set(vpn)
-	s := t.sets[si]
-	for i, v := range s {
-		if v == vpn {
-			copy(s[1:i+1], s[0:i])
-			s[0] = vpn
-			return 0, false
-		}
+	if t.s.Touch(vpn) {
+		return 0, false
 	}
-	if len(s) < t.cfg.Ways {
-		s = append(s, 0)
-	} else {
-		evicted = s[len(s)-1]
-		wasEvicted = true
-	}
-	copy(s[1:], s[:len(s)-1])
-	s[0] = vpn
-	t.sets[si] = s
+	_, evicted, wasEvicted = t.s.InsertMRU(vpn)
 	return evicted, wasEvicted
 }
 
 // Len returns the number of resident translations.
-func (t *TLB) Len() int {
-	n := 0
-	for _, s := range t.sets {
-		n += len(s)
-	}
-	return n
-}
+func (t *TLB) Len() int { return t.s.Len() }
 
 // Stats returns access and miss counters.
 func (t *TLB) Stats() (accesses, misses uint64) { return t.accesses, t.misses }
@@ -153,18 +125,12 @@ func (t *TLB) MissRate() float64 {
 
 // Reset empties the TLB and clears statistics.
 func (t *TLB) Reset() {
-	for i := range t.sets {
-		t.sets[i] = t.sets[i][:0]
-	}
+	t.s.Reset()
 	t.accesses, t.misses = 0, 0
 }
 
 // Resident returns all resident VPNs (set by set, MRU first within a set);
 // for tests and invariant checks.
 func (t *TLB) Resident() []uint64 {
-	var out []uint64
-	for _, s := range t.sets {
-		out = append(out, s...)
-	}
-	return out
+	return t.s.AppendKeys(nil)
 }

@@ -85,6 +85,12 @@ type Simulator = sim.Simulator
 // TimingSimulator adds the cycle model.
 type TimingSimulator = sim.TimingSimulator
 
+// Group fans one reference stream out to many simulators; when all members
+// share TLB geometry it probes one canonical TLB per reference and fans
+// out only the misses (the shared-frontend fast path the experiment
+// harness rides).
+type Group = sim.Group
+
 // Workload is a named synthetic application model.
 type Workload = workload.Workload
 
@@ -104,6 +110,9 @@ func NewSimulator(cfg Config, pf Prefetcher) *Simulator { return sim.New(cfg, pf
 func NewTimingSimulator(cfg TimingConfig, pf Prefetcher) *TimingSimulator {
 	return sim.NewTiming(cfg, pf)
 }
+
+// NewGroup builds a fan-out over the given simulators.
+func NewGroup(members ...*Simulator) *Group { return sim.NewGroup(members...) }
 
 // NewDistance returns the paper's contribution, Distance Prefetching: a
 // table of `entries` rows with `ways` associativity (1 = direct-mapped) and

@@ -133,8 +133,8 @@ func TestWorkloadReaderFacade(t *testing.T) {
 type nextTwo struct{}
 
 func (nextTwo) Name() string { return "next-two" }
-func (nextTwo) OnMiss(ev tlbprefetch.Event) tlbprefetch.Action {
-	return tlbprefetch.Action{Prefetches: []uint64{ev.VPN + 1, ev.VPN + 2}}
+func (nextTwo) OnMiss(ev tlbprefetch.Event, dst []uint64) tlbprefetch.Action {
+	return tlbprefetch.Action{Prefetches: append(dst, ev.VPN+1, ev.VPN+2)}
 }
 func (nextTwo) Reset() {}
 
