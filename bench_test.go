@@ -11,6 +11,7 @@ import (
 
 	"tlbprefetch"
 	"tlbprefetch/internal/experiments"
+	"tlbprefetch/internal/sweep"
 )
 
 // benchOpts scales an experiment to benchmark-friendly size.
@@ -128,6 +129,60 @@ func BenchmarkExtPageSize(b *testing.B) {
 func BenchmarkExtTLBAssoc(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		experiments.ExtTLBAssoc(benchOpts(100_000))
+	}
+}
+
+// --- Sweep-engine benches ---------------------------------------------------
+
+// benchSweepJobs is a 2 workloads × 4 mechanisms × 2 TLB sizes × 2 buffer
+// sizes grid (32 cells, 8 shards).
+func benchSweepJobs(b *testing.B) []sweep.Job {
+	jobs, err := sweep.Grid{
+		Workloads: []string{"swim", "mcf"},
+		Mechs: []sweep.Mech{
+			{Kind: "DP", Rows: 256, Ways: 1, Slots: 2},
+			{Kind: "RP"},
+			{Kind: "ASP", Rows: 256, Ways: 1},
+			{Kind: "MP", Rows: 256, Ways: 1, Slots: 2},
+		},
+		TLBEntries: []int{64, 128},
+		Buffers:    []int{8, 16},
+		Refs:       50_000,
+	}.Jobs()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return jobs
+}
+
+// BenchmarkSweepCold runs the grid with no result store: every cell
+// simulates, geometry-identical cells coalescing onto shared frontends.
+func BenchmarkSweepCold(b *testing.B) {
+	jobs := benchSweepJobs(b)
+	b.ReportMetric(float64(len(jobs)), "cells")
+	for i := 0; i < b.N; i++ {
+		r := sweep.Runner{}
+		if _, sum, err := r.Run(jobs); err != nil || sum.Ran != len(jobs) {
+			b.Fatalf("sum=%+v err=%v", sum, err)
+		}
+	}
+}
+
+// BenchmarkSweepCached re-runs the grid against a warm store: the
+// incremental-sweep fast path (hash, look up, emit) with zero simulation.
+func BenchmarkSweepCached(b *testing.B) {
+	jobs := benchSweepJobs(b)
+	st := sweep.NewStore()
+	if _, _, err := (&sweep.Runner{Store: st}).Run(jobs); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := sweep.Runner{Store: st}
+		if _, sum, err := r.Run(jobs); err != nil || sum.Ran != 0 {
+			b.Fatalf("sum=%+v err=%v", sum, err)
+		}
 	}
 }
 

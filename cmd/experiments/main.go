@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"tlbprefetch/internal/experiments"
+	"tlbprefetch/internal/sweep"
 )
 
 func main() {
@@ -27,6 +28,7 @@ func main() {
 	pageShift := flag.Uint("pageshift", 12, "log2 of the page size")
 	slots := flag.Int("slots", 2, "prediction slots per row (s)")
 	warmup := flag.Uint64("warmup", 0, "references to simulate before counting (statistics fast-forward)")
+	storePath := flag.String("store", "", "sweep result store (JSON): cells found there are not re-simulated, fresh cells are merged back")
 	quiet := flag.Bool("q", false, "suppress timing banner")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: experiments [flags] <experiment>\n")
@@ -35,6 +37,13 @@ func main() {
 	}
 	flag.Parse()
 	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	// Validate the experiment name before doing any work: exiting later
+	// (os.Exit skips defers) would discard freshly simulated store cells.
+	if !knownExperiment(flag.Arg(0)) {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", flag.Arg(0))
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -47,6 +56,19 @@ func main() {
 		PageShift:  *pageShift,
 		Slots:      *slots,
 		WarmupRefs: *warmup,
+	}
+	if *storePath != "" {
+		store, err := sweep.OpenStore(*storePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		opts.Store = store
+		defer func() {
+			if err := store.Save(); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+			}
+		}()
 	}
 
 	run := func(name string) {
@@ -83,10 +105,6 @@ func main() {
 		case "ext-tlbassoc":
 			fmt.Println("Extension E: TLB-associativity sensitivity of DP")
 			fmt.Print(experiments.FormatExtTLBAssoc(experiments.ExtTLBAssoc(opts)))
-		default:
-			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
-			flag.Usage()
-			os.Exit(2)
 		}
 		if !*quiet {
 			fmt.Printf("\n[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
@@ -94,14 +112,30 @@ func main() {
 	}
 
 	if flag.Arg(0) == "all" {
-		for _, name := range []string{
-			"table1", "fig7", "fig8", "table2", "table3", "fig9",
-			"ext-dpvariants", "ext-cache", "ext-multiprog", "ext-pagesize",
-			"ext-tlbassoc",
-		} {
+		for _, name := range allExperiments {
 			run(name)
 		}
 		return
 	}
 	run(flag.Arg(0))
+}
+
+// allExperiments is the "all" ordering (the paper's presentation order,
+// extensions last).
+var allExperiments = []string{
+	"table1", "fig7", "fig8", "table2", "table3", "fig9",
+	"ext-dpvariants", "ext-cache", "ext-multiprog", "ext-pagesize",
+	"ext-tlbassoc",
+}
+
+func knownExperiment(name string) bool {
+	if name == "all" {
+		return true
+	}
+	for _, n := range allExperiments {
+		if n == name {
+			return true
+		}
+	}
+	return false
 }

@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"tlbprefetch"
+	"tlbprefetch/internal/prof"
 )
 
 func main() {
@@ -35,6 +36,8 @@ func main() {
 		pageShift    = flag.Uint("pageshift", 12, "log2 of the page size")
 		timing       = flag.Bool("timing", false, "use the cycle model (paper Table 3)")
 		list         = flag.Bool("list", false, "list the available workload models")
+		cpuProf      = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf      = flag.String("memprofile", "", "write a heap profile to this file")
 	)
 	flag.Parse()
 
@@ -46,38 +49,61 @@ func main() {
 		return
 	}
 
-	pf, err := buildMechanism(*mech, *rows, *ways, *slots)
-	if err != nil {
+	// Reject contradictory flag combinations up front instead of silently
+	// preferring one input source.
+	switch {
+	case *workloadName != "" && *traceFile != "":
+		fatal("-workload and -trace are mutually exclusive: pick one input source")
+	case *traceText && *traceFile == "":
+		fatal("-text only applies to trace runs: it requires -trace")
+	case *workloadName == "" && *traceFile == "":
+		fatal("need -workload or -trace (or -list)")
+	}
+
+	if err := run(*workloadName, *traceFile, *traceText, *mech, *rows, *ways, *slots,
+		*refs, *tlbEntries, *tlbWays, *buffer, *pageShift, *timing, *cpuProf, *memProf); err != nil {
 		fatal(err.Error())
+	}
+}
+
+func run(workloadName, traceFile string, traceText bool, mech string, rows, ways, slots int,
+	refs uint64, tlbEntries, tlbWays, buffer int, pageShift uint, timing bool,
+	cpuProf, memProf string) error {
+	stopProf, err := prof.Start("tlbsim", cpuProf, memProf)
+	if err != nil {
+		return err
+	}
+	defer stopProf()
+
+	pf, err := buildMechanism(mech, rows, ways, slots)
+	if err != nil {
+		return err
 	}
 
 	cfg := tlbprefetch.Config{
-		TLB:           tlbprefetch.TLBConfig{Entries: *tlbEntries, Ways: *tlbWays},
-		BufferEntries: *buffer,
-		PageShift:     *pageShift,
+		TLB:           tlbprefetch.TLBConfig{Entries: tlbEntries, Ways: tlbWays},
+		BufferEntries: buffer,
+		PageShift:     pageShift,
 	}
 
-	switch {
-	case *traceFile != "":
-		runTrace(cfg, pf, *traceFile, *traceText, *timing)
-	case *workloadName != "":
-		w, ok := tlbprefetch.WorkloadByName(*workloadName)
-		if !ok {
-			fatal(fmt.Sprintf("unknown workload %q (try -list)", *workloadName))
-		}
-		if *timing {
-			tc := tlbprefetch.DefaultTimingConfig()
-			tc.Config = cfg
-			base := tlbprefetch.RunWorkloadTimed(tc, nil, w, *refs)
-			st := tlbprefetch.RunWorkloadTimed(tc, pf, w, *refs)
-			printTiming(st, base.Cycles)
-		} else {
-			st := tlbprefetch.RunWorkload(cfg, pf, w, *refs)
-			printStats(st)
-		}
-	default:
-		fatal("need -workload or -trace (or -list)")
+	if traceFile != "" {
+		return runTrace(cfg, pf, traceFile, traceText, timing)
 	}
+	w, ok := tlbprefetch.WorkloadByName(workloadName)
+	if !ok {
+		return fmt.Errorf("unknown workload %q (try -list)", workloadName)
+	}
+	if timing {
+		tc := tlbprefetch.DefaultTimingConfig()
+		tc.Config = cfg
+		base := tlbprefetch.RunWorkloadTimed(tc, nil, w, refs)
+		st := tlbprefetch.RunWorkloadTimed(tc, pf, w, refs)
+		printTiming(st, base.Cycles)
+	} else {
+		st := tlbprefetch.RunWorkload(cfg, pf, w, refs)
+		printStats(st)
+	}
+	return nil
 }
 
 func buildMechanism(kind string, rows, ways, slots int) (tlbprefetch.Prefetcher, error) {
@@ -106,10 +132,10 @@ func buildMechanism(kind string, rows, ways, slots int) (tlbprefetch.Prefetcher,
 	return nil, fmt.Errorf("unknown mechanism %q", kind)
 }
 
-func runTrace(cfg tlbprefetch.Config, pf tlbprefetch.Prefetcher, path string, text, timing bool) {
+func runTrace(cfg tlbprefetch.Config, pf tlbprefetch.Prefetcher, path string, text, timing bool) error {
 	f, err := os.Open(path)
 	if err != nil {
-		fatal(err.Error())
+		return err
 	}
 	defer f.Close()
 
@@ -119,7 +145,7 @@ func runTrace(cfg tlbprefetch.Config, pf tlbprefetch.Prefetcher, path string, te
 	} else {
 		br, err := tlbprefetch.NewBinaryTraceReader(f)
 		if err != nil {
-			fatal(err.Error())
+			return err
 		}
 		r = br
 	}
@@ -128,16 +154,17 @@ func runTrace(cfg tlbprefetch.Config, pf tlbprefetch.Prefetcher, path string, te
 		tc.Config = cfg
 		s := tlbprefetch.NewTimingSimulator(tc, pf)
 		if err := s.Run(r); err != nil {
-			fatal(err.Error())
+			return err
 		}
 		printTiming(s.Stats(), 0)
-		return
+		return nil
 	}
 	s := tlbprefetch.NewSimulator(cfg, pf)
 	if err := s.Run(r); err != nil {
-		fatal(err.Error())
+		return err
 	}
 	printStats(s.Stats())
+	return nil
 }
 
 func printStats(st tlbprefetch.Stats) {

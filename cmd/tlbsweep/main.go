@@ -1,0 +1,276 @@
+// Command tlbsweep runs a declarative parameter-grid sweep: the cross
+// product of workloads × mechanisms × table shapes × TLB geometries ×
+// buffer sizes × page sizes, sharded across the CPU by internal/sweep,
+// with results landing in a content-addressed JSON store. Re-running a
+// sweep against the same store only simulates the cells that are not
+// already present, so growing a study — more workloads, another buffer
+// size — costs only the new cells.
+//
+// Examples:
+//
+//	tlbsweep -workloads swim,mcf -mechs DP,RP,ASP -entries 64,128,256 -buffer 8,16,32
+//	tlbsweep -workloads SPEC -mechs DP -rows 32,64,128,256,512,1024 -store dp-table.json
+//	tlbsweep -workloads all -mechs DP,RP -format csv > sweep.csv
+//	tlbsweep -workloads mcf -mechs none,RP,DP -timing
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"tlbprefetch/internal/prof"
+	"tlbprefetch/internal/stats"
+	"tlbprefetch/internal/sweep"
+	"tlbprefetch/internal/workload"
+)
+
+func main() {
+	var (
+		workloads = flag.String("workloads", "", "comma-separated workload names, suite names (SPEC, MediaBench, Etch, PointerIntensive) or 'all'")
+		mechs     = flag.String("mechs", "DP", "comma-separated mechanism kinds: DP, DP-PC, DP2, RP, RP3, MP, ASP, SP, SP-A, none")
+		rows      = flag.String("rows", "256", "prediction-table rows axis (table mechanisms)")
+		ways      = flag.String("ways", "1", "prediction-table associativity axis (table mechanisms)")
+		slots     = flag.String("slots", "2", "prediction slots per row axis (DP/MP families)")
+		entries   = flag.String("entries", "128", "TLB entries axis")
+		tlbWays   = flag.String("tlbways", "0", "TLB associativity axis (0 = fully associative)")
+		buffers   = flag.String("buffer", "16", "prefetch buffer entries axis")
+		pageShift = flag.String("pageshift", "12", "log2 page size axis")
+		refs      = flag.Uint64("refs", 1_000_000, "references measured per cell")
+		warmup    = flag.Uint64("warmup", 0, "references simulated before the counters reset")
+		seed      = flag.Uint64("seed", 0, "base seed: 0 keeps the models' paper-calibrated streams, nonzero derives an independent per-cell stream seed")
+		timing    = flag.Bool("timing", false, "run every cell under the cycle model (paper Table 3)")
+		storePath = flag.String("store", "", "JSON result store to read from and merge into")
+		format    = flag.String("format", "table", "output format: table, csv, json, none")
+		workers   = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		quiet     = flag.Bool("q", false, "suppress per-cell progress on stderr")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file")
+	)
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintf(os.Stderr, "tlbsweep: unexpected arguments %q (the grid is declared with flags)\n", flag.Args())
+		os.Exit(2)
+	}
+	if *workloads == "" {
+		fmt.Fprintln(os.Stderr, "tlbsweep: -workloads is required (workload names, suite names, or 'all')")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*workloads, *mechs, *rows, *ways, *slots, *entries, *tlbWays, *buffers, *pageShift,
+		*refs, *warmup, *seed, *timing, *storePath, *format, *workers, *quiet, *cpuProf, *memProf); err != nil {
+		fmt.Fprintln(os.Stderr, "tlbsweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run(workloads, mechs, rows, ways, slots, entries, tlbWays, buffers, pageShift string,
+	refs, warmup, seed uint64, timing bool, storePath, format string, workers int, quiet bool,
+	cpuProf, memProf string) error {
+	switch format {
+	case "table", "csv", "json", "none":
+	default:
+		return fmt.Errorf("unknown -format %q (table, csv, json, none)", format)
+	}
+
+	stopProf, err := prof.Start("tlbsweep", cpuProf, memProf)
+	if err != nil {
+		return err
+	}
+	defer stopProf()
+
+	grid, err := buildGrid(workloads, mechs, rows, ways, slots, entries, tlbWays, buffers, pageShift,
+		refs, warmup, seed, timing)
+	if err != nil {
+		return err
+	}
+	jobs, err := grid.Jobs()
+	if err != nil {
+		return err
+	}
+
+	store := sweep.NewStore()
+	if storePath != "" {
+		store, err = sweep.OpenStore(storePath)
+		if err != nil {
+			return err
+		}
+	}
+
+	runner := sweep.Runner{Store: store, Workers: workers}
+	if !quiet {
+		runner.Progress = func(ev sweep.ProgressEvent) {
+			note := ""
+			if ev.Cached {
+				note = "  (cached)"
+			}
+			k := ev.Result.Key
+			fmt.Fprintf(os.Stderr, "[%*d/%d] %-12s %-10s tlb=%d/%d buf=%d ps=%d  acc=%s%s\n",
+				len(fmt.Sprint(ev.Total)), ev.Done, ev.Total,
+				k.Workload, k.Mech.Label(), k.TLBEntries, k.TLBWays, k.Buffer, k.PageShift,
+				stats.F(ev.Result.Stats.Accuracy()), note)
+		}
+	}
+	start := time.Now()
+	results, sum, err := runner.Run(jobs)
+	if err != nil {
+		return err
+	}
+	if storePath != "" {
+		if err := store.Save(); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "tlbsweep: %d cells (%d cached, %d run in %d shards) in %v\n",
+		sum.Total, sum.Cached, sum.Ran, sum.Shards, time.Since(start).Round(time.Millisecond))
+
+	switch format {
+	case "table":
+		fmt.Print(sweep.Table(results).String())
+	case "csv":
+		fmt.Print(sweep.CSV(results))
+	case "json":
+		b, err := sweep.JSON(results)
+		if err != nil {
+			return err
+		}
+		os.Stdout.Write(b)
+		fmt.Println()
+	case "none":
+	}
+	return nil
+}
+
+// buildGrid parses the axis flags into a sweep.Grid.
+func buildGrid(workloads, mechs, rows, ways, slots, entries, tlbWays, buffers, pageShift string,
+	refs, warmup, seed uint64, timing bool) (sweep.Grid, error) {
+	g := sweep.Grid{Refs: refs, Warmup: warmup, Seed: seed, Timing: timing}
+
+	names, err := resolveWorkloads(workloads)
+	if err != nil {
+		return g, err
+	}
+	g.Workloads = names
+
+	rowAxis, err := parseInts("rows", rows)
+	if err != nil {
+		return g, err
+	}
+	wayAxis, err := parseInts("ways", ways)
+	if err != nil {
+		return g, err
+	}
+	slotAxis, err := parseInts("slots", slots)
+	if err != nil {
+		return g, err
+	}
+	for _, kind := range strings.Split(mechs, ",") {
+		kind = canonicalKind(strings.TrimSpace(kind))
+		for _, r := range rowAxis {
+			for _, w := range wayAxis {
+				for _, s := range slotAxis {
+					m := sweep.Mech{Kind: kind, Rows: r, Ways: w, Slots: s}
+					if err := m.Validate(); err != nil {
+						return g, err
+					}
+					g.Mechs = append(g.Mechs, m)
+				}
+			}
+		}
+	}
+
+	if g.TLBEntries, err = parseInts("entries", entries); err != nil {
+		return g, err
+	}
+	if g.TLBWays, err = parseInts("tlbways", tlbWays); err != nil {
+		return g, err
+	}
+	if g.Buffers, err = parseInts("buffer", buffers); err != nil {
+		return g, err
+	}
+	shifts, err := parseInts("pageshift", pageShift)
+	if err != nil {
+		return g, err
+	}
+	for _, s := range shifts {
+		if s <= 0 {
+			return g, fmt.Errorf("-pageshift values must be positive, got %d", s)
+		}
+		g.PageShifts = append(g.PageShifts, uint(s))
+	}
+	return g, nil
+}
+
+// canonicalKind maps case-insensitive user input onto the registry's
+// mechanism spelling.
+func canonicalKind(kind string) string {
+	switch up := strings.ToUpper(kind); up {
+	case "NONE":
+		return "none"
+	default:
+		return up
+	}
+}
+
+// resolveWorkloads expands each comma-separated token — a workload name, a
+// suite name, or "all" — into workload registry names, de-duplicated in
+// first-mention order.
+func resolveWorkloads(spec string) ([]string, error) {
+	seen := make(map[string]bool)
+	var out []string
+	add := func(name string) {
+		if !seen[name] {
+			seen[name] = true
+			out = append(out, name)
+		}
+	}
+	for _, tok := range strings.Split(spec, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		if tok == "all" {
+			for _, w := range workload.All() {
+				add(w.Name)
+			}
+			continue
+		}
+		if suite := workload.Suite(tok); len(suite) > 0 {
+			for _, w := range suite {
+				add(w.Name)
+			}
+			continue
+		}
+		if _, ok := workload.ByName(tok); !ok {
+			return nil, fmt.Errorf("unknown workload or suite %q (try tlbsim -list)", tok)
+		}
+		add(tok)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-workloads %q selected no workloads", spec)
+	}
+	return out, nil
+}
+
+// parseInts parses a comma-separated integer axis.
+func parseInts(name, spec string) ([]int, error) {
+	var out []int
+	for _, tok := range strings.Split(spec, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		v, err := strconv.Atoi(tok)
+		if err != nil {
+			return nil, fmt.Errorf("-%s: %q is not an integer", name, tok)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-%s needs at least one value", name)
+	}
+	return out, nil
+}

@@ -5,13 +5,9 @@
 package experiments
 
 import (
-	"fmt"
-	"runtime"
-	"sync"
-
-	"tlbprefetch/internal/core"
 	"tlbprefetch/internal/prefetch"
 	"tlbprefetch/internal/sim"
+	"tlbprefetch/internal/sweep"
 	"tlbprefetch/internal/tlb"
 	"tlbprefetch/internal/workload"
 )
@@ -36,6 +32,10 @@ type Options struct {
 	// mirroring the paper's 2-billion-instruction fast-forward: mechanisms
 	// and TLB state stay warm, only the statistics restart. 0 disables.
 	WarmupRefs uint64
+	// Store, when non-nil, is the sweep result cache every experiment
+	// reads from and writes to: cells already present (from an earlier
+	// experiment or a previous run) are not re-simulated.
+	Store *sweep.Store
 }
 
 // DefaultOptions returns the paper's baseline configuration at the default
@@ -73,53 +73,24 @@ type MechConfig struct {
 	Slots int
 }
 
-// Label renders the paper's figure-legend naming, e.g. "DP,256,D".
-func (m MechConfig) Label() string {
-	switch m.Kind {
-	case "RP", "RP3", "SP", "SP-A":
-		return m.Kind
-	}
-	assoc := "D"
-	switch {
-	case m.Ways == m.Rows:
-		assoc = "F"
-	case m.Ways > 1:
-		assoc = fmt.Sprintf("%d", m.Ways)
-	}
-	return fmt.Sprintf("%s,%d,%s", m.Kind, m.Rows, assoc)
-}
-
-// Build instantiates the mechanism.
-func (m MechConfig) Build(opts Options) prefetch.Prefetcher {
-	ways := m.Ways
-	if ways == 0 {
-		ways = 1
-	}
+// sweepMech resolves the harness-level defaults (Slots from Options) into
+// the fully-specified mechanism the sweep engine content-addresses.
+func (m MechConfig) sweepMech(opts Options) sweep.Mech {
 	slots := m.Slots
 	if slots == 0 {
 		slots = opts.Slots
 	}
-	switch m.Kind {
-	case "RP":
-		return prefetch.NewRecency()
-	case "RP3":
-		return prefetch.NewRecencyDegree(3)
-	case "SP":
-		return prefetch.NewSequential(true)
-	case "SP-A":
-		return prefetch.NewAdaptiveSequential()
-	case "ASP":
-		return prefetch.NewASP(m.Rows, ways)
-	case "MP":
-		return prefetch.NewMarkov(m.Rows, ways, slots)
-	case "DP":
-		return core.NewDistance(m.Rows, ways, slots)
-	case "DP-PC":
-		return core.NewDistancePC(m.Rows, ways, slots)
-	case "DP2":
-		return core.NewDistance2(m.Rows, ways, slots)
-	}
-	panic(fmt.Sprintf("experiments: unknown mechanism kind %q", m.Kind))
+	return sweep.Mech{Kind: m.Kind, Rows: m.Rows, Ways: m.Ways, Slots: slots}.Normalize()
+}
+
+// Label renders the paper's figure-legend naming, e.g. "DP,256,D".
+func (m MechConfig) Label() string {
+	return sweep.Mech{Kind: m.Kind, Rows: m.Rows, Ways: m.Ways}.Label()
+}
+
+// Build instantiates the mechanism.
+func (m MechConfig) Build(opts Options) prefetch.Prefetcher {
+	return m.sweepMech(opts).Build()
 }
 
 // AppResult is one application's row of a figure: the miss rate (of the
@@ -146,52 +117,67 @@ func (r AppResult) Get(label string) (float64, bool) {
 // RunApp evaluates every mechanism configuration against one workload in a
 // single pass over its (regenerated) reference stream.
 func RunApp(w workload.Workload, opts Options, mechs []MechConfig) AppResult {
-	g := sim.NewGroup()
-	for _, m := range mechs {
-		g.Add(sim.New(opts.simConfig(), m.Build(opts)))
-	}
-	total := opts.WarmupRefs + opts.Refs
-	var seen uint64
-	workload.Generate(w, total, func(pc, vaddr uint64) bool {
-		g.Ref(pc, vaddr)
-		seen++
-		if seen == opts.WarmupRefs {
-			for _, s := range g.Members() {
-				s.ResetStats()
-			}
-		}
-		return true
-	})
-	res := AppResult{App: w.Name, Suite: w.Suite}
-	for i, s := range g.Members() {
-		st := s.Stats()
-		res.Labels = append(res.Labels, mechs[i].Label())
-		res.Acc = append(res.Acc, st.Accuracy())
-		res.Stats = append(res.Stats, st)
-		if i == 0 {
-			res.MissRate = st.MissRate()
-		}
-	}
-	return res
+	return RunSuite([]workload.Workload{w}, opts, mechs)[0]
 }
 
-// RunSuite evaluates a list of workloads, one goroutine per workload (the
-// runs are independent: each regenerates its own stream and owns its own
-// simulators), bounded by GOMAXPROCS. Results keep the input order and are
+// RunSuite evaluates a list of workloads by declaring the workload ×
+// mechanism grid to the sweep engine: geometry-identical cells of one
+// workload coalesce onto a shared sim.Group frontend, shards run across
+// GOMAXPROCS workers, and — when Options.Store is set — cells already in
+// the store are not re-simulated. Results keep the input order and are
 // bit-identical to a serial run.
 func RunSuite(ws []workload.Workload, opts Options, mechs []MechConfig) []AppResult {
-	out := make([]AppResult, len(ws))
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	var wg sync.WaitGroup
-	for i, w := range ws {
-		wg.Add(1)
-		go func(i int, w workload.Workload) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			out[i] = RunApp(w, opts, mechs)
-		}(i, w)
+	jobs := make([]sweep.Job, 0, len(ws)*len(mechs))
+	for _, w := range ws {
+		for _, m := range mechs {
+			jobs = append(jobs, sweep.Job{
+				Workload: w.Name,
+				Mech:     m.sweepMech(opts),
+				Config:   opts.simConfig(),
+				Refs:     opts.Refs,
+				Warmup:   opts.WarmupRefs,
+			})
+		}
 	}
-	wg.Wait()
+	results := runJobs(ws, opts, jobs)
+	out := make([]AppResult, len(ws))
+	for i, w := range ws {
+		res := AppResult{App: w.Name, Suite: w.Suite}
+		for j, m := range mechs {
+			st := results[i*len(mechs)+j].Stats
+			res.Labels = append(res.Labels, m.Label())
+			res.Acc = append(res.Acc, st.Accuracy())
+			res.Stats = append(res.Stats, st)
+			if j == 0 {
+				res.MissRate = st.MissRate()
+			}
+		}
+		out[i] = res
+	}
 	return out
+}
+
+// runJobs executes sweep jobs with the harness conventions: workloads
+// resolve from the slice the experiment was handed (so unregistered models
+// work too), the store comes from Options, and failures — impossible for
+// well-formed experiment declarations — panic, as the bespoke loops did.
+func runJobs(ws []workload.Workload, opts Options, jobs []sweep.Job) []sweep.Result {
+	byName := make(map[string]workload.Workload, len(ws))
+	for _, w := range ws {
+		byName[w.Name] = w
+	}
+	r := sweep.Runner{
+		Store: opts.Store,
+		Resolve: func(name string) (workload.Workload, bool) {
+			if w, ok := byName[name]; ok {
+				return w, true
+			}
+			return workload.ByName(name)
+		},
+	}
+	results, _, err := r.Run(jobs)
+	if err != nil {
+		panic("experiments: " + err.Error())
+	}
+	return results
 }

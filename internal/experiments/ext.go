@@ -8,6 +8,7 @@ import (
 	"tlbprefetch/internal/prefetch"
 	"tlbprefetch/internal/sim"
 	"tlbprefetch/internal/stats"
+	"tlbprefetch/internal/sweep"
 	"tlbprefetch/internal/tlb"
 	"tlbprefetch/internal/workload"
 	"tlbprefetch/internal/xrand"
@@ -238,22 +239,30 @@ type ExtPageSizeRow struct {
 // the published conclusion — "DP is able to make good predictions across
 // different TLB configurations and page sizes" — is the shape to check).
 func ExtPageSize(opts Options) []ExtPageSizeRow {
-	var out []ExtPageSizeRow
-	for _, w := range fig9Workloads() {
-		row := ExtPageSizeRow{App: w.Name}
-		for i, shift := range []uint{12, 13, 14} {
+	apps := fig9Workloads()
+	dp := MechConfig{Kind: "DP", Rows: 256, Ways: 1}
+	shifts := []uint{12, 13, 14}
+	jobs := make([]sweep.Job, 0, len(apps)*len(shifts))
+	for _, w := range apps {
+		for _, shift := range shifts {
 			o := opts
 			o.PageShift = shift
-			res := RunApp(w, o, []MechConfig{{Kind: "DP", Rows: 256, Ways: 1}})
-			switch i {
-			case 0:
-				row.Acc4K = res.Acc[0]
-			case 1:
-				row.Acc8K = res.Acc[0]
-			case 2:
-				row.Acc16K = res.Acc[0]
-			}
+			jobs = append(jobs, sweep.Job{
+				Workload: w.Name,
+				Mech:     dp.sweepMech(o),
+				Config:   o.simConfig(),
+				Refs:     o.Refs,
+				Warmup:   o.WarmupRefs,
+			})
 		}
+	}
+	results := runJobs(apps, opts, jobs)
+	var out []ExtPageSizeRow
+	for i, w := range apps {
+		row := ExtPageSizeRow{App: w.Name}
+		row.Acc4K = results[i*len(shifts)+0].Stats.Accuracy()
+		row.Acc8K = results[i*len(shifts)+1].Stats.Accuracy()
+		row.Acc16K = results[i*len(shifts)+2].Stats.Accuracy()
 		out = append(out, row)
 	}
 	return out

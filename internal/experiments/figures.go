@@ -4,9 +4,8 @@ import (
 	"fmt"
 	"strings"
 
-	"tlbprefetch/internal/sim"
 	"tlbprefetch/internal/stats"
-	"tlbprefetch/internal/tlb"
+	"tlbprefetch/internal/sweep"
 	"tlbprefetch/internal/workload"
 )
 
@@ -147,32 +146,35 @@ type panelVariant struct {
 }
 
 // runPanelVaryingSim evaluates DP,256,D under simulator-level variations
-// (buffer size, TLB size), one fan-out member per variant.
+// (buffer size, TLB size), declared as a workload × variant grid. Variants
+// that keep the TLB geometry (the buffer panel) coalesce onto one shared
+// frontend per workload; the rest shard into independent cells — exactly
+// the fan-out the bespoke loop used to wire by hand.
 func runPanelVaryingSim(apps []workload.Workload, opts Options, variants []panelVariant) []AppResult {
-	var out []AppResult
 	dp := MechConfig{Kind: "DP", Rows: 256, Ways: 1}
+	jobs := make([]sweep.Job, 0, len(apps)*len(variants))
 	for _, w := range apps {
-		g := sim.NewGroup()
 		for _, v := range variants {
 			o := opts
 			v.mutate(&o)
-			g.Add(sim.New(sim.Config{
-				TLB:           tlb.Config{Entries: o.TLBEntries, Ways: o.TLBWays},
-				BufferEntries: o.Buffer,
-				PageShift:     o.PageShift,
-			}, dp.Build(o)))
+			jobs = append(jobs, sweep.Job{
+				Workload: w.Name,
+				Mech:     dp.sweepMech(o),
+				Config:   o.simConfig(),
+				Refs:     opts.Refs,
+			})
 		}
-		workload.Generate(w, opts.Refs, func(pc, vaddr uint64) bool {
-			g.Ref(pc, vaddr)
-			return true
-		})
+	}
+	results := runJobs(apps, opts, jobs)
+	var out []AppResult
+	for i, w := range apps {
 		res := AppResult{App: w.Name, Suite: w.Suite}
-		for i, s := range g.Members() {
-			st := s.Stats()
-			res.Labels = append(res.Labels, variants[i].label)
+		for j, v := range variants {
+			st := results[i*len(variants)+j].Stats
+			res.Labels = append(res.Labels, v.label)
 			res.Acc = append(res.Acc, st.Accuracy())
 			res.Stats = append(res.Stats, st)
-			if i == 0 {
+			if j == 0 {
 				res.MissRate = st.MissRate()
 			}
 		}

@@ -7,7 +7,7 @@ import (
 	"tlbprefetch/internal/prefetch"
 	"tlbprefetch/internal/sim"
 	"tlbprefetch/internal/stats"
-	"tlbprefetch/internal/tlb"
+	"tlbprefetch/internal/sweep"
 	"tlbprefetch/internal/workload"
 )
 
@@ -124,32 +124,39 @@ type Table3Row struct {
 // Table3 reproduces the execution-cycle comparison: RP vs DP (s=2, r=256)
 // normalized to no prefetching, under the paper's timing model (100-cycle
 // TLB miss penalty, 50-cycle prefetch memory operations contending only
-// with each other, RP's skip-when-busy rule).
+// with each other, RP's skip-when-busy rule). The study is a (5 apps) ×
+// (baseline, RP, DP) timing grid: each app's three cells share one
+// generation pass in the sweep shard, as the bespoke loop did.
 func Table3(opts Options) []Table3Row {
-	var out []Table3Row
+	apps := make([]workload.Workload, 0, len(Table3AppNames()))
 	for _, name := range Table3AppNames() {
 		w, ok := workload.ByName(name)
 		if !ok {
 			panic("experiments: missing table3 workload " + name)
 		}
-		tc := sim.DefaultTiming()
-		tc.Config = sim.Config{
-			TLB:           tlb.Config{Entries: opts.TLBEntries, Ways: opts.TLBWays},
-			BufferEntries: opts.Buffer,
-			PageShift:     opts.PageShift,
+		apps = append(apps, w)
+	}
+	mechs := []MechConfig{{Kind: "none"}, {Kind: "RP"}, {Kind: "DP", Rows: 256, Ways: 1}}
+	jobs := make([]sweep.Job, 0, len(apps)*len(mechs))
+	for _, w := range apps {
+		for _, m := range mechs {
+			jobs = append(jobs, sweep.Job{
+				Workload: w.Name,
+				Mech:     m.sweepMech(opts),
+				Config:   opts.simConfig(),
+				Refs:     opts.Refs,
+				Timing:   true,
+			})
 		}
-		base := sim.NewTiming(tc, nil)
-		rp := sim.NewTiming(tc, prefetch.NewRecency())
-		dp := sim.NewTiming(tc, MechConfig{Kind: "DP", Rows: 256, Ways: 1}.Build(opts))
-		workload.Generate(w, opts.Refs, func(pc, vaddr uint64) bool {
-			base.Ref(pc, vaddr)
-			rp.Ref(pc, vaddr)
-			dp.Ref(pc, vaddr)
-			return true
-		})
-		bs, rs, ds := base.Stats(), rp.Stats(), dp.Stats()
+	}
+	results := runJobs(apps, opts, jobs)
+	var out []Table3Row
+	for i, w := range apps {
+		bs := *results[i*len(mechs)+0].Timing
+		rs := *results[i*len(mechs)+1].Timing
+		ds := *results[i*len(mechs)+2].Timing
 		row := Table3Row{
-			App:            name,
+			App:            w.Name,
 			BaselineCycles: bs.Cycles,
 			RPCycles:       rs.Cycles,
 			DPCycles:       ds.Cycles,

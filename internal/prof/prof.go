@@ -1,0 +1,50 @@
+// Package prof wires the standard runtime/pprof file profiles into a CLI:
+// one call to start, one deferred call to stop, shared by cmd/tlbsim and
+// cmd/tlbsweep so the two cannot drift.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins the requested profiles ("" disables either). It returns a
+// stop function that finishes the CPU profile and writes the heap profile;
+// defer it immediately so the profiles are written even when the command
+// later fails. Problems inside stop are reported to stderr rather than
+// returned — by then the command's real exit status is already decided.
+func Start(tool, cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: closing CPU profile: %v\n", tool, err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", tool, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: writing heap profile: %v\n", tool, err)
+			}
+		}
+	}, nil
+}

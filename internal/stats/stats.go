@@ -1,13 +1,39 @@
 // Package stats aggregates and formats experiment results: the plain and
-// miss-rate-weighted averages of the paper's Table 2, and the ASCII / CSV
-// table rendering used by cmd/experiments and EXPERIMENTS.md.
+// miss-rate-weighted averages of the paper's Table 2, the ASCII / CSV
+// table rendering used by cmd/experiments and EXPERIMENTS.md, and the
+// canonical serialization that internal/sweep's content-addressed result
+// store is built on.
 package stats
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
 )
+
+// Canonical returns the canonical byte encoding of v used for content
+// addressing and for the sweep store's on-disk format: compact JSON with
+// struct fields in declaration order and map keys sorted (both guaranteed
+// by encoding/json). Two equal values always canonicalize to identical
+// bytes, so hashes and stored files are stable across runs, worker counts
+// and platforms.
+func Canonical(v any) ([]byte, error) {
+	return json.Marshal(v)
+}
+
+// Fingerprint returns the hex SHA-256 of Canonical(v) — the stable content
+// address of a configuration or result.
+func Fingerprint(v any) (string, error) {
+	b, err := Canonical(v)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}
 
 // Mean returns the arithmetic mean of xs (0 for an empty slice) — the
 // paper's (Σ p_i)/n.

@@ -124,3 +124,33 @@ func TestRanked(t *testing.T) {
 		t.Fatalf("tie order = %v", idx)
 	}
 }
+
+func TestCanonicalAndFingerprint(t *testing.T) {
+	type key struct {
+		B map[string]int
+		A string
+	}
+	v := key{A: "x", B: map[string]int{"z": 1, "a": 2}}
+	c1, err := Canonical(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, _ := Canonical(key{A: "x", B: map[string]int{"a": 2, "z": 1}})
+	if string(c1) != string(c2) {
+		t.Fatalf("canonical form depends on map insertion order: %s vs %s", c1, c2)
+	}
+	f1, err := Fingerprint(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f1) != 64 {
+		t.Fatalf("fingerprint length %d, want 64 hex chars", len(f1))
+	}
+	f2, _ := Fingerprint(key{A: "y", B: v.B})
+	if f1 == f2 {
+		t.Fatal("distinct values share a fingerprint")
+	}
+	if _, err := Fingerprint(func() {}); err == nil {
+		t.Fatal("unmarshalable value fingerprinted without error")
+	}
+}

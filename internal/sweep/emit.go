@@ -1,0 +1,59 @@
+package sweep
+
+import (
+	"fmt"
+
+	"tlbprefetch/internal/stats"
+)
+
+// Table renders results as an aligned text table, one row per cell in the
+// given order. Cycle columns appear only when at least one cell carries
+// timing data.
+func Table(results []Result) *stats.Table {
+	timing := false
+	for _, r := range results {
+		if r.Timing != nil {
+			timing = true
+			break
+		}
+	}
+	header := []string{"workload", "mech", "tlb", "tlbways", "buffer", "pageshift",
+		"refs", "missrate", "accuracy", "misses", "bufferhits", "issued", "memops"}
+	if timing {
+		header = append(header, "cycles", "CPI")
+	}
+	t := stats.NewTable(header...)
+	for _, r := range results {
+		k := r.Key
+		row := []string{
+			k.Workload,
+			k.Mech.Label(),
+			fmt.Sprintf("%d", k.TLBEntries),
+			fmt.Sprintf("%d", k.TLBWays),
+			fmt.Sprintf("%d", k.Buffer),
+			fmt.Sprintf("%d", k.PageShift),
+			fmt.Sprintf("%d", k.Refs),
+			stats.F(r.Stats.MissRate()),
+			stats.F(r.Stats.Accuracy()),
+			fmt.Sprintf("%d", r.Stats.Misses),
+			fmt.Sprintf("%d", r.Stats.BufferHits),
+			fmt.Sprintf("%d", r.Stats.PrefetchesIssued),
+			fmt.Sprintf("%d", r.Stats.MemOps()),
+		}
+		if timing {
+			if r.Timing != nil {
+				row = append(row, fmt.Sprintf("%d", r.Timing.Cycles), stats.F(r.Timing.CPI()))
+			} else {
+				row = append(row, "-", "-")
+			}
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// CSV renders results as comma-separated values.
+func CSV(results []Result) string { return Table(results).CSV() }
+
+// JSON renders results as canonical JSON (an array in the given order).
+func JSON(results []Result) ([]byte, error) { return stats.Canonical(results) }

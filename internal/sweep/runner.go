@@ -1,0 +1,233 @@
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"tlbprefetch/internal/sim"
+	"tlbprefetch/internal/tlb"
+	"tlbprefetch/internal/workload"
+)
+
+// ProgressEvent reports one settled cell (from cache or freshly run).
+type ProgressEvent struct {
+	// Done cells out of Total have settled, this one included.
+	Done, Total int
+	// Cached is true when the cell was satisfied from the store.
+	Cached bool
+	Result Result
+}
+
+// Summary counts how a run's cells were satisfied.
+type Summary struct {
+	Total  int // cells requested
+	Cached int // satisfied from the store without simulating
+	Ran    int // freshly simulated
+	Shards int // worker units the fresh cells were coalesced into
+}
+
+// Runner executes sweep jobs. The zero value runs everything with
+// GOMAXPROCS workers and no caching; set Store to skip cells whose key
+// hash is already present (and to record fresh ones).
+type Runner struct {
+	// Store, when non-nil, is consulted before running each cell and
+	// updated with every fresh result.
+	Store *Store
+	// Workers bounds the worker pool (0 = GOMAXPROCS). The results are
+	// bit-identical for any worker count.
+	Workers int
+	// Resolve maps a job's workload name to its model. Nil uses the
+	// global registry (workload.ByName).
+	Resolve func(name string) (workload.Workload, bool)
+	// Progress, when non-nil, is called once per settled cell. Calls are
+	// serialized; the callback must not invoke the Runner reentrantly.
+	Progress func(ProgressEvent)
+}
+
+// shardKey identifies cells that can share one generation pass and (for
+// functional cells) one sim.Group: same stream (workload, seed, length)
+// and same TLB-frontend geometry. Buffer size and mechanism may differ
+// within a shard — they live in the per-member back half.
+type shardKey struct {
+	workload  string
+	tlbCfg    tlb.Config
+	pageShift uint
+	refs      uint64
+	warmup    uint64
+	seed      uint64
+	timing    bool
+}
+
+// shard is one worker unit: the indices (into the caller's job slice) of
+// the cells it settles.
+type shard struct {
+	key     shardKey
+	indices []int
+}
+
+// Run executes the jobs, returning one result per job in input order plus
+// a summary of cache behaviour. Jobs whose key hash is present in the
+// store are returned from cache; the rest are sharded across the worker
+// pool. Results are deterministic: independent of worker count, shard
+// order, and of which other cells the sweep contains.
+func (r *Runner) Run(jobs []Job) ([]Result, Summary, error) {
+	sum := Summary{Total: len(jobs)}
+	out := make([]Result, len(jobs))
+	hashes := make([]string, len(jobs))
+	for i, j := range jobs {
+		if err := j.Validate(); err != nil {
+			return nil, sum, fmt.Errorf("job %d (%s/%s): %w", i, j.Workload, j.Mech.Label(), err)
+		}
+		hashes[i] = j.Key().Hash()
+	}
+
+	resolve := r.Resolve
+	if resolve == nil {
+		resolve = workload.ByName
+	}
+
+	// Settle cached cells first, then coalesce the rest into shards.
+	done := 0
+	byKey := make(map[shardKey]int)
+	var shards []*shard
+	for i, j := range jobs {
+		if r.Store != nil {
+			if res, ok := r.Store.Get(hashes[i]); ok {
+				out[i] = res
+				sum.Cached++
+				done++
+				if r.Progress != nil {
+					r.Progress(ProgressEvent{Done: done, Total: len(jobs), Cached: true, Result: res})
+				}
+				continue
+			}
+		}
+		if _, ok := resolve(j.Workload); !ok {
+			return nil, sum, fmt.Errorf("job %d: unknown workload %q", i, j.Workload)
+		}
+		k := shardKey{
+			workload:  j.Workload,
+			tlbCfg:    tlb.Config{Entries: j.Config.TLB.Entries, Ways: canonicalTLBWays(j.Config.TLB)},
+			pageShift: j.Config.PageShift,
+			refs:      j.Refs,
+			warmup:    j.Warmup,
+			seed:      j.Seed,
+			timing:    j.Timing,
+		}
+		si, ok := byKey[k]
+		if !ok {
+			si = len(shards)
+			byKey[k] = si
+			shards = append(shards, &shard{key: k})
+		}
+		shards[si].indices = append(shards[si].indices, i)
+	}
+	sum.Ran = len(jobs) - sum.Cached
+	sum.Shards = len(shards)
+	if len(shards) == 0 {
+		return out, sum, nil
+	}
+
+	workers := r.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(shards) {
+		workers = len(shards)
+	}
+
+	var (
+		mu   sync.Mutex // guards done + Progress
+		wg   sync.WaitGroup
+		work = make(chan *shard)
+	)
+	settle := func(idx int, res Result) {
+		out[idx] = res
+		if r.Store != nil {
+			r.Store.Put(res)
+		}
+		mu.Lock()
+		done++
+		if r.Progress != nil {
+			r.Progress(ProgressEvent{Done: done, Total: len(jobs), Result: res})
+		}
+		mu.Unlock()
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for sh := range work {
+				runShard(sh, jobs, resolve, settle)
+			}
+		}()
+	}
+	for _, sh := range shards {
+		work <- sh
+	}
+	close(work)
+	wg.Wait()
+	return out, sum, nil
+}
+
+// runShard simulates one shard: one generation pass over the workload
+// stream feeding every member cell.
+func runShard(sh *shard, jobs []Job, resolve func(string) (workload.Workload, bool), settle func(int, Result)) {
+	w, _ := resolve(sh.key.workload) // presence checked during sharding
+	if sh.key.seed != 0 {
+		w.Seed = sh.key.seed
+	}
+	if sh.key.timing {
+		runTimingShard(sh, w, jobs, settle)
+		return
+	}
+
+	// Functional cells: geometry-identical members share one canonical
+	// TLB frontend via sim.Group (heterogeneous buffer sizes are fine —
+	// the buffer is in the per-member back half).
+	g := sim.NewGroup()
+	for _, idx := range sh.indices {
+		j := jobs[idx]
+		g.Add(sim.New(j.Config, j.Mech.Build()))
+	}
+	total := sh.key.warmup + sh.key.refs
+	var seen uint64
+	workload.Generate(w, total, func(pc, vaddr uint64) bool {
+		g.Ref(pc, vaddr)
+		seen++
+		if seen == sh.key.warmup {
+			for _, s := range g.Members() {
+				s.ResetStats()
+			}
+		}
+		return true
+	})
+	for mi, s := range g.Members() {
+		idx := sh.indices[mi]
+		settle(idx, Result{Key: jobs[idx].Key(), Stats: s.Stats()})
+	}
+}
+
+// runTimingShard drives the cycle model: the members cannot share a
+// frontend (each owns its clock), but they do share the single generation
+// pass.
+func runTimingShard(sh *shard, w workload.Workload, jobs []Job, settle func(int, Result)) {
+	sims := make([]*sim.TimingSimulator, len(sh.indices))
+	for mi, idx := range sh.indices {
+		j := jobs[idx]
+		tc := sim.DefaultTiming()
+		tc.Config = j.Config
+		sims[mi] = sim.NewTiming(tc, j.Mech.Build())
+	}
+	workload.Generate(w, sh.key.refs, func(pc, vaddr uint64) bool {
+		for _, s := range sims {
+			s.Ref(pc, vaddr)
+		}
+		return true
+	})
+	for mi, idx := range sh.indices {
+		st := sims[mi].Stats()
+		settle(idx, Result{Key: jobs[idx].Key(), Stats: st.Stats, Timing: &st})
+	}
+}

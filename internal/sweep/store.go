@@ -1,0 +1,175 @@
+package sweep
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"tlbprefetch/internal/sim"
+)
+
+// Result is one completed cell: its identity plus the measured counters.
+// Timing is set only for cycle-model cells.
+type Result struct {
+	Key    Key              `json:"key"`
+	Stats  sim.Stats        `json:"stats"`
+	Timing *sim.TimingStats `json:"timing,omitempty"`
+}
+
+// storeFile is the on-disk layout: a schema marker plus the hash → result
+// map. encoding/json sorts map keys, so the serialized form is a canonical
+// function of the store's contents.
+type storeFile struct {
+	Schema  int               `json:"schema"`
+	Results map[string]Result `json:"results"`
+}
+
+// Store is a content-addressed result cache: key hash → Result. It is safe
+// for concurrent use by the Runner's workers. A Store may be purely
+// in-memory (NewStore) or bound to a JSON file (OpenStore + Save).
+type Store struct {
+	mu      sync.Mutex
+	path    string
+	results map[string]Result
+}
+
+// NewStore returns an empty in-memory store.
+func NewStore() *Store {
+	return &Store{results: make(map[string]Result)}
+}
+
+// OpenStore binds a store to a JSON file, loading its contents when the
+// file exists (a missing file is an empty store, not an error).
+func OpenStore(path string) (*Store, error) {
+	s := NewStore()
+	s.path = path
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return s, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("sweep: reading store: %w", err)
+	}
+	var f storeFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("sweep: parsing store %s: %w", path, err)
+	}
+	if f.Schema != KeySchema {
+		return nil, fmt.Errorf("sweep: store %s has schema %d, this binary speaks %d (delete or migrate it)",
+			path, f.Schema, KeySchema)
+	}
+	for h, r := range f.Results {
+		if got := r.Key.Hash(); got != h {
+			return nil, fmt.Errorf("sweep: store %s entry %s does not hash to its key (%s) — corrupt or hand-edited",
+				path, h, got)
+		}
+		s.results[h] = r
+	}
+	return s, nil
+}
+
+// Path returns the file the store is bound to ("" for in-memory stores).
+func (s *Store) Path() string { return s.path }
+
+// Len returns the number of stored results.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.results)
+}
+
+// Get looks a result up by key hash.
+func (s *Store) Get(hash string) (Result, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.results[hash]
+	return r, ok
+}
+
+// Put records a result under its key's hash, replacing any previous value.
+func (s *Store) Put(r Result) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.results[r.Key.Hash()] = r
+}
+
+// Results returns every stored result sorted by key hash — the same
+// deterministic order the serialized form uses.
+func (s *Store) Results() []Result {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	hashes := make([]string, 0, len(s.results))
+	for h := range s.results {
+		hashes = append(hashes, h)
+	}
+	sort.Strings(hashes)
+	out := make([]Result, 0, len(hashes))
+	for _, h := range hashes {
+		out = append(out, s.results[h])
+	}
+	return out
+}
+
+// Bytes serializes the store. The output is a pure function of the
+// contents: same results → identical bytes, regardless of insertion order
+// or how many workers produced them.
+func (s *Store) Bytes() ([]byte, error) {
+	s.mu.Lock()
+	f := storeFile{Schema: KeySchema, Results: s.results}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	err := enc.Encode(f)
+	s.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Save writes the store to its bound file atomically (temp file + rename).
+// Saving an in-memory store is a no-op.
+func (s *Store) Save() error {
+	if s.path == "" {
+		return nil
+	}
+	data, err := s.Bytes()
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(s.path)
+	tmp, err := os.CreateTemp(dir, ".sweep-store-*")
+	if err != nil {
+		return fmt.Errorf("sweep: saving store: %w", err)
+	}
+	tmpName := tmp.Name()
+	// CreateTemp makes the file 0600; keep the existing store's mode (or a
+	// conventional 0644) so the rename does not silently tighten it.
+	mode := os.FileMode(0o644)
+	if fi, err := os.Stat(s.path); err == nil {
+		mode = fi.Mode().Perm()
+	}
+	if err := tmp.Chmod(mode); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("sweep: saving store: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("sweep: saving store: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("sweep: saving store: %w", err)
+	}
+	if err := os.Rename(tmpName, s.path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("sweep: saving store: %w", err)
+	}
+	return nil
+}

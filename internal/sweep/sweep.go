@@ -1,0 +1,377 @@
+// Package sweep is the parameter-grid sweep engine behind the experiment
+// harness and cmd/tlbsweep. The paper's whole evaluation is one big
+// cross-product — workloads × mechanisms × TLB geometries × buffer sizes ×
+// table shapes — and sweep makes that cross-product a first-class object:
+//
+//   - A Grid declares axes and enumerates Jobs (one simulation cell each).
+//   - Every Job is content-addressed: a canonical Key (schema-versioned,
+//     fully resolved configuration) hashes to a stable identity, so the
+//     same cell always lands in the same place no matter which sweep asked
+//     for it.
+//   - A Runner shards jobs across a worker pool, coalescing cells that
+//     share a workload stream and TLB geometry onto one sim.Group shared
+//     frontend (the 21-way fan-out win of the figure harness, applied
+//     automatically), and skips cells already present in a Store.
+//   - A Store maps key hashes to results and persists as deterministic
+//     JSON: re-running a sweep after editing one mechanism recomputes only
+//     the dirty cells, and two runs of the same grid produce byte-identical
+//     files regardless of worker count.
+package sweep
+
+import (
+	"fmt"
+
+	"tlbprefetch/internal/core"
+	"tlbprefetch/internal/prefetch"
+	"tlbprefetch/internal/sim"
+	"tlbprefetch/internal/stats"
+	"tlbprefetch/internal/tlb"
+)
+
+// KeySchema versions the content-addressing layout. Bump it whenever the
+// meaning of a Key field (or of the simulation it names) changes, so stale
+// stores miss cleanly instead of serving wrong numbers.
+const KeySchema = 1
+
+// Mech names one prefetching-mechanism configuration, fully resolved (no
+// harness-level defaulting left). The zero parameters of kinds that ignore
+// them are canonicalized away by Normalize so that, e.g., "RP with r=256"
+// and "RP with r=1024" content-address to the same cell.
+type Mech struct {
+	// Kind is one of "DP", "DP-PC", "DP2", "RP", "RP3", "MP", "ASP", "SP",
+	// "SP-A", "none".
+	Kind string `json:"kind"`
+	// Rows (r) and Ways apply to the table-based mechanisms (DP-family,
+	// MP, ASP). Ways 0 is canonicalized to 1 (direct-mapped); Ways == Rows
+	// is fully associative.
+	Rows int `json:"rows,omitempty"`
+	Ways int `json:"ways,omitempty"`
+	// Slots is s, the predictions per row, for the MP/DP families.
+	Slots int `json:"slots,omitempty"`
+}
+
+// usesTable reports whether the kind has a prediction table (and therefore
+// meaningful Rows/Ways).
+func (m Mech) usesTable() bool {
+	switch m.Kind {
+	case "DP", "DP-PC", "DP2", "MP", "ASP":
+		return true
+	}
+	return false
+}
+
+// usesSlots reports whether the kind has per-row prediction slots.
+func (m Mech) usesSlots() bool {
+	switch m.Kind {
+	case "DP", "DP-PC", "DP2", "MP":
+		return true
+	}
+	return false
+}
+
+// Normalize canonicalizes the parameters the kind actually uses and zeroes
+// the rest, so equivalent configurations hash identically.
+func (m Mech) Normalize() Mech {
+	if !m.usesTable() {
+		m.Rows, m.Ways = 0, 0
+	} else if m.Ways == 0 {
+		m.Ways = 1
+	}
+	if !m.usesSlots() {
+		m.Slots = 0
+	}
+	return m
+}
+
+// Validate reports whether the configuration can be built.
+func (m Mech) Validate() error {
+	switch m.Kind {
+	case "RP", "RP3", "SP", "SP-A", "none":
+		return nil
+	case "DP", "DP-PC", "DP2", "MP", "ASP":
+	default:
+		return fmt.Errorf("sweep: unknown mechanism kind %q", m.Kind)
+	}
+	n := m.Normalize()
+	if n.Rows <= 0 {
+		return fmt.Errorf("sweep: %s needs a positive table row count, got %d", m.Kind, m.Rows)
+	}
+	if n.Ways < 0 {
+		return fmt.Errorf("sweep: %s table associativity must not be negative, got %d", m.Kind, n.Ways)
+	}
+	if n.Rows%n.Ways != 0 {
+		return fmt.Errorf("sweep: %s table rows %d not divisible by ways %d", m.Kind, n.Rows, n.Ways)
+	}
+	if n.usesSlots() && n.Slots <= 0 {
+		return fmt.Errorf("sweep: %s needs positive prediction slots, got %d", m.Kind, m.Slots)
+	}
+	return nil
+}
+
+// Label renders the paper's figure-legend naming, e.g. "DP,256,D".
+func (m Mech) Label() string {
+	if !m.usesTable() {
+		return m.Kind
+	}
+	assoc := "D"
+	switch {
+	case m.Ways == m.Rows:
+		assoc = "F"
+	case m.Ways > 1:
+		assoc = fmt.Sprintf("%d", m.Ways)
+	}
+	return fmt.Sprintf("%s,%d,%s", m.Kind, m.Rows, assoc)
+}
+
+// Build instantiates the mechanism ("none" builds the no-prefetching
+// baseline, i.e. nil). It panics on an unknown kind; call Validate first
+// when the kind comes from user input.
+func (m Mech) Build() prefetch.Prefetcher {
+	m = m.Normalize()
+	switch m.Kind {
+	case "none":
+		return nil
+	case "RP":
+		return prefetch.NewRecency()
+	case "RP3":
+		return prefetch.NewRecencyDegree(3)
+	case "SP":
+		return prefetch.NewSequential(true)
+	case "SP-A":
+		return prefetch.NewAdaptiveSequential()
+	case "ASP":
+		return prefetch.NewASP(m.Rows, m.Ways)
+	case "MP":
+		return prefetch.NewMarkov(m.Rows, m.Ways, m.Slots)
+	case "DP":
+		return core.NewDistance(m.Rows, m.Ways, m.Slots)
+	case "DP-PC":
+		return core.NewDistancePC(m.Rows, m.Ways, m.Slots)
+	case "DP2":
+		return core.NewDistance2(m.Rows, m.Ways, m.Slots)
+	}
+	panic(fmt.Sprintf("sweep: unknown mechanism kind %q", m.Kind))
+}
+
+// Job is one cell of a sweep: one workload stream through one simulator
+// configuration with one mechanism.
+type Job struct {
+	// Workload is the registry name of the application model (resolved via
+	// workload.ByName unless the Runner is given a custom resolver).
+	Workload string
+	// Mech is the prefetching mechanism (fully resolved; see Mech).
+	Mech Mech
+	// Config is the simulator configuration (TLB geometry, buffer size,
+	// page size).
+	Config sim.Config
+	// Refs is the number of references measured; Warmup references are
+	// simulated before the statistics counters reset (the paper's
+	// fast-forward). Warmup must be 0 for timing jobs.
+	Refs   uint64
+	Warmup uint64
+	// Seed, when nonzero, replaces the workload model's own stream seed,
+	// giving the cell an independent, reproducible stream (see DeriveSeed).
+	// 0 keeps the model's paper-calibrated stream.
+	Seed uint64
+	// Timing switches the cell to the cycle-accounting simulator
+	// (sim.DefaultTiming constants over Config), as the paper's Table 3.
+	Timing bool
+}
+
+// Key is the canonical, schema-versioned identity of a Job used for
+// content addressing. It flattens the job so that the hash depends on
+// every simulation-relevant parameter and nothing else.
+type Key struct {
+	Schema     int    `json:"schema"`
+	Workload   string `json:"workload"`
+	Mech       Mech   `json:"mech"`
+	TLBEntries int    `json:"tlb_entries"`
+	TLBWays    int    `json:"tlb_ways"`
+	Buffer     int    `json:"buffer"`
+	PageShift  uint   `json:"page_shift"`
+	Refs       uint64 `json:"refs"`
+	Warmup     uint64 `json:"warmup,omitempty"`
+	Seed       uint64 `json:"seed,omitempty"`
+	Timing     bool   `json:"timing,omitempty"`
+}
+
+// canonicalTLBWays canonicalizes the two spellings of a fully associative
+// TLB (Ways == 0 and Ways == Entries, which tlb.Config treats identically)
+// to 0, so the identical configuration always content-addresses to the
+// same cell.
+func canonicalTLBWays(c tlb.Config) int {
+	if c.Ways == c.Entries {
+		return 0
+	}
+	return c.Ways
+}
+
+// Key returns the job's canonical identity (with the mechanism and the
+// TLB geometry normalized).
+func (j Job) Key() Key {
+	return Key{
+		Schema:     KeySchema,
+		Workload:   j.Workload,
+		Mech:       j.Mech.Normalize(),
+		TLBEntries: j.Config.TLB.Entries,
+		TLBWays:    canonicalTLBWays(j.Config.TLB),
+		Buffer:     j.Config.BufferEntries,
+		PageShift:  j.Config.PageShift,
+		Refs:       j.Refs,
+		Warmup:     j.Warmup,
+		Seed:       j.Seed,
+		Timing:     j.Timing,
+	}
+}
+
+// Hash returns the key's content address: the hex SHA-256 of its canonical
+// JSON encoding.
+func (k Key) Hash() string {
+	h, err := stats.Fingerprint(k)
+	if err != nil {
+		panic(err) // Key contains only marshalable fields
+	}
+	return h
+}
+
+// Validate reports whether the job can run.
+func (j Job) Validate() error {
+	if j.Workload == "" {
+		return fmt.Errorf("sweep: job needs a workload name")
+	}
+	if err := j.Mech.Validate(); err != nil {
+		return err
+	}
+	if err := j.Config.Validate(); err != nil {
+		return err
+	}
+	if j.Refs == 0 {
+		return fmt.Errorf("sweep: job needs a positive reference count")
+	}
+	if j.Timing && j.Warmup != 0 {
+		return fmt.Errorf("sweep: timing jobs do not support warmup (the cycle model has no statistics fast-forward)")
+	}
+	return nil
+}
+
+// DeriveSeed maps a sweep-level base seed and a job key to the job's
+// stream seed: a splitmix64-style finalizer over the base and the key's
+// hash (with the Seed field zeroed, to avoid self-reference). Any single
+// cell can therefore be re-run in isolation from (base, key) alone.
+func DeriveSeed(base uint64, k Key) uint64 {
+	if base == 0 {
+		return 0
+	}
+	k.Seed = 0
+	h := k.Hash()
+	var x uint64
+	for i := 0; i < 16; i++ { // fold the first 16 hex digits
+		x = x<<4 | uint64(hexVal(h[i]))
+	}
+	x ^= base
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	x ^= x >> 31
+	if x == 0 {
+		x = base
+	}
+	return x
+}
+
+func hexVal(c byte) byte {
+	if c >= 'a' {
+		return c - 'a' + 10
+	}
+	return c - '0'
+}
+
+// Grid declares the axes of a sweep. Jobs enumerates the full cross
+// product in a deterministic order (workloads outermost, then mechanisms,
+// TLB entries, TLB ways, buffer sizes, page shifts), dropping cells that
+// canonicalize to an already-enumerated key (e.g. RP crossed with a table
+// axis it ignores).
+type Grid struct {
+	Workloads  []string
+	Mechs      []Mech
+	TLBEntries []int
+	TLBWays    []int // 0 = fully associative
+	Buffers    []int
+	PageShifts []uint
+	Refs       uint64
+	Warmup     uint64
+	// Seed, when nonzero, gives every cell an independent derived stream
+	// seed (DeriveSeed(Seed, key)); 0 keeps the workload models' own
+	// paper-calibrated streams.
+	Seed uint64
+	// Timing runs every cell under the cycle model.
+	Timing bool
+}
+
+// Jobs enumerates and validates the grid's cells.
+func (g Grid) Jobs() ([]Job, error) {
+	if len(g.Workloads) == 0 {
+		return nil, fmt.Errorf("sweep: grid needs at least one workload")
+	}
+	if len(g.Mechs) == 0 {
+		return nil, fmt.Errorf("sweep: grid needs at least one mechanism")
+	}
+	entries := g.TLBEntries
+	if len(entries) == 0 {
+		entries = []int{sim.Default().TLB.Entries}
+	}
+	ways := g.TLBWays
+	if len(ways) == 0 {
+		ways = []int{0}
+	}
+	buffers := g.Buffers
+	if len(buffers) == 0 {
+		buffers = []int{sim.Default().BufferEntries}
+	}
+	shifts := g.PageShifts
+	if len(shifts) == 0 {
+		shifts = []uint{sim.Default().PageShift}
+	}
+	refs := g.Refs
+	if refs == 0 {
+		refs = 1_000_000
+	}
+
+	seen := make(map[string]bool)
+	var jobs []Job
+	for _, w := range g.Workloads {
+		for _, m := range g.Mechs {
+			for _, e := range entries {
+				for _, tw := range ways {
+					for _, b := range buffers {
+						for _, ps := range shifts {
+							j := Job{
+								Workload: w,
+								Mech:     m.Normalize(),
+								Config: sim.Config{
+									TLB:           tlb.Config{Entries: e, Ways: tw},
+									BufferEntries: b,
+									PageShift:     ps,
+								},
+								Refs:   refs,
+								Warmup: g.Warmup,
+								Timing: g.Timing,
+							}
+							j.Seed = DeriveSeed(g.Seed, j.Key())
+							if err := j.Validate(); err != nil {
+								return nil, err
+							}
+							h := j.Key().Hash()
+							if seen[h] {
+								continue
+							}
+							seen[h] = true
+							jobs = append(jobs, j)
+						}
+					}
+				}
+			}
+		}
+	}
+	return jobs, nil
+}
