@@ -35,6 +35,8 @@ func main() {
 		buffer       = flag.Int("buffer", 16, "prefetch buffer entries")
 		pageShift    = flag.Uint("pageshift", 12, "log2 of the page size")
 		timing       = flag.Bool("timing", false, "use the cycle model (paper Table 3)")
+		missPenalty  = flag.Uint64("miss-penalty", 0, "TLB miss penalty in cycles, memop/buffer-hit costs scale with it (implies -timing; 0 = paper default 100)")
+		memopLat     = flag.Uint64("memop-latency", 0, "prefetch memory-op latency in cycles (implies -timing; 0 = half the miss penalty)")
 		list         = flag.Bool("list", false, "list the available workload models")
 		cpuProf      = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf      = flag.String("memprofile", "", "write a heap profile to this file")
@@ -60,15 +62,20 @@ func main() {
 		fatal("need -workload or -trace (or -list)")
 	}
 
+	// Either timing-constant flag opts into the cycle model.
+	if *missPenalty != 0 || *memopLat != 0 {
+		*timing = true
+	}
 	if err := run(*workloadName, *traceFile, *traceText, *mech, *rows, *ways, *slots,
-		*refs, *tlbEntries, *tlbWays, *buffer, *pageShift, *timing, *cpuProf, *memProf); err != nil {
+		*refs, *tlbEntries, *tlbWays, *buffer, *pageShift, *timing, *missPenalty, *memopLat,
+		*cpuProf, *memProf); err != nil {
 		fatal(err.Error())
 	}
 }
 
 func run(workloadName, traceFile string, traceText bool, mech string, rows, ways, slots int,
 	refs uint64, tlbEntries, tlbWays, buffer int, pageShift uint, timing bool,
-	cpuProf, memProf string) error {
+	missPenalty, memopLat uint64, cpuProf, memProf string) error {
 	stopProf, err := prof.Start("tlbsim", cpuProf, memProf)
 	if err != nil {
 		return err
@@ -85,17 +92,35 @@ func run(workloadName, traceFile string, traceText bool, mech string, rows, ways
 		BufferEntries: buffer,
 		PageShift:     pageShift,
 	}
+	timingConfig := func() tlbprefetch.TimingConfig {
+		tc := tlbprefetch.DefaultTimingConfig()
+		if missPenalty != 0 {
+			// Same recalibration tlbsweep's -miss-penalty axis uses, so a
+			// tlbsim spot check reproduces a swept cell's cycle counts.
+			tc = tlbprefetch.ScaledTimingConfig(missPenalty)
+		}
+		tc.Config = cfg
+		if memopLat != 0 {
+			tc.MemOpLatency = memopLat
+			// An explicit latency below the channel occupancy means the
+			// channel is fully serialized at that latency (same rule as
+			// tlbsweep's -memop-latency axis).
+			if tc.MemOpOccupancy > tc.MemOpLatency {
+				tc.MemOpOccupancy = tc.MemOpLatency
+			}
+		}
+		return tc
+	}
 
 	if traceFile != "" {
-		return runTrace(cfg, pf, traceFile, traceText, timing)
+		return runTrace(cfg, timingConfig, pf, traceFile, traceText, timing)
 	}
 	w, ok := tlbprefetch.WorkloadByName(workloadName)
 	if !ok {
 		return fmt.Errorf("unknown workload %q (try -list)", workloadName)
 	}
 	if timing {
-		tc := tlbprefetch.DefaultTimingConfig()
-		tc.Config = cfg
+		tc := timingConfig()
 		base := tlbprefetch.RunWorkloadTimed(tc, nil, w, refs)
 		st := tlbprefetch.RunWorkloadTimed(tc, pf, w, refs)
 		printTiming(st, base.Cycles)
@@ -132,7 +157,8 @@ func buildMechanism(kind string, rows, ways, slots int) (tlbprefetch.Prefetcher,
 	return nil, fmt.Errorf("unknown mechanism %q", kind)
 }
 
-func runTrace(cfg tlbprefetch.Config, pf tlbprefetch.Prefetcher, path string, text, timing bool) error {
+func runTrace(cfg tlbprefetch.Config, timingConfig func() tlbprefetch.TimingConfig,
+	pf tlbprefetch.Prefetcher, path string, text, timing bool) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -150,9 +176,7 @@ func runTrace(cfg tlbprefetch.Config, pf tlbprefetch.Prefetcher, path string, te
 		r = br
 	}
 	if timing {
-		tc := tlbprefetch.DefaultTimingConfig()
-		tc.Config = cfg
-		s := tlbprefetch.NewTimingSimulator(tc, pf)
+		s := tlbprefetch.NewTimingSimulator(timingConfig(), pf)
 		if err := s.Run(r); err != nil {
 			return err
 		}

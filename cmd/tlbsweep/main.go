@@ -1,17 +1,24 @@
 // Command tlbsweep runs a declarative parameter-grid sweep: the cross
-// product of workloads × mechanisms × table shapes × TLB geometries ×
-// buffer sizes × page sizes, sharded across the CPU by internal/sweep,
-// with results landing in a content-addressed JSON store. Re-running a
-// sweep against the same store only simulates the cells that are not
-// already present, so growing a study — more workloads, another buffer
-// size — costs only the new cells.
+// product of sources (synthetic workloads and recorded traces) × mechanisms
+// × table shapes × TLB geometries × buffer sizes × page sizes × timing
+// points, sharded across the CPU by internal/sweep, with results landing in
+// a content-addressed JSON store. Re-running a sweep against the same store
+// only simulates the cells that are not already present, so growing a study
+// — more workloads, another buffer size, a new miss-penalty point — costs
+// only the new cells.
+//
+// Besides sweeping, tlbsweep is the store's lifecycle tool: -where renders
+// a stored subset without re-declaring the grid, -gc drops cells the
+// current grid no longer references, and -diff compares two stores.
 //
 // Examples:
 //
 //	tlbsweep -workloads swim,mcf -mechs DP,RP,ASP -entries 64,128,256 -buffer 8,16,32
 //	tlbsweep -workloads SPEC -mechs DP -rows 32,64,128,256,512,1024 -store dp-table.json
-//	tlbsweep -workloads all -mechs DP,RP -format csv > sweep.csv
-//	tlbsweep -workloads mcf -mechs none,RP,DP -timing
+//	tlbsweep -trace app.trc -mechs none,RP,DP -miss-penalty 50,100,200 -store lat.json
+//	tlbsweep -store lat.json -where mech=DP,misspenalty=200 -format csv
+//	tlbsweep -workloads mcf -mechs DP -store sweep.json -gc
+//	tlbsweep -store a.json -diff b.json
 package main
 
 import (
@@ -30,78 +37,157 @@ import (
 
 func main() {
 	var (
-		workloads = flag.String("workloads", "", "comma-separated workload names, suite names (SPEC, MediaBench, Etch, PointerIntensive) or 'all'")
-		mechs     = flag.String("mechs", "DP", "comma-separated mechanism kinds: DP, DP-PC, DP2, RP, RP3, MP, ASP, SP, SP-A, none")
-		rows      = flag.String("rows", "256", "prediction-table rows axis (table mechanisms)")
-		ways      = flag.String("ways", "1", "prediction-table associativity axis (table mechanisms)")
-		slots     = flag.String("slots", "2", "prediction slots per row axis (DP/MP families)")
-		entries   = flag.String("entries", "128", "TLB entries axis")
-		tlbWays   = flag.String("tlbways", "0", "TLB associativity axis (0 = fully associative)")
-		buffers   = flag.String("buffer", "16", "prefetch buffer entries axis")
-		pageShift = flag.String("pageshift", "12", "log2 page size axis")
-		refs      = flag.Uint64("refs", 1_000_000, "references measured per cell")
-		warmup    = flag.Uint64("warmup", 0, "references simulated before the counters reset")
-		seed      = flag.Uint64("seed", 0, "base seed: 0 keeps the models' paper-calibrated streams, nonzero derives an independent per-cell stream seed")
-		timing    = flag.Bool("timing", false, "run every cell under the cycle model (paper Table 3)")
-		storePath = flag.String("store", "", "JSON result store to read from and merge into")
-		format    = flag.String("format", "table", "output format: table, csv, json, none")
-		workers   = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
-		quiet     = flag.Bool("q", false, "suppress per-cell progress on stderr")
-		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf   = flag.String("memprofile", "", "write a heap profile to this file")
+		workloads   = flag.String("workloads", "", "comma-separated workload names, suite names (SPEC, MediaBench, Etch, PointerIntensive) or 'all'")
+		traces      = flag.String("trace", "", "comma-separated trace files added to the source axis (digested into the keys)")
+		mechs       = flag.String("mechs", "DP", "comma-separated mechanism kinds: DP, DP-PC, DP2, RP, RP3, MP, ASP, SP, SP-A, none")
+		rows        = flag.String("rows", "256", "prediction-table rows axis (table mechanisms)")
+		ways        = flag.String("ways", "1", "prediction-table associativity axis (table mechanisms)")
+		slots       = flag.String("slots", "2", "prediction slots per row axis (DP/MP families)")
+		entries     = flag.String("entries", "128", "TLB entries axis")
+		tlbWays     = flag.String("tlbways", "0", "TLB associativity axis (0 = fully associative)")
+		buffers     = flag.String("buffer", "16", "prefetch buffer entries axis")
+		pageShift   = flag.String("pageshift", "12", "log2 page size axis")
+		refs        = flag.Uint64("refs", 1_000_000, "references measured per cell")
+		warmup      = flag.Uint64("warmup", 0, "references simulated before the counters reset")
+		seed        = flag.Uint64("seed", 0, "base seed: 0 keeps the models' paper-calibrated streams, nonzero derives an independent per-cell stream seed")
+		timing      = flag.Bool("timing", false, "run every cell under the cycle model (paper Table 3)")
+		missPenalty = flag.String("miss-penalty", "", "TLB miss penalty axis in cycles (implies -timing; default 100, memop/buffer-hit costs scale with it)")
+		memopLat    = flag.String("memop-latency", "", "prefetch memory-op latency axis in cycles (implies -timing; default scales at half the miss penalty)")
+		storePath   = flag.String("store", "", "JSON result store to read from and merge into")
+		where       = flag.String("where", "", "render matching store cells (field=value,... filters) instead of sweeping")
+		gc          = flag.Bool("gc", false, "drop store cells the declared grid does not reference, then save")
+		diffPath    = flag.String("diff", "", "compare the -store file against this second store and exit (1 when they differ)")
+		format      = flag.String("format", "table", "output format: table, csv, json, none")
+		workers     = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		quiet       = flag.Bool("q", false, "suppress per-cell progress on stderr")
+		cpuProf     = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf     = flag.String("memprofile", "", "write a heap profile to this file")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintf(os.Stderr, "tlbsweep: unexpected arguments %q (the grid is declared with flags)\n", flag.Args())
 		os.Exit(2)
 	}
-	if *workloads == "" {
-		fmt.Fprintln(os.Stderr, "tlbsweep: -workloads is required (workload names, suite names, or 'all')")
+	modes := 0
+	for _, on := range []bool{*where != "", *gc, *diffPath != ""} {
+		if on {
+			modes++
+		}
+	}
+	if modes > 1 {
+		fmt.Fprintln(os.Stderr, "tlbsweep: -where, -gc and -diff are mutually exclusive modes")
+		os.Exit(2)
+	}
+	if (*where != "" || *gc || *diffPath != "") && *storePath == "" {
+		fmt.Fprintln(os.Stderr, "tlbsweep: -where/-gc/-diff operate on a store: -store is required")
+		os.Exit(2)
+	}
+	if *where == "" && *diffPath == "" && *workloads == "" && *traces == "" {
+		fmt.Fprintln(os.Stderr, "tlbsweep: need a source axis: -workloads (names, suites, 'all') and/or -trace files")
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*workloads, *mechs, *rows, *ways, *slots, *entries, *tlbWays, *buffers, *pageShift,
-		*refs, *warmup, *seed, *timing, *storePath, *format, *workers, *quiet, *cpuProf, *memProf); err != nil {
+
+	cfg := sweepConfig{
+		workloads: *workloads, traces: *traces, mechs: *mechs,
+		rows: *rows, ways: *ways, slots: *slots,
+		entries: *entries, tlbWays: *tlbWays, buffers: *buffers, pageShift: *pageShift,
+		refs: *refs, warmup: *warmup, seed: *seed,
+		timing: *timing, missPenalty: *missPenalty, memopLat: *memopLat,
+		storePath: *storePath, where: *where, gc: *gc, diffPath: *diffPath,
+		format: *format, workers: *workers, quiet: *quiet,
+		cpuProf: *cpuProf, memProf: *memProf,
+	}
+	code, err := run(cfg)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "tlbsweep:", err)
 		os.Exit(1)
 	}
+	os.Exit(code)
 }
 
-func run(workloads, mechs, rows, ways, slots, entries, tlbWays, buffers, pageShift string,
-	refs, warmup, seed uint64, timing bool, storePath, format string, workers int, quiet bool,
-	cpuProf, memProf string) error {
-	switch format {
+// sweepConfig carries the parsed flag surface.
+type sweepConfig struct {
+	workloads, traces, mechs             string
+	rows, ways, slots                    string
+	entries, tlbWays, buffers, pageShift string
+	refs, warmup, seed                   uint64
+	timing                               bool
+	missPenalty, memopLat                string
+	storePath, where, diffPath, format   string
+	gc                                   bool
+	workers                              int
+	quiet                                bool
+	cpuProf, memProf                     string
+}
+
+func run(cfg sweepConfig) (int, error) {
+	switch cfg.format {
 	case "table", "csv", "json", "none":
 	default:
-		return fmt.Errorf("unknown -format %q (table, csv, json, none)", format)
+		return 1, fmt.Errorf("unknown -format %q (table, csv, json, none)", cfg.format)
 	}
 
-	stopProf, err := prof.Start("tlbsweep", cpuProf, memProf)
+	stopProf, err := prof.Start("tlbsweep", cfg.cpuProf, cfg.memProf)
 	if err != nil {
-		return err
+		return 1, err
 	}
 	defer stopProf()
 
-	grid, err := buildGrid(workloads, mechs, rows, ways, slots, entries, tlbWays, buffers, pageShift,
-		refs, warmup, seed, timing)
-	if err != nil {
-		return err
-	}
-	jobs, err := grid.Jobs()
-	if err != nil {
-		return err
-	}
-
-	store := sweep.NewStore()
-	if storePath != "" {
-		store, err = sweep.OpenStore(storePath)
+	// The read-only modes consume an existing store; a missing file there
+	// is a path typo that would otherwise succeed vacuously ("stores are
+	// identical", "0 cells match"). Only a sweep may start a store fresh.
+	readOnly := cfg.diffPath != "" || cfg.where != "" || cfg.gc
+	var store *sweep.Store
+	if cfg.storePath != "" {
+		if readOnly {
+			if _, err := os.Stat(cfg.storePath); err != nil {
+				return 1, fmt.Errorf("-store %s: %w", cfg.storePath, err)
+			}
+		}
+		store, err = sweep.OpenStore(cfg.storePath)
 		if err != nil {
-			return err
+			return 1, err
+		}
+		if n := store.Migrated(); n > 0 {
+			fmt.Fprintf(os.Stderr, "tlbsweep: migrated %d cells from store schema 1 to %d\n", n, sweep.KeySchema)
 		}
 	}
 
-	runner := sweep.Runner{Store: store, Workers: workers}
-	if !quiet {
+	switch {
+	case cfg.diffPath != "":
+		return runDiff(store, cfg.diffPath)
+	case cfg.where != "":
+		return runWhere(store, cfg.where, cfg.format)
+	}
+
+	grid, err := buildGrid(cfg)
+	if err != nil {
+		return 1, err
+	}
+	jobs, err := grid.Jobs()
+	if err != nil {
+		return 1, err
+	}
+
+	if cfg.gc {
+		keep := make(map[string]bool, len(jobs))
+		for _, j := range jobs {
+			keep[j.Key().Hash()] = true
+		}
+		dropped := store.GC(keep)
+		if err := store.Save(); err != nil {
+			return 1, err
+		}
+		fmt.Fprintf(os.Stderr, "tlbsweep: gc dropped %d cells, kept %d\n", dropped, store.Len())
+		return 0, nil
+	}
+
+	if store == nil {
+		store = sweep.NewStore()
+	}
+	runner := sweep.Runner{Store: store, Workers: cfg.workers}
+	if !cfg.quiet {
 		runner.Progress = func(ev sweep.ProgressEvent) {
 			note := ""
 			if ev.Cached {
@@ -110,23 +196,58 @@ func run(workloads, mechs, rows, ways, slots, entries, tlbWays, buffers, pageShi
 			k := ev.Result.Key
 			fmt.Fprintf(os.Stderr, "[%*d/%d] %-12s %-10s tlb=%d/%d buf=%d ps=%d  acc=%s%s\n",
 				len(fmt.Sprint(ev.Total)), ev.Done, ev.Total,
-				k.Workload, k.Mech.Label(), k.TLBEntries, k.TLBWays, k.Buffer, k.PageShift,
+				k.Source.Label(), k.Mech.Label(), k.TLBEntries, k.TLBWays, k.Buffer, k.PageShift,
 				stats.F(ev.Result.Stats.Accuracy()), note)
 		}
 	}
 	start := time.Now()
 	results, sum, err := runner.Run(jobs)
 	if err != nil {
-		return err
+		return 1, err
 	}
-	if storePath != "" {
+	if cfg.storePath != "" {
 		if err := store.Save(); err != nil {
-			return err
+			return 1, err
 		}
 	}
 	fmt.Fprintf(os.Stderr, "tlbsweep: %d cells (%d cached, %d run in %d shards) in %v\n",
 		sum.Total, sum.Cached, sum.Ran, sum.Shards, time.Since(start).Round(time.Millisecond))
 
+	return 0, emit(results, cfg.format)
+}
+
+// runWhere renders the store subset a filter selects, no grid required.
+func runWhere(store *sweep.Store, spec, format string) (int, error) {
+	f, err := sweep.ParseFilter(spec)
+	if err != nil {
+		return 1, err
+	}
+	results := f.Select(store)
+	fmt.Fprintf(os.Stderr, "tlbsweep: %d of %d store cells match %q\n", len(results), store.Len(), spec)
+	return 0, emit(results, format)
+}
+
+// runDiff compares two stores; exit code 1 reports a difference.
+func runDiff(a *sweep.Store, bPath string) (int, error) {
+	if _, err := os.Stat(bPath); err != nil {
+		return 1, fmt.Errorf("-diff %s: %w", bPath, err)
+	}
+	b, err := sweep.OpenStore(bPath)
+	if err != nil {
+		return 1, err
+	}
+	d, err := sweep.DiffStores(a, b)
+	if err != nil {
+		return 1, err
+	}
+	fmt.Print(d.Summary())
+	if d.Empty() {
+		return 0, nil
+	}
+	return 1, nil
+}
+
+func emit(results []sweep.Result, format string) error {
 	switch format {
 	case "table":
 		fmt.Print(sweep.Table(results).String())
@@ -145,29 +266,41 @@ func run(workloads, mechs, rows, ways, slots, entries, tlbWays, buffers, pageShi
 }
 
 // buildGrid parses the axis flags into a sweep.Grid.
-func buildGrid(workloads, mechs, rows, ways, slots, entries, tlbWays, buffers, pageShift string,
-	refs, warmup, seed uint64, timing bool) (sweep.Grid, error) {
-	g := sweep.Grid{Refs: refs, Warmup: warmup, Seed: seed, Timing: timing}
+func buildGrid(cfg sweepConfig) (sweep.Grid, error) {
+	g := sweep.Grid{Refs: cfg.refs, Warmup: cfg.warmup, Seed: cfg.seed}
 
-	names, err := resolveWorkloads(workloads)
-	if err != nil {
-		return g, err
+	if cfg.workloads != "" {
+		names, err := resolveWorkloads(cfg.workloads)
+		if err != nil {
+			return g, err
+		}
+		g.Workloads = names
 	}
-	g.Workloads = names
+	for _, tok := range strings.Split(cfg.traces, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		src, err := sweep.TraceSource(tok)
+		if err != nil {
+			return g, err
+		}
+		g.Traces = append(g.Traces, src)
+	}
 
-	rowAxis, err := parseInts("rows", rows)
+	rowAxis, err := parseInts("rows", cfg.rows)
 	if err != nil {
 		return g, err
 	}
-	wayAxis, err := parseInts("ways", ways)
+	wayAxis, err := parseInts("ways", cfg.ways)
 	if err != nil {
 		return g, err
 	}
-	slotAxis, err := parseInts("slots", slots)
+	slotAxis, err := parseInts("slots", cfg.slots)
 	if err != nil {
 		return g, err
 	}
-	for _, kind := range strings.Split(mechs, ",") {
+	for _, kind := range strings.Split(cfg.mechs, ",") {
 		kind = canonicalKind(strings.TrimSpace(kind))
 		for _, r := range rowAxis {
 			for _, w := range wayAxis {
@@ -182,16 +315,16 @@ func buildGrid(workloads, mechs, rows, ways, slots, entries, tlbWays, buffers, p
 		}
 	}
 
-	if g.TLBEntries, err = parseInts("entries", entries); err != nil {
+	if g.TLBEntries, err = parseInts("entries", cfg.entries); err != nil {
 		return g, err
 	}
-	if g.TLBWays, err = parseInts("tlbways", tlbWays); err != nil {
+	if g.TLBWays, err = parseInts("tlbways", cfg.tlbWays); err != nil {
 		return g, err
 	}
-	if g.Buffers, err = parseInts("buffer", buffers); err != nil {
+	if g.Buffers, err = parseInts("buffer", cfg.buffers); err != nil {
 		return g, err
 	}
-	shifts, err := parseInts("pageshift", pageShift)
+	shifts, err := parseInts("pageshift", cfg.pageShift)
 	if err != nil {
 		return g, err
 	}
@@ -201,7 +334,62 @@ func buildGrid(workloads, mechs, rows, ways, slots, entries, tlbWays, buffers, p
 		}
 		g.PageShifts = append(g.PageShifts, uint(s))
 	}
+
+	timings, err := buildTimings(cfg.timing, cfg.missPenalty, cfg.memopLat)
+	if err != nil {
+		return g, err
+	}
+	g.Timings = timings
 	return g, nil
+}
+
+// buildTimings constructs the cycle-model axis: the cross product of the
+// -miss-penalty and -memop-latency lists. Each penalty point starts from
+// the scaled default calibration (memory-op and buffer-hit costs keep
+// their ratio to the walk cost, so prefetching is never modeled as
+// costlier than the miss it avoids); an explicit -memop-latency then
+// overrides the memory-op cost. Either flag implies the cycle model;
+// -timing alone runs the single default point.
+func buildTimings(timing bool, missPenalty, memopLat string) ([]sweep.Timing, error) {
+	if !timing && missPenalty == "" && memopLat == "" {
+		return nil, nil
+	}
+	penalties := []uint64{sweep.DefaultTiming().MissPenalty}
+	if missPenalty != "" {
+		var err error
+		if penalties, err = parseUints("miss-penalty", missPenalty); err != nil {
+			return nil, err
+		}
+	}
+	var latencies []uint64 // empty = scaled default per penalty
+	if memopLat != "" {
+		var err error
+		if latencies, err = parseUints("memop-latency", memopLat); err != nil {
+			return nil, err
+		}
+	}
+	var out []sweep.Timing
+	for _, p := range penalties {
+		base := sweep.ScaledTiming(p)
+		points := latencies
+		if len(points) == 0 {
+			points = []uint64{base.MemOpLatency}
+		}
+		for _, l := range points {
+			t := base
+			t.MemOpLatency = l
+			// An explicit latency below the scaled occupancy means the
+			// channel is fully serialized at that latency.
+			if t.MemOpOccupancy > t.MemOpLatency {
+				t.MemOpOccupancy = t.MemOpLatency
+			}
+			if err := t.Validate(); err != nil {
+				return nil, err
+			}
+			out = append(out, t)
+		}
+	}
+	return out, nil
 }
 
 // canonicalKind maps case-insensitive user input onto the registry's
@@ -266,6 +454,26 @@ func parseInts(name, spec string) ([]int, error) {
 		v, err := strconv.Atoi(tok)
 		if err != nil {
 			return nil, fmt.Errorf("-%s: %q is not an integer", name, tok)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-%s needs at least one value", name)
+	}
+	return out, nil
+}
+
+// parseUints parses a comma-separated unsigned axis.
+func parseUints(name, spec string) ([]uint64, error) {
+	var out []uint64
+	for _, tok := range strings.Split(spec, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		v, err := strconv.ParseUint(tok, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("-%s: %q is not a non-negative integer", name, tok)
 		}
 		out = append(out, v)
 	}

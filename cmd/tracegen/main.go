@@ -1,17 +1,24 @@
 // Command tracegen writes a workload model's reference stream to a trace
-// file (binary by default, text with -text), for driving tlbsim or external
-// tools.
+// file (binary by default, text with -text), for driving tlbsim, tlbsweep's
+// trace-source axis, or external tools. It prints the SHA-256 digest of the
+// written file — the identity trace-backed sweep keys embed — and refuses
+// to overwrite an existing file unless -force is given, so a digest a grid
+// already references cannot be clobbered by accident.
 //
 // Examples:
 //
 //	tracegen -workload swim -refs 5000000 -o swim.trc
 //	tracegen -workload gsm-enc -refs 100000 -text -o gsm.txt
+//	tracegen -workload mcf -refs 1000000 -o mcf.trc -force
 package main
 
 import (
 	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"tlbprefetch"
@@ -23,6 +30,7 @@ func main() {
 		refs         = flag.Uint64("refs", 1_000_000, "references to generate")
 		out          = flag.String("o", "", "output file (default: <workload>.trc or .txt)")
 		text         = flag.Bool("text", false, "write the human-readable text format")
+		force        = flag.Bool("force", false, "overwrite the output file if it already exists")
 	)
 	flag.Parse()
 
@@ -44,12 +52,25 @@ func main() {
 			path = w.Name + ".trc"
 		}
 	}
-	f, err := os.Create(path)
+	flags := os.O_WRONLY | os.O_CREATE | os.O_TRUNC
+	if !*force {
+		// O_EXCL makes the existence check race-free: the create fails
+		// rather than truncating a trace some grid's keys already name.
+		flags = os.O_WRONLY | os.O_CREATE | os.O_EXCL
+	}
+	f, err := os.OpenFile(path, flags, 0o644)
 	if err != nil {
+		if os.IsExist(err) {
+			fmt.Fprintf(os.Stderr, "tracegen: %s already exists (its digest may be referenced by sweep grids); use -force to overwrite\n", path)
+			os.Exit(1)
+		}
 		fmt.Fprintln(os.Stderr, "tracegen:", err)
 		os.Exit(1)
 	}
-	bw := bufio.NewWriterSize(f, 1<<20)
+	// Hash the exact bytes written so the printed digest matches what
+	// sweep.TraceSource will compute when a grid references the file.
+	hash := sha256.New()
+	bw := bufio.NewWriterSize(io.MultiWriter(f, hash), 1<<20)
 
 	var n uint64
 	if *text {
@@ -81,5 +102,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "tracegen:", err)
 		os.Exit(1)
 	}
+	digest := hex.EncodeToString(hash.Sum(nil))
 	fmt.Printf("wrote %d references of %s to %s\n", n, w.Name, path)
+	fmt.Printf("sha256 %s\n", digest)
 }

@@ -131,11 +131,11 @@ func RunSuite(ws []workload.Workload, opts Options, mechs []MechConfig) []AppRes
 	for _, w := range ws {
 		for _, m := range mechs {
 			jobs = append(jobs, sweep.Job{
-				Workload: w.Name,
-				Mech:     m.sweepMech(opts),
-				Config:   opts.simConfig(),
-				Refs:     opts.Refs,
-				Warmup:   opts.WarmupRefs,
+				Source: sweep.WorkloadSource(w.Name),
+				Mech:   m.sweepMech(opts),
+				Config: opts.simConfig(),
+				Refs:   opts.Refs,
+				Warmup: opts.WarmupRefs,
 			})
 		}
 	}

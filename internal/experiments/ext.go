@@ -248,11 +248,11 @@ func ExtPageSize(opts Options) []ExtPageSizeRow {
 			o := opts
 			o.PageShift = shift
 			jobs = append(jobs, sweep.Job{
-				Workload: w.Name,
-				Mech:     dp.sweepMech(o),
-				Config:   o.simConfig(),
-				Refs:     o.Refs,
-				Warmup:   o.WarmupRefs,
+				Source: sweep.WorkloadSource(w.Name),
+				Mech:   dp.sweepMech(o),
+				Config: o.simConfig(),
+				Refs:   o.Refs,
+				Warmup: o.WarmupRefs,
 			})
 		}
 	}

@@ -158,10 +158,10 @@ func runPanelVaryingSim(apps []workload.Workload, opts Options, variants []panel
 			o := opts
 			v.mutate(&o)
 			jobs = append(jobs, sweep.Job{
-				Workload: w.Name,
-				Mech:     dp.sweepMech(o),
-				Config:   o.simConfig(),
-				Refs:     opts.Refs,
+				Source: sweep.WorkloadSource(w.Name),
+				Mech:   dp.sweepMech(o),
+				Config: o.simConfig(),
+				Refs:   opts.Refs,
 			})
 		}
 	}

@@ -124,10 +124,32 @@ type Table3Row struct {
 // Table3 reproduces the execution-cycle comparison: RP vs DP (s=2, r=256)
 // normalized to no prefetching, under the paper's timing model (100-cycle
 // TLB miss penalty, 50-cycle prefetch memory operations contending only
-// with each other, RP's skip-when-busy rule). The study is a (5 apps) ×
-// (baseline, RP, DP) timing grid: each app's three cells share one
-// generation pass in the sweep shard, as the bespoke loop did.
+// with each other, RP's skip-when-busy rule). It is the default point of
+// the latency-sensitivity grid Table3Latency sweeps: one timing axis
+// (sweep.DefaultTiming), five apps, three mechanisms, every cell rendered
+// from the sweep store.
 func Table3(opts Options) []Table3Row {
+	rows := Table3Latency(opts, []sweep.Timing{sweep.DefaultTiming()})
+	out := make([]Table3Row, len(rows))
+	for i, r := range rows {
+		out[i] = r.Table3Row
+	}
+	return out
+}
+
+// Table3LatencyRow is one (application, timing point) cell group of the
+// latency-sensitivity grid.
+type Table3LatencyRow struct {
+	Table3Row
+	Timing sweep.Timing
+}
+
+// Table3Latency generalizes Table 3 into a latency-sensitivity study: the
+// (5 apps) × (baseline, RP, DP) × (timing points) grid, each app's cells
+// at one timing point sharing a generation pass in the sweep shard, with
+// every cell content-addressed — so re-rendering at the default point, or
+// extending the penalty axis later, only simulates cells the store lacks.
+func Table3Latency(opts Options, timings []sweep.Timing) []Table3LatencyRow {
 	apps := make([]workload.Workload, 0, len(Table3AppNames()))
 	for _, name := range Table3AppNames() {
 		w, ok := workload.ByName(name)
@@ -137,39 +159,79 @@ func Table3(opts Options) []Table3Row {
 		apps = append(apps, w)
 	}
 	mechs := []MechConfig{{Kind: "none"}, {Kind: "RP"}, {Kind: "DP", Rows: 256, Ways: 1}}
-	jobs := make([]sweep.Job, 0, len(apps)*len(mechs))
+	jobs := make([]sweep.Job, 0, len(apps)*len(mechs)*len(timings))
 	for _, w := range apps {
-		for _, m := range mechs {
-			jobs = append(jobs, sweep.Job{
-				Workload: w.Name,
-				Mech:     m.sweepMech(opts),
-				Config:   opts.simConfig(),
-				Refs:     opts.Refs,
-				Timing:   true,
-			})
+		for ti := range timings {
+			for _, m := range mechs {
+				jobs = append(jobs, sweep.Job{
+					Source: sweep.WorkloadSource(w.Name),
+					Mech:   m.sweepMech(opts),
+					Config: opts.simConfig(),
+					Refs:   opts.Refs,
+					Timing: &timings[ti],
+				})
+			}
 		}
 	}
 	results := runJobs(apps, opts, jobs)
-	var out []Table3Row
+	var out []Table3LatencyRow
 	for i, w := range apps {
-		bs := *results[i*len(mechs)+0].Timing
-		rs := *results[i*len(mechs)+1].Timing
-		ds := *results[i*len(mechs)+2].Timing
-		row := Table3Row{
-			App:            w.Name,
-			BaselineCycles: bs.Cycles,
-			RPCycles:       rs.Cycles,
-			DPCycles:       ds.Cycles,
-			RPStats:        rs,
-			DPStats:        ds,
+		for ti, tm := range timings {
+			base := (i*len(timings) + ti) * len(mechs)
+			bs := *results[base+0].Timing
+			rs := *results[base+1].Timing
+			ds := *results[base+2].Timing
+			row := Table3LatencyRow{
+				Table3Row: Table3Row{
+					App:            w.Name,
+					BaselineCycles: bs.Cycles,
+					RPCycles:       rs.Cycles,
+					DPCycles:       ds.Cycles,
+					RPStats:        rs,
+					DPStats:        ds,
+				},
+				Timing: tm,
+			}
+			if bs.Cycles > 0 {
+				row.RPNormalized = float64(rs.Cycles) / float64(bs.Cycles)
+				row.DPNormalized = float64(ds.Cycles) / float64(bs.Cycles)
+			}
+			out = append(out, row)
 		}
-		if bs.Cycles > 0 {
-			row.RPNormalized = float64(rs.Cycles) / float64(bs.Cycles)
-			row.DPNormalized = float64(ds.Cycles) / float64(bs.Cycles)
-		}
-		out = append(out, row)
 	}
 	return out
+}
+
+// DefaultLatencyAxis is the miss-penalty sensitivity axis of the
+// table3-lat experiment: the paper's 100-cycle point bracketed by a
+// faster and two slower memory systems. The costs that are fractions of
+// a page-table walk scale with it — the prefetch memory-op cost at the
+// paper's 1:2 ratio, and the buffer-hit residual (fill + pipeline
+// restart, 65% of the walk at the default point) in proportion, so a
+// successful prefetch never models as costlier than the miss it avoids.
+func DefaultLatencyAxis() []sweep.Timing {
+	var out []sweep.Timing
+	for _, penalty := range []uint64{50, 100, 200, 400} {
+		out = append(out, sweep.ScaledTiming(penalty))
+	}
+	return out
+}
+
+// FormatTable3Latency renders the sensitivity grid, one row per
+// (application, miss penalty).
+func FormatTable3Latency(rows []Table3LatencyRow) string {
+	t := stats.NewTable("app", "penalty", "memop", "RP", "DP", "base cycles")
+	for _, r := range rows {
+		t.AddRow(r.App,
+			fmt.Sprintf("%d", r.Timing.MissPenalty),
+			fmt.Sprintf("%d", r.Timing.MemOpLatency),
+			stats.F2(r.RPNormalized), stats.F2(r.DPNormalized),
+			fmt.Sprintf("%d", r.BaselineCycles))
+	}
+	var b strings.Builder
+	b.WriteString("Table 3 (extended): normalized cycles vs TLB miss penalty\n")
+	b.WriteString(t.String())
+	return b.String()
 }
 
 // FormatTable3 renders Table 3 alongside the paper's published values.

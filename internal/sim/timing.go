@@ -63,6 +63,28 @@ func DefaultTiming() TimingConfig {
 	}
 }
 
+// ScaledTiming returns the default cycle model re-calibrated to a
+// different TLB miss penalty, scaling the costs defined as fractions of a
+// page-table walk: the prefetch memory-op latency keeps the paper's 1:2
+// ratio, the buffer-hit residual its 65%, and the channel occupancy its
+// pipelining ratio — so a satisfied miss stays cheaper than an
+// unmitigated one at every point of a latency-sensitivity axis.
+func ScaledTiming(missPenalty uint64) TimingConfig {
+	c := DefaultTiming()
+	ref := c.MissPenalty
+	c.MissPenalty = missPenalty
+	c.MemOpLatency = missPenalty * c.MemOpLatency / ref
+	c.BufferHitPenalty = missPenalty * c.BufferHitPenalty / ref
+	c.MemOpOccupancy = missPenalty * c.MemOpOccupancy / ref
+	if c.MemOpLatency == 0 {
+		c.MemOpLatency = 1
+	}
+	if c.MemOpOccupancy == 0 {
+		c.MemOpOccupancy = 1
+	}
+	return c
+}
+
 // Validate reports whether the configuration is usable.
 func (c TimingConfig) Validate() error {
 	if err := c.Config.Validate(); err != nil {
@@ -71,6 +93,10 @@ func (c TimingConfig) Validate() error {
 	if c.MissPenalty == 0 || c.MemOpLatency == 0 || c.CyclesPerRef == 0 {
 		return fmt.Errorf("sim: timing constants must be positive (penalty=%d, memop=%d, perRef=%d)",
 			c.MissPenalty, c.MemOpLatency, c.CyclesPerRef)
+	}
+	if c.MemOpOccupancy > c.MemOpLatency {
+		return fmt.Errorf("sim: MemOpOccupancy %d exceeds MemOpLatency %d (an operation cannot block the channel longer than it takes)",
+			c.MemOpOccupancy, c.MemOpLatency)
 	}
 	return nil
 }

@@ -1,0 +1,90 @@
+package sweep
+
+import (
+	"fmt"
+	"strings"
+
+	"tlbprefetch/internal/stats"
+)
+
+// StoreDiff is a cell-by-cell comparison of two stores.
+type StoreDiff struct {
+	// OnlyA and OnlyB hold cells present in exactly one store, in the
+	// stores' deterministic (hash-sorted) order.
+	OnlyA, OnlyB []Result
+	// Changed holds cells present in both under the same key hash but
+	// with different payloads — possible only when one store was produced
+	// by a simulator whose behaviour changed without a schema bump.
+	Changed [][2]Result
+}
+
+// Empty reports whether the stores agree on every cell.
+func (d StoreDiff) Empty() bool {
+	return len(d.OnlyA) == 0 && len(d.OnlyB) == 0 && len(d.Changed) == 0
+}
+
+// Summary renders a human-readable account of the differences.
+func (d StoreDiff) Summary() string {
+	if d.Empty() {
+		return "stores are identical\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d cells only in A, %d only in B, %d changed\n",
+		len(d.OnlyA), len(d.OnlyB), len(d.Changed))
+	cell := func(k Key) string {
+		s := fmt.Sprintf("%s %s tlb=%d buf=%d refs=%d", k.Source.Label(), k.Mech.Label(),
+			k.TLBEntries, k.Buffer, k.Refs)
+		if k.Timing != nil {
+			s += fmt.Sprintf(" penalty=%d memop=%d", k.Timing.MissPenalty, k.Timing.MemOpLatency)
+		}
+		return s
+	}
+	describe := func(prefix string, rs []Result) {
+		for _, r := range rs {
+			fmt.Fprintf(&b, "  %s %s\n", prefix, cell(r.Key))
+		}
+	}
+	describe("A", d.OnlyA)
+	describe("B", d.OnlyB)
+	for _, pair := range d.Changed {
+		delta := fmt.Sprintf("accuracy %s vs %s",
+			stats.F(pair[0].Stats.Accuracy()), stats.F(pair[1].Stats.Accuracy()))
+		if pair[0].Timing != nil && pair[1].Timing != nil && pair[0].Timing.Cycles != pair[1].Timing.Cycles {
+			delta = fmt.Sprintf("cycles %d vs %d", pair[0].Timing.Cycles, pair[1].Timing.Cycles)
+		}
+		fmt.Fprintf(&b, "  ≠ %s: %s\n", cell(pair[0].Key), delta)
+	}
+	return b.String()
+}
+
+// DiffStores compares two stores cell-by-cell by key hash. Payloads are
+// compared on their canonical encoding, so any divergence — functional
+// counters or timing counters — registers as changed.
+func DiffStores(a, b *Store) (StoreDiff, error) {
+	var d StoreDiff
+	for _, ra := range a.Results() {
+		h := ra.Key.Hash()
+		rb, ok := b.Get(h)
+		if !ok {
+			d.OnlyA = append(d.OnlyA, ra)
+			continue
+		}
+		ca, err := stats.Canonical(ra)
+		if err != nil {
+			return d, err
+		}
+		cb, err := stats.Canonical(rb)
+		if err != nil {
+			return d, err
+		}
+		if string(ca) != string(cb) {
+			d.Changed = append(d.Changed, [2]Result{ra, rb})
+		}
+	}
+	for _, rb := range b.Results() {
+		if _, ok := a.Get(rb.Key.Hash()); !ok {
+			d.OnlyB = append(d.OnlyB, rb)
+		}
+	}
+	return d, nil
+}

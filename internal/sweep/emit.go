@@ -7,8 +7,9 @@ import (
 )
 
 // Table renders results as an aligned text table, one row per cell in the
-// given order. Cycle columns appear only when at least one cell carries
-// timing data.
+// given order. Cycle columns (including the miss-penalty and memory-op
+// latency axes the cells were run at) appear only when at least one cell
+// carries timing data.
 func Table(results []Result) *stats.Table {
 	timing := false
 	for _, r := range results {
@@ -17,16 +18,16 @@ func Table(results []Result) *stats.Table {
 			break
 		}
 	}
-	header := []string{"workload", "mech", "tlb", "tlbways", "buffer", "pageshift",
+	header := []string{"source", "mech", "tlb", "tlbways", "buffer", "pageshift",
 		"refs", "missrate", "accuracy", "misses", "bufferhits", "issued", "memops"}
 	if timing {
-		header = append(header, "cycles", "CPI")
+		header = append(header, "penalty", "memop", "cycles", "CPI")
 	}
 	t := stats.NewTable(header...)
 	for _, r := range results {
 		k := r.Key
 		row := []string{
-			k.Workload,
+			k.Source.Label(),
 			k.Mech.Label(),
 			fmt.Sprintf("%d", k.TLBEntries),
 			fmt.Sprintf("%d", k.TLBWays),
@@ -41,10 +42,13 @@ func Table(results []Result) *stats.Table {
 			fmt.Sprintf("%d", r.Stats.MemOps()),
 		}
 		if timing {
-			if r.Timing != nil {
-				row = append(row, fmt.Sprintf("%d", r.Timing.Cycles), stats.F(r.Timing.CPI()))
+			if r.Timing != nil && k.Timing != nil {
+				row = append(row,
+					fmt.Sprintf("%d", k.Timing.MissPenalty),
+					fmt.Sprintf("%d", k.Timing.MemOpLatency),
+					fmt.Sprintf("%d", r.Timing.Cycles), stats.F(r.Timing.CPI()))
 			} else {
-				row = append(row, "-", "-")
+				row = append(row, "-", "-", "-", "-")
 			}
 		}
 		t.AddRow(row...)

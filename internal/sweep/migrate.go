@@ -1,0 +1,82 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"tlbprefetch/internal/sim"
+	"tlbprefetch/internal/stats"
+)
+
+// keyV1 is the schema-1 key layout, kept verbatim (field order and JSON
+// tags included) so v1 entry hashes can be re-verified before migration.
+// v1 addressed workloads by bare registry name and spelled the cycle model
+// as a bool that pinned sim.DefaultTiming's constants.
+type keyV1 struct {
+	Schema     int    `json:"schema"`
+	Workload   string `json:"workload"`
+	Mech       Mech   `json:"mech"`
+	TLBEntries int    `json:"tlb_entries"`
+	TLBWays    int    `json:"tlb_ways"`
+	Buffer     int    `json:"buffer"`
+	PageShift  uint   `json:"page_shift"`
+	Refs       uint64 `json:"refs"`
+	Warmup     uint64 `json:"warmup,omitempty"`
+	Seed       uint64 `json:"seed,omitempty"`
+	Timing     bool   `json:"timing,omitempty"`
+}
+
+// resultV1 is the schema-1 result layout.
+type resultV1 struct {
+	Key    keyV1            `json:"key"`
+	Stats  sim.Stats        `json:"stats"`
+	Timing *sim.TimingStats `json:"timing,omitempty"`
+}
+
+// toV2 re-keys a v1 key under schema 2: the workload name becomes a
+// Source, and a timing cell gains the DefaultTiming axis it implicitly
+// carried (v1 had no other cycle model, so the re-keyed cell names the
+// identical simulation and its stored numbers remain valid).
+func (k keyV1) toV2() Key {
+	v2 := Key{
+		Schema:     KeySchema,
+		Source:     WorkloadSource(k.Workload),
+		Mech:       k.Mech,
+		TLBEntries: k.TLBEntries,
+		TLBWays:    k.TLBWays,
+		Buffer:     k.Buffer,
+		PageShift:  k.PageShift,
+		Refs:       k.Refs,
+		Warmup:     k.Warmup,
+		Seed:       k.Seed,
+	}
+	if k.Timing {
+		dt := DefaultTiming()
+		v2.Timing = &dt
+	}
+	return v2
+}
+
+// migrateV1 converts a parsed v1 results map into the v2 in-memory form,
+// verifying each entry still hashes to its v1 key first (the same
+// tamper check OpenStore applies to current-schema stores).
+func migrateV1(path string, raw map[string]json.RawMessage) (map[string]Result, error) {
+	out := make(map[string]Result, len(raw))
+	for h, rawRes := range raw {
+		var r1 resultV1
+		if err := json.Unmarshal(rawRes, &r1); err != nil {
+			return nil, fmt.Errorf("sweep: store %s entry %s: %w", path, h, err)
+		}
+		got, err := stats.Fingerprint(r1.Key)
+		if err != nil {
+			return nil, err
+		}
+		if got != h {
+			return nil, fmt.Errorf("sweep: store %s v1 entry %s does not hash to its key (%s) — corrupt or hand-edited",
+				path, h, got)
+		}
+		r2 := Result{Key: r1.Key.toV2(), Stats: r1.Stats, Timing: r1.Timing}
+		out[r2.Key.Hash()] = r2
+	}
+	return out, nil
+}

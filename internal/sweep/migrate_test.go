@@ -1,0 +1,141 @@
+package sweep
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// fixtureGrids reproduces the grids that generated testdata/store_v1.json
+// (written by the schema-1 binary): the functional 16-cell smoke grid plus
+// a 2-cell default-timing grid.
+func fixtureGrids() []Grid {
+	return []Grid{
+		{
+			Workloads:  []string{"swim", "mcf"},
+			Mechs:      []Mech{{Kind: "DP", Rows: 256, Ways: 1, Slots: 2}, {Kind: "RP"}},
+			TLBEntries: []int{64, 128},
+			Buffers:    []int{8, 16},
+			Refs:       20_000,
+		},
+		{
+			Workloads: []string{"swim"},
+			Mechs:     []Mech{{Kind: "none"}, {Kind: "RP"}},
+			Refs:      20_000,
+			Timing:    true,
+		},
+	}
+}
+
+func copyFixture(t *testing.T) string {
+	t.Helper()
+	data, err := os.ReadFile("testdata/store_v1.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "store.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestV1MigrationRoundTrip pins the migration contract: a schema-1 store
+// opens with every cell re-keyed, those cells satisfy the same grids from
+// cache (no recompute), the cached values equal a fresh simulation, and
+// the saved file is a stable schema-2 store.
+func TestV1MigrationRoundTrip(t *testing.T) {
+	path := copyFixture(t)
+	st, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Migrated() != 18 {
+		t.Fatalf("migrated %d cells, want 18", st.Migrated())
+	}
+	if st.Len() != 18 {
+		t.Fatalf("store has %d cells, want 18", st.Len())
+	}
+
+	for _, g := range fixtureGrids() {
+		jobs, err := g.Jobs()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cached, sum, err := (&Runner{Store: st}).Run(jobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sum.Ran != 0 || sum.Cached != len(jobs) {
+			t.Fatalf("migrated store did not satisfy the grid from cache: %+v", sum)
+		}
+		// The v1 numbers must be exactly what the v2 simulator computes.
+		fresh, _, err := (&Runner{}).Run(jobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range jobs {
+			if cached[i].Stats != fresh[i].Stats {
+				t.Fatalf("cell %d: migrated value %+v != fresh simulation %+v",
+					i, cached[i].Stats, fresh[i].Stats)
+			}
+			if (cached[i].Timing == nil) != (fresh[i].Timing == nil) {
+				t.Fatalf("cell %d: timing payload mismatch across migration", i)
+			}
+			if cached[i].Timing != nil && *cached[i].Timing != *fresh[i].Timing {
+				t.Fatalf("cell %d: migrated timing %+v != fresh %+v",
+					i, *cached[i].Timing, *fresh[i].Timing)
+			}
+		}
+	}
+
+	// Save rewrites the file as schema 2; reopening is a clean (migration-
+	// free) load with identical contents.
+	if err := st.Save(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Migrated() != 0 {
+		t.Errorf("saved store still migrated %d cells on reopen", re.Migrated())
+	}
+	b1, _ := st.Bytes()
+	b2, _ := re.Bytes()
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("migrated store changed across save/load")
+	}
+}
+
+// TestV1MigrationRejectsTampering keeps the hash check alive through the
+// migration path.
+func TestV1MigrationRejectsTampering(t *testing.T) {
+	path := copyFixture(t)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := bytes.Replace(data, []byte(`"refs": 20000`), []byte(`"refs": 99999`), 1)
+	if bytes.Equal(data, tampered) {
+		t.Fatal("tamper target not found")
+	}
+	if err := os.WriteFile(path, tampered, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenStore(path); err == nil {
+		t.Fatal("tampered v1 store migrated without error")
+	}
+}
+
+// TestFutureSchemaRejected pins the forward-compatibility error.
+func TestFutureSchemaRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store.json")
+	if err := os.WriteFile(path, []byte(`{"schema": 99, "results": {}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenStore(path); err == nil {
+		t.Fatal("future-schema store loaded without error")
+	}
+}

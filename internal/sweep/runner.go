@@ -2,11 +2,13 @@ package sweep
 
 import (
 	"fmt"
+	"io"
 	"runtime"
 	"sync"
 
 	"tlbprefetch/internal/sim"
 	"tlbprefetch/internal/tlb"
+	"tlbprefetch/internal/trace"
 	"tlbprefetch/internal/workload"
 )
 
@@ -40,17 +42,23 @@ type Runner struct {
 	// Resolve maps a job's workload name to its model. Nil uses the
 	// global registry (workload.ByName).
 	Resolve func(name string) (workload.Workload, bool)
+	// OpenTrace opens a trace source's reference stream. Nil opens
+	// Source.TracePath from the filesystem (after verifying the file
+	// still hashes to the key's digest); tests may substitute in-memory
+	// streams, in which case digest verification is the caller's problem.
+	OpenTrace func(src Source) (trace.Reader, io.Closer, error)
 	// Progress, when non-nil, is called once per settled cell. Calls are
 	// serialized; the callback must not invoke the Runner reentrantly.
 	Progress func(ProgressEvent)
 }
 
 // shardKey identifies cells that can share one generation pass and (for
-// functional cells) one sim.Group: same stream (workload, seed, length)
-// and same TLB-frontend geometry. Buffer size and mechanism may differ
-// within a shard — they live in the per-member back half.
+// functional cells) one sim.Group: same stream (source, seed, length) and
+// same TLB-frontend geometry. Buffer size, mechanism — and for timing
+// shards the cycle-model constants — may differ within a shard; they live
+// in the per-member back half.
 type shardKey struct {
-	workload  string
+	source    Source // canonical: workload name or trace digest
 	tlbCfg    tlb.Config
 	pageShift uint
 	refs      uint64
@@ -60,10 +68,11 @@ type shardKey struct {
 }
 
 // shard is one worker unit: the indices (into the caller's job slice) of
-// the cells it settles.
+// the cells it settles, plus the local path when the stream is a trace.
 type shard struct {
-	key     shardKey
-	indices []int
+	key       shardKey
+	tracePath string
+	indices   []int
 }
 
 // Run executes the jobs, returning one result per job in input order plus
@@ -77,7 +86,7 @@ func (r *Runner) Run(jobs []Job) ([]Result, Summary, error) {
 	hashes := make([]string, len(jobs))
 	for i, j := range jobs {
 		if err := j.Validate(); err != nil {
-			return nil, sum, fmt.Errorf("job %d (%s/%s): %w", i, j.Workload, j.Mech.Label(), err)
+			return nil, sum, fmt.Errorf("job %d (%s/%s): %w", i, j.Source.Label(), j.Mech.Label(), err)
 		}
 		hashes[i] = j.Key().Hash()
 	}
@@ -90,6 +99,7 @@ func (r *Runner) Run(jobs []Job) ([]Result, Summary, error) {
 	// Settle cached cells first, then coalesce the rest into shards.
 	done := 0
 	byKey := make(map[shardKey]int)
+	verified := make(map[string]string) // trace path -> actual file digest
 	var shards []*shard
 	for i, j := range jobs {
 		if r.Store != nil {
@@ -103,23 +113,27 @@ func (r *Runner) Run(jobs []Job) ([]Result, Summary, error) {
 				continue
 			}
 		}
-		if _, ok := resolve(j.Workload); !ok {
-			return nil, sum, fmt.Errorf("job %d: unknown workload %q", i, j.Workload)
+		if j.Source.IsTrace() {
+			if err := r.verifyTrace(j.Source, verified); err != nil {
+				return nil, sum, fmt.Errorf("job %d: %w", i, err)
+			}
+		} else if _, ok := resolve(j.Source.Workload); !ok {
+			return nil, sum, fmt.Errorf("job %d: unknown workload %q", i, j.Source.Workload)
 		}
 		k := shardKey{
-			workload:  j.Workload,
+			source:    j.Source.Canonical(),
 			tlbCfg:    tlb.Config{Entries: j.Config.TLB.Entries, Ways: canonicalTLBWays(j.Config.TLB)},
 			pageShift: j.Config.PageShift,
 			refs:      j.Refs,
 			warmup:    j.Warmup,
 			seed:      j.Seed,
-			timing:    j.Timing,
+			timing:    j.Timing != nil,
 		}
 		si, ok := byKey[k]
 		if !ok {
 			si = len(shards)
 			byKey[k] = si
-			shards = append(shards, &shard{key: k})
+			shards = append(shards, &shard{key: k, tracePath: j.Source.TracePath})
 		}
 		shards[si].indices = append(shards[si].indices, i)
 	}
@@ -140,7 +154,8 @@ func (r *Runner) Run(jobs []Job) ([]Result, Summary, error) {
 	var (
 		mu   sync.Mutex // guards done + Progress
 		wg   sync.WaitGroup
-		work = make(chan *shard)
+		work = make(chan int)
+		errs = make([]error, len(shards))
 	)
 	settle := func(idx int, res Result) {
 		out[idx] = res
@@ -158,29 +173,105 @@ func (r *Runner) Run(jobs []Job) ([]Result, Summary, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for sh := range work {
-				runShard(sh, jobs, resolve, settle)
+			for si := range work {
+				errs[si] = r.runShard(shards[si], jobs, resolve, settle)
 			}
 		}()
 	}
-	for _, sh := range shards {
-		work <- sh
+	for si := range shards {
+		work <- si
 	}
 	close(work)
 	wg.Wait()
+	// Report the first failure in shard-creation order, so the error is
+	// deterministic regardless of worker scheduling.
+	for _, err := range errs {
+		if err != nil {
+			return nil, sum, err
+		}
+	}
 	return out, sum, nil
 }
 
-// runShard simulates one shard: one generation pass over the workload
-// stream feeding every member cell.
-func runShard(sh *shard, jobs []Job, resolve func(string) (workload.Workload, bool), settle func(int, Result)) {
-	w, _ := resolve(sh.key.workload) // presence checked during sharding
-	if sh.key.seed != 0 {
-		w.Seed = sh.key.seed
+// verifyTrace checks a trace source's expected digest against the file's
+// actual one (digested once per path per Run, compared once per source) so
+// a stale or swapped file cannot be silently simulated under another
+// recording's key. Skipped when the caller supplies OpenTrace.
+func (r *Runner) verifyTrace(src Source, verified map[string]string) error {
+	if r.OpenTrace != nil {
+		return nil
 	}
+	if src.TracePath == "" {
+		return fmt.Errorf("sweep: trace source %s has no local path to run from", src.Label())
+	}
+	digest, ok := verified[src.TracePath]
+	if !ok {
+		var err error
+		digest, err = trace.DigestFile(src.TracePath)
+		if err != nil {
+			return err
+		}
+		verified[src.TracePath] = digest
+	}
+	if digest != src.TraceSHA256 {
+		return fmt.Errorf("sweep: %s hashes to %.12s…, key expects %.12s… — the file changed since the grid was declared",
+			src.TracePath, digest, src.TraceSHA256)
+	}
+	return nil
+}
+
+// stream drives one generation pass over the shard's reference stream:
+// perRef is called for every reference, warmup included. Synthetic streams
+// regenerate from the workload model; trace streams replay the recording
+// and fail if it ends before the cells' reference budget.
+func (r *Runner) stream(sh *shard, resolve func(string) (workload.Workload, bool), total uint64, perRef func(pc, vaddr uint64)) error {
+	if !sh.key.source.IsTrace() {
+		w, _ := resolve(sh.key.source.Workload) // presence checked during sharding
+		if sh.key.seed != 0 {
+			w.Seed = sh.key.seed
+		}
+		workload.Generate(w, total, func(pc, vaddr uint64) bool {
+			perRef(pc, vaddr)
+			return true
+		})
+		return nil
+	}
+	open := r.OpenTrace
+	if open == nil {
+		open = func(src Source) (trace.Reader, io.Closer, error) {
+			return trace.OpenFile(src.TracePath)
+		}
+	}
+	src := sh.key.source
+	src.TracePath = sh.tracePath
+	tr, closer, err := open(src)
+	if err != nil {
+		return err
+	}
+	if closer != nil {
+		defer closer.Close()
+	}
+	var n uint64
+	for n < total {
+		ref, err := tr.Read()
+		if err == io.EOF {
+			return fmt.Errorf("sweep: trace %s ends after %d of the %d references the cells need",
+				src.Label(), n, total)
+		}
+		if err != nil {
+			return err
+		}
+		perRef(ref.PC, ref.VAddr)
+		n++
+	}
+	return nil
+}
+
+// runShard simulates one shard: one generation pass over the reference
+// stream feeding every member cell.
+func (r *Runner) runShard(sh *shard, jobs []Job, resolve func(string) (workload.Workload, bool), settle func(int, Result)) error {
 	if sh.key.timing {
-		runTimingShard(sh, w, jobs, settle)
-		return
+		return r.runTimingShard(sh, jobs, resolve, settle)
 	}
 
 	// Functional cells: geometry-identical members share one canonical
@@ -193,7 +284,7 @@ func runShard(sh *shard, jobs []Job, resolve func(string) (workload.Workload, bo
 	}
 	total := sh.key.warmup + sh.key.refs
 	var seen uint64
-	workload.Generate(w, total, func(pc, vaddr uint64) bool {
+	err := r.stream(sh, resolve, total, func(pc, vaddr uint64) {
 		g.Ref(pc, vaddr)
 		seen++
 		if seen == sh.key.warmup {
@@ -201,33 +292,37 @@ func runShard(sh *shard, jobs []Job, resolve func(string) (workload.Workload, bo
 				s.ResetStats()
 			}
 		}
-		return true
 	})
+	if err != nil {
+		return err
+	}
 	for mi, s := range g.Members() {
 		idx := sh.indices[mi]
 		settle(idx, Result{Key: jobs[idx].Key(), Stats: s.Stats()})
 	}
+	return nil
 }
 
 // runTimingShard drives the cycle model: the members cannot share a
-// frontend (each owns its clock), but they do share the single generation
-// pass.
-func runTimingShard(sh *shard, w workload.Workload, jobs []Job, settle func(int, Result)) {
+// frontend (each owns its clock — and may own different cycle constants),
+// but they do share the single generation pass.
+func (r *Runner) runTimingShard(sh *shard, jobs []Job, resolve func(string) (workload.Workload, bool), settle func(int, Result)) error {
 	sims := make([]*sim.TimingSimulator, len(sh.indices))
 	for mi, idx := range sh.indices {
 		j := jobs[idx]
-		tc := sim.DefaultTiming()
-		tc.Config = j.Config
-		sims[mi] = sim.NewTiming(tc, j.Mech.Build())
+		sims[mi] = sim.NewTiming(j.Timing.Config(j.Config), j.Mech.Build())
 	}
-	workload.Generate(w, sh.key.refs, func(pc, vaddr uint64) bool {
+	err := r.stream(sh, resolve, sh.key.refs, func(pc, vaddr uint64) {
 		for _, s := range sims {
 			s.Ref(pc, vaddr)
 		}
-		return true
 	})
+	if err != nil {
+		return err
+	}
 	for mi, idx := range sh.indices {
 		st := sims[mi].Stats()
 		settle(idx, Result{Key: jobs[idx].Key(), Stats: st.Stats, Timing: &st})
 	}
+	return nil
 }

@@ -1,0 +1,75 @@
+package sweep
+
+import (
+	"fmt"
+
+	"tlbprefetch/internal/trace"
+)
+
+// Source names the reference stream a cell consumes: either a synthetic
+// workload model from the registry, or a recorded trace file. Trace sources
+// are identified by the SHA-256 digest of the file's bytes, not by the
+// path, so keys stay stable when a trace moves between directories or
+// machines; the path is resolution metadata the local runner uses to open
+// the file.
+type Source struct {
+	// Workload is the registry name of a synthetic application model.
+	// Exactly one of Workload and TraceSHA256 identifies the source.
+	Workload string `json:"workload,omitempty"`
+	// TraceSHA256 is the hex SHA-256 of the trace file's raw bytes — the
+	// machine-independent identity of the recording.
+	TraceSHA256 string `json:"trace_sha256,omitempty"`
+	// TracePath locates the trace file on this machine. It is excluded
+	// from the content address (and from stored keys): the digest is the
+	// identity, the path is how this process finds the bytes.
+	TracePath string `json:"-"`
+}
+
+// WorkloadSource names a synthetic-registry workload.
+func WorkloadSource(name string) Source { return Source{Workload: name} }
+
+// TraceSource digests the trace file at path and returns a source pinned to
+// that recording.
+func TraceSource(path string) (Source, error) {
+	digest, err := trace.DigestFile(path)
+	if err != nil {
+		return Source{}, err
+	}
+	return Source{TracePath: path, TraceSHA256: digest}, nil
+}
+
+// IsTrace reports whether the source is a recorded trace.
+func (s Source) IsTrace() bool { return s.TraceSHA256 != "" }
+
+// Canonical returns the content-addressed form: the digest alone for trace
+// sources (no path), the registry name alone for synthetic ones.
+func (s Source) Canonical() Source {
+	if s.IsTrace() {
+		return Source{TraceSHA256: s.TraceSHA256}
+	}
+	return Source{Workload: s.Workload}
+}
+
+// Label renders the source for tables and progress lines: the workload name,
+// or "trace:" plus a digest prefix.
+func (s Source) Label() string {
+	if s.IsTrace() {
+		d := s.TraceSHA256
+		if len(d) > 12 {
+			d = d[:12]
+		}
+		return "trace:" + d
+	}
+	return s.Workload
+}
+
+// Validate reports whether the source names exactly one stream.
+func (s Source) Validate() error {
+	switch {
+	case s.Workload != "" && s.TraceSHA256 != "":
+		return fmt.Errorf("sweep: source names both workload %q and trace %s", s.Workload, s.Label())
+	case s.Workload == "" && s.TraceSHA256 == "":
+		return fmt.Errorf("sweep: source names neither a workload nor a trace")
+	}
+	return nil
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime/debug"
 	"sort"
 	"sync"
 
@@ -20,21 +21,44 @@ type Result struct {
 	Timing *sim.TimingStats `json:"timing,omitempty"`
 }
 
-// storeFile is the on-disk layout: a schema marker plus the hash → result
-// map. encoding/json sorts map keys, so the serialized form is a canonical
-// function of the store's contents.
+// storeFile is the on-disk layout: schema and provenance metadata in the
+// header plus the hash → result map. encoding/json sorts map keys, so the
+// serialized form is a canonical function of the store's contents (the
+// binary stamp is a pure function of the producing binary, keeping
+// repeated saves byte-identical).
 type storeFile struct {
 	Schema  int               `json:"schema"`
+	Binary  string            `json:"binary,omitempty"`
 	Results map[string]Result `json:"results"`
+}
+
+// binaryVersion stamps stores with the producing binary's module version
+// (or VCS revision when built from a checkout) for provenance. It is
+// deterministic for a given binary, so saving an unchanged store rewrites
+// identical bytes.
+func binaryVersion() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	v := bi.Main.Version
+	for _, s := range bi.Settings {
+		if s.Key == "vcs.revision" {
+			v += "+" + s.Value
+			break
+		}
+	}
+	return v
 }
 
 // Store is a content-addressed result cache: key hash → Result. It is safe
 // for concurrent use by the Runner's workers. A Store may be purely
 // in-memory (NewStore) or bound to a JSON file (OpenStore + Save).
 type Store struct {
-	mu      sync.Mutex
-	path    string
-	results map[string]Result
+	mu       sync.Mutex
+	path     string
+	results  map[string]Result
+	migrated int // cells re-keyed from an older schema at open time
 }
 
 // NewStore returns an empty in-memory store.
@@ -43,7 +67,13 @@ func NewStore() *Store {
 }
 
 // OpenStore binds a store to a JSON file, loading its contents when the
-// file exists (a missing file is an empty store, not an error).
+// file exists (a missing file is an empty store, not an error). Schema-1
+// stores migrate transparently: every cell is verified against its v1
+// hash, re-keyed under schema 2 (see keyV1.toV2), and reported via
+// Migrated; the file itself is rewritten as v2 on the next Save. Unseeded
+// grids then satisfy every migrated cell from cache; grids with a nonzero
+// base seed derive their per-cell streams from the key layout and
+// therefore name fresh cells across the schema change (see DeriveSeed).
 func OpenStore(path string) (*Store, error) {
 	s := NewStore()
 	s.path = path
@@ -54,26 +84,46 @@ func OpenStore(path string) (*Store, error) {
 	if err != nil {
 		return nil, fmt.Errorf("sweep: reading store: %w", err)
 	}
-	var f storeFile
+	var f struct {
+		Schema  int                        `json:"schema"`
+		Results map[string]json.RawMessage `json:"results"`
+	}
 	if err := json.Unmarshal(data, &f); err != nil {
 		return nil, fmt.Errorf("sweep: parsing store %s: %w", path, err)
 	}
-	if f.Schema != KeySchema {
+	switch f.Schema {
+	case KeySchema:
+		for h, raw := range f.Results {
+			var r Result
+			if err := json.Unmarshal(raw, &r); err != nil {
+				return nil, fmt.Errorf("sweep: store %s entry %s: %w", path, h, err)
+			}
+			if got := r.Key.Hash(); got != h {
+				return nil, fmt.Errorf("sweep: store %s entry %s does not hash to its key (%s) — corrupt or hand-edited",
+					path, h, got)
+			}
+			s.results[h] = r
+		}
+	case 1:
+		migrated, err := migrateV1(path, f.Results)
+		if err != nil {
+			return nil, err
+		}
+		s.results = migrated
+		s.migrated = len(migrated)
+	default:
 		return nil, fmt.Errorf("sweep: store %s has schema %d, this binary speaks %d (delete or migrate it)",
 			path, f.Schema, KeySchema)
-	}
-	for h, r := range f.Results {
-		if got := r.Key.Hash(); got != h {
-			return nil, fmt.Errorf("sweep: store %s entry %s does not hash to its key (%s) — corrupt or hand-edited",
-				path, h, got)
-		}
-		s.results[h] = r
 	}
 	return s, nil
 }
 
 // Path returns the file the store is bound to ("" for in-memory stores).
 func (s *Store) Path() string { return s.path }
+
+// Migrated returns how many cells were re-keyed from an older schema when
+// the store was opened (0 for current-schema and in-memory stores).
+func (s *Store) Migrated() int { return s.migrated }
 
 // Len returns the number of stored results.
 func (s *Store) Len() int {
@@ -119,7 +169,7 @@ func (s *Store) Results() []Result {
 // or how many workers produced them.
 func (s *Store) Bytes() ([]byte, error) {
 	s.mu.Lock()
-	f := storeFile{Schema: KeySchema, Results: s.results}
+	f := storeFile{Schema: KeySchema, Binary: binaryVersion(), Results: s.results}
 	var buf bytes.Buffer
 	enc := json.NewEncoder(&buf)
 	enc.SetIndent("", "  ")
@@ -129,6 +179,22 @@ func (s *Store) Bytes() ([]byte, error) {
 		return nil, err
 	}
 	return buf.Bytes(), nil
+}
+
+// GC drops every cell whose key hash is not in keep, returning how many
+// were removed. Pair it with Grid.Jobs to shrink a store down to exactly
+// the cells a current grid references.
+func (s *Store) GC(keep map[string]bool) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	dropped := 0
+	for h := range s.results {
+		if !keep[h] {
+			delete(s.results, h)
+			dropped++
+		}
+	}
+	return dropped
 }
 
 // Save writes the store to its bound file atomically (temp file + rename).

@@ -31,7 +31,16 @@ import (
 // KeySchema versions the content-addressing layout. Bump it whenever the
 // meaning of a Key field (or of the simulation it names) changes, so stale
 // stores miss cleanly instead of serving wrong numbers.
-const KeySchema = 1
+//
+// Schema history:
+//
+//	v1: workloads addressed by registry name only; timing cells a bare
+//	    bool pinning sim.DefaultTiming's constants.
+//	v2: sources are first-class (synthetic name or trace-file SHA-256)
+//	    and the cycle model's constants are key axes (see Timing).
+//	    v1 stores migrate transparently on open — v1 timing cells re-key
+//	    to the default Timing axis they always meant.
+const KeySchema = 2
 
 // Mech names one prefetching-mechanism configuration, fully resolved (no
 // harness-level defaulting left). The zero parameters of kinds that ignore
@@ -153,12 +162,13 @@ func (m Mech) Build() prefetch.Prefetcher {
 	panic(fmt.Sprintf("sweep: unknown mechanism kind %q", m.Kind))
 }
 
-// Job is one cell of a sweep: one workload stream through one simulator
+// Job is one cell of a sweep: one reference stream through one simulator
 // configuration with one mechanism.
 type Job struct {
-	// Workload is the registry name of the application model (resolved via
-	// workload.ByName unless the Runner is given a custom resolver).
-	Workload string
+	// Source is the reference stream: a synthetic workload (resolved via
+	// workload.ByName unless the Runner is given a custom resolver) or a
+	// recorded trace file.
+	Source Source
 	// Mech is the prefetching mechanism (fully resolved; see Mech).
 	Mech Mech
 	// Config is the simulator configuration (TLB geometry, buffer size,
@@ -171,28 +181,32 @@ type Job struct {
 	Warmup uint64
 	// Seed, when nonzero, replaces the workload model's own stream seed,
 	// giving the cell an independent, reproducible stream (see DeriveSeed).
-	// 0 keeps the model's paper-calibrated stream.
+	// 0 keeps the model's paper-calibrated stream. Trace sources are a
+	// fixed recording and must keep Seed 0.
 	Seed uint64
-	// Timing switches the cell to the cycle-accounting simulator
-	// (sim.DefaultTiming constants over Config), as the paper's Table 3.
-	Timing bool
+	// Timing, when non-nil, switches the cell to the cycle-accounting
+	// simulator with these constants (the paper's Table 3 uses
+	// DefaultTiming). Nil runs the functional simulator.
+	Timing *Timing
 }
 
 // Key is the canonical, schema-versioned identity of a Job used for
 // content addressing. It flattens the job so that the hash depends on
-// every simulation-relevant parameter and nothing else.
+// every simulation-relevant parameter and nothing else: trace sources
+// contribute their digest (not their local path), and timing cells
+// contribute the full constant set of their cycle model.
 type Key struct {
-	Schema     int    `json:"schema"`
-	Workload   string `json:"workload"`
-	Mech       Mech   `json:"mech"`
-	TLBEntries int    `json:"tlb_entries"`
-	TLBWays    int    `json:"tlb_ways"`
-	Buffer     int    `json:"buffer"`
-	PageShift  uint   `json:"page_shift"`
-	Refs       uint64 `json:"refs"`
-	Warmup     uint64 `json:"warmup,omitempty"`
-	Seed       uint64 `json:"seed,omitempty"`
-	Timing     bool   `json:"timing,omitempty"`
+	Schema     int     `json:"schema"`
+	Source     Source  `json:"source"`
+	Mech       Mech    `json:"mech"`
+	TLBEntries int     `json:"tlb_entries"`
+	TLBWays    int     `json:"tlb_ways"`
+	Buffer     int     `json:"buffer"`
+	PageShift  uint    `json:"page_shift"`
+	Refs       uint64  `json:"refs"`
+	Warmup     uint64  `json:"warmup,omitempty"`
+	Seed       uint64  `json:"seed,omitempty"`
+	Timing     *Timing `json:"timing,omitempty"`
 }
 
 // canonicalTLBWays canonicalizes the two spellings of a fully associative
@@ -206,12 +220,13 @@ func canonicalTLBWays(c tlb.Config) int {
 	return c.Ways
 }
 
-// Key returns the job's canonical identity (with the mechanism and the
-// TLB geometry normalized).
+// Key returns the job's canonical identity (with the source, mechanism,
+// TLB geometry and timing axis normalized; the Timing copy never aliases
+// the job's).
 func (j Job) Key() Key {
-	return Key{
+	k := Key{
 		Schema:     KeySchema,
-		Workload:   j.Workload,
+		Source:     j.Source.Canonical(),
 		Mech:       j.Mech.Normalize(),
 		TLBEntries: j.Config.TLB.Entries,
 		TLBWays:    canonicalTLBWays(j.Config.TLB),
@@ -220,8 +235,12 @@ func (j Job) Key() Key {
 		Refs:       j.Refs,
 		Warmup:     j.Warmup,
 		Seed:       j.Seed,
-		Timing:     j.Timing,
 	}
+	if j.Timing != nil {
+		t := j.Timing.Normalize()
+		k.Timing = &t
+	}
+	return k
 }
 
 // Hash returns the key's content address: the hex SHA-256 of its canonical
@@ -236,8 +255,11 @@ func (k Key) Hash() string {
 
 // Validate reports whether the job can run.
 func (j Job) Validate() error {
-	if j.Workload == "" {
-		return fmt.Errorf("sweep: job needs a workload name")
+	if err := j.Source.Validate(); err != nil {
+		return err
+	}
+	if j.Source.IsTrace() && j.Seed != 0 {
+		return fmt.Errorf("sweep: trace cells are a fixed recording and cannot carry a stream seed")
 	}
 	if err := j.Mech.Validate(); err != nil {
 		return err
@@ -248,21 +270,32 @@ func (j Job) Validate() error {
 	if j.Refs == 0 {
 		return fmt.Errorf("sweep: job needs a positive reference count")
 	}
-	if j.Timing && j.Warmup != 0 {
-		return fmt.Errorf("sweep: timing jobs do not support warmup (the cycle model has no statistics fast-forward)")
+	if j.Timing != nil {
+		if j.Warmup != 0 {
+			return fmt.Errorf("sweep: timing jobs do not support warmup (the cycle model has no statistics fast-forward)")
+		}
+		if err := j.Timing.Validate(); err != nil {
+			return err
+		}
 	}
 	return nil
 }
 
 // DeriveSeed maps a sweep-level base seed and a job key to the job's
 // stream seed: a splitmix64-style finalizer over the base and the key's
-// hash (with the Seed field zeroed, to avoid self-reference). Any single
-// cell can therefore be re-run in isolation from (base, key) alone.
+// hash, with the Seed field zeroed (to avoid self-reference) and the
+// Schema field zeroed (so a schema bump that does not reshape the key
+// layout keeps derived streams stable). Any single cell can therefore be
+// re-run in isolation from (base, key) alone. Note that v1 stores derived
+// seeds from the v1 key layout: migrated seeded cells remain addressable
+// by their stored keys, but a re-declared seeded grid derives fresh
+// streams — the zero-recompute migration guarantee covers unseeded grids.
 func DeriveSeed(base uint64, k Key) uint64 {
 	if base == 0 {
 		return 0
 	}
 	k.Seed = 0
+	k.Schema = 0
 	h := k.Hash()
 	var x uint64
 	for i := 0; i < 16; i++ { // fold the first 16 hex digits
@@ -287,12 +320,16 @@ func hexVal(c byte) byte {
 }
 
 // Grid declares the axes of a sweep. Jobs enumerates the full cross
-// product in a deterministic order (workloads outermost, then mechanisms,
-// TLB entries, TLB ways, buffer sizes, page shifts), dropping cells that
-// canonicalize to an already-enumerated key (e.g. RP crossed with a table
-// axis it ignores).
+// product in a deterministic order (sources outermost, then mechanisms,
+// TLB entries, TLB ways, buffer sizes, page shifts, timing points),
+// dropping cells that canonicalize to an already-enumerated key (e.g. RP
+// crossed with a table axis it ignores).
 type Grid struct {
+	// Workloads are synthetic-registry names; Traces are recorded trace
+	// sources (see TraceSource). Both contribute to the source axis,
+	// workloads first.
 	Workloads  []string
+	Traces     []Source
 	Mechs      []Mech
 	TLBEntries []int
 	TLBWays    []int // 0 = fully associative
@@ -300,21 +337,41 @@ type Grid struct {
 	PageShifts []uint
 	Refs       uint64
 	Warmup     uint64
-	// Seed, when nonzero, gives every cell an independent derived stream
-	// seed (DeriveSeed(Seed, key)); 0 keeps the workload models' own
-	// paper-calibrated streams.
+	// Seed, when nonzero, gives every synthetic cell an independent
+	// derived stream seed (DeriveSeed(Seed, key)); 0 keeps the workload
+	// models' own paper-calibrated streams. Trace cells always keep 0.
 	Seed uint64
-	// Timing runs every cell under the cycle model.
-	Timing bool
+	// Timings is the cycle-model axis: each cell is crossed with every
+	// timing point. Empty Timings with Timing set runs every cell at
+	// DefaultTiming; both empty runs the functional simulator.
+	Timings []Timing
+	Timing  bool
 }
 
 // Jobs enumerates and validates the grid's cells.
 func (g Grid) Jobs() ([]Job, error) {
-	if len(g.Workloads) == 0 {
-		return nil, fmt.Errorf("sweep: grid needs at least one workload")
+	sources := make([]Source, 0, len(g.Workloads)+len(g.Traces))
+	for _, w := range g.Workloads {
+		sources = append(sources, WorkloadSource(w))
+	}
+	sources = append(sources, g.Traces...)
+	if len(sources) == 0 {
+		return nil, fmt.Errorf("sweep: grid needs at least one workload or trace source")
 	}
 	if len(g.Mechs) == 0 {
 		return nil, fmt.Errorf("sweep: grid needs at least one mechanism")
+	}
+	timings := make([]*Timing, 0, 1)
+	switch {
+	case len(g.Timings) > 0:
+		for i := range g.Timings {
+			timings = append(timings, &g.Timings[i])
+		}
+	case g.Timing:
+		dt := DefaultTiming()
+		timings = append(timings, &dt)
+	default:
+		timings = append(timings, nil)
 	}
 	entries := g.TLBEntries
 	if len(entries) == 0 {
@@ -339,34 +396,38 @@ func (g Grid) Jobs() ([]Job, error) {
 
 	seen := make(map[string]bool)
 	var jobs []Job
-	for _, w := range g.Workloads {
+	for _, src := range sources {
 		for _, m := range g.Mechs {
 			for _, e := range entries {
 				for _, tw := range ways {
 					for _, b := range buffers {
 						for _, ps := range shifts {
-							j := Job{
-								Workload: w,
-								Mech:     m.Normalize(),
-								Config: sim.Config{
-									TLB:           tlb.Config{Entries: e, Ways: tw},
-									BufferEntries: b,
-									PageShift:     ps,
-								},
-								Refs:   refs,
-								Warmup: g.Warmup,
-								Timing: g.Timing,
+							for _, tm := range timings {
+								j := Job{
+									Source: src,
+									Mech:   m.Normalize(),
+									Config: sim.Config{
+										TLB:           tlb.Config{Entries: e, Ways: tw},
+										BufferEntries: b,
+										PageShift:     ps,
+									},
+									Refs:   refs,
+									Warmup: g.Warmup,
+									Timing: tm,
+								}
+								if !src.IsTrace() {
+									j.Seed = DeriveSeed(g.Seed, j.Key())
+								}
+								if err := j.Validate(); err != nil {
+									return nil, err
+								}
+								h := j.Key().Hash()
+								if seen[h] {
+									continue
+								}
+								seen[h] = true
+								jobs = append(jobs, j)
 							}
-							j.Seed = DeriveSeed(g.Seed, j.Key())
-							if err := j.Validate(); err != nil {
-								return nil, err
-							}
-							h := j.Key().Hash()
-							if seen[h] {
-								continue
-							}
-							seen[h] = true
-							jobs = append(jobs, j)
 						}
 					}
 				}

@@ -84,7 +84,7 @@ func TestMechNormalizeLabelValidate(t *testing.T) {
 }
 
 func TestKeyCanonicalizesFullyAssociativeTLB(t *testing.T) {
-	a := Job{Workload: "swim", Mech: Mech{Kind: "RP"}, Refs: 1000,
+	a := Job{Source: WorkloadSource("swim"), Mech: Mech{Kind: "RP"}, Refs: 1000,
 		Config: sim.Config{TLB: tlb.Config{Entries: 128, Ways: 0}, BufferEntries: 16, PageShift: 12}}
 	b := a
 	b.Config.TLB.Ways = 128 // the same fully associative TLB, spelled explicitly
@@ -107,12 +107,13 @@ func TestKeyCanonicalizesFullyAssociativeTLB(t *testing.T) {
 }
 
 func TestJobValidate(t *testing.T) {
-	good := Job{Workload: "swim", Mech: Mech{Kind: "RP"}, Config: sim.Default(), Refs: 1000}
+	good := Job{Source: WorkloadSource("swim"), Mech: Mech{Kind: "RP"}, Config: sim.Default(), Refs: 1000}
 	if err := good.Validate(); err != nil {
 		t.Fatal(err)
 	}
 	bad := good
-	bad.Timing = true
+	dt := DefaultTiming()
+	bad.Timing = &dt
 	bad.Warmup = 10
 	if err := bad.Validate(); err == nil {
 		t.Error("timing job with warmup validated")
@@ -177,7 +178,7 @@ func TestSingleCellRerunMatchesSweep(t *testing.T) {
 func TestRunnerMatchesDirectSimulator(t *testing.T) {
 	w, _ := workload.ByName("gap")
 	cfg := sim.Config{TLB: tlb.Config{Entries: 128}, BufferEntries: 16, PageShift: 12}
-	job := Job{Workload: "gap", Mech: Mech{Kind: "DP", Rows: 256, Ways: 1, Slots: 2},
+	job := Job{Source: WorkloadSource("gap"), Mech: Mech{Kind: "DP", Rows: 256, Ways: 1, Slots: 2},
 		Config: cfg, Refs: 40_000, Warmup: 20_000}
 
 	res, _, err := (&Runner{}).Run([]Job{job})
@@ -204,7 +205,8 @@ func TestRunnerMatchesDirectSimulator(t *testing.T) {
 func TestTimingJobMatchesDirectSimulator(t *testing.T) {
 	w, _ := workload.ByName("mcf")
 	cfg := sim.Default()
-	job := Job{Workload: "mcf", Mech: Mech{Kind: "RP"}, Config: cfg, Refs: 40_000, Timing: true}
+	dt := DefaultTiming()
+	job := Job{Source: WorkloadSource("mcf"), Mech: Mech{Kind: "RP"}, Config: cfg, Refs: 40_000, Timing: &dt}
 
 	res, _, err := (&Runner{}).Run([]Job{job})
 	if err != nil {
@@ -356,8 +358,8 @@ func TestStoreRejectsTamperedEntries(t *testing.T) {
 }
 
 func TestDeriveSeed(t *testing.T) {
-	k1 := Job{Workload: "swim", Mech: Mech{Kind: "RP"}, Config: sim.Default(), Refs: 1000}.Key()
-	k2 := Job{Workload: "mcf", Mech: Mech{Kind: "RP"}, Config: sim.Default(), Refs: 1000}.Key()
+	k1 := Job{Source: WorkloadSource("swim"), Mech: Mech{Kind: "RP"}, Config: sim.Default(), Refs: 1000}.Key()
+	k2 := Job{Source: WorkloadSource("mcf"), Mech: Mech{Kind: "RP"}, Config: sim.Default(), Refs: 1000}.Key()
 	if DeriveSeed(0, k1) != 0 {
 		t.Error("base 0 must keep the model's own stream seed")
 	}
@@ -369,7 +371,7 @@ func TestDeriveSeed(t *testing.T) {
 		t.Error("different cells derived the same seed")
 	}
 	// The seed actually changes the stream (and is itself reproducible).
-	base := Job{Workload: "mcf", Mech: Mech{Kind: "DP", Rows: 256, Ways: 1, Slots: 2},
+	base := Job{Source: WorkloadSource("mcf"), Mech: Mech{Kind: "DP", Rows: 256, Ways: 1, Slots: 2},
 		Config: sim.Default(), Refs: 30_000}
 	seeded := base
 	seeded.Seed = DeriveSeed(7, base.Key())
@@ -386,11 +388,11 @@ func TestDeriveSeed(t *testing.T) {
 }
 
 func TestRunnerErrors(t *testing.T) {
-	if _, _, err := (&Runner{}).Run([]Job{{Workload: "no-such-app", Mech: Mech{Kind: "RP"},
+	if _, _, err := (&Runner{}).Run([]Job{{Source: WorkloadSource("no-such-app"), Mech: Mech{Kind: "RP"},
 		Config: sim.Default(), Refs: 100}}); err == nil {
 		t.Error("unknown workload accepted")
 	}
-	if _, _, err := (&Runner{}).Run([]Job{{Workload: "swim", Mech: Mech{Kind: "XX"},
+	if _, _, err := (&Runner{}).Run([]Job{{Source: WorkloadSource("swim"), Mech: Mech{Kind: "XX"},
 		Config: sim.Default(), Refs: 100}}); err == nil {
 		t.Error("invalid mechanism accepted")
 	}
@@ -404,7 +406,7 @@ func TestEmitters(t *testing.T) {
 		t.Fatal(err)
 	}
 	tab := Table(results).String()
-	for _, want := range []string{"workload", "swim", "DP,256,D", "accuracy"} {
+	for _, want := range []string{"source", "swim", "DP,256,D", "accuracy"} {
 		if !strings.Contains(tab, want) {
 			t.Errorf("table missing %q:\n%s", want, tab)
 		}
@@ -413,7 +415,7 @@ func TestEmitters(t *testing.T) {
 		t.Error("functional results rendered timing columns")
 	}
 	csv := CSV(results)
-	if !strings.HasPrefix(csv, "workload,mech,") {
+	if !strings.HasPrefix(csv, "source,mech,") {
 		t.Errorf("csv header: %q", strings.SplitN(csv, "\n", 2)[0])
 	}
 	js, err := JSON(results)
@@ -428,8 +430,9 @@ func TestEmitters(t *testing.T) {
 		t.Error("JSON round-trip changed the results")
 	}
 
-	timingJobs := []Job{{Workload: "swim", Mech: Mech{Kind: "RP"}, Config: sim.Default(),
-		Refs: 10_000, Timing: true}}
+	dt := DefaultTiming()
+	timingJobs := []Job{{Source: WorkloadSource("swim"), Mech: Mech{Kind: "RP"}, Config: sim.Default(),
+		Refs: 10_000, Timing: &dt}}
 	tres, _, err := (&Runner{}).Run(timingJobs)
 	if err != nil {
 		t.Fatal(err)

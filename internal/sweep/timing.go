@@ -1,0 +1,95 @@
+package sweep
+
+import (
+	"fmt"
+
+	"tlbprefetch/internal/sim"
+)
+
+// Timing is the cycle-model axis of a cell: sim.TimingConfig's constants
+// lifted into the content-addressed Key, so latency-sensitivity sweeps
+// (different miss penalties, memory-op costs, issue widths) address
+// distinct cells instead of all pinning the package default. A nil *Timing
+// on a Job means the functional simulator; a non-nil one selects the cycle
+// model with exactly these constants.
+type Timing struct {
+	MissPenalty      uint64 `json:"miss_penalty"`
+	BufferHitPenalty uint64 `json:"buffer_hit_penalty"`
+	MemOpLatency     uint64 `json:"memop_latency"`
+	MemOpOccupancy   uint64 `json:"memop_occupancy"`
+	CyclesPerRef     uint64 `json:"cycles_per_ref"`
+	RefsPerCycle     uint64 `json:"refs_per_cycle"`
+	RPSkipWhenBusy   bool   `json:"rp_skip_when_busy"`
+}
+
+// DefaultTiming returns the paper's Table 3 constants — the axes of
+// sim.DefaultTiming, which v1 stores implicitly pinned on every timing
+// cell.
+func DefaultTiming() Timing { return TimingOf(sim.DefaultTiming()) }
+
+// TimingOf lifts a sim.TimingConfig's constants into the key axis
+// (dropping the embedded functional Config, which the Key carries in its
+// own fields).
+func TimingOf(tc sim.TimingConfig) Timing {
+	return Timing{
+		MissPenalty:      tc.MissPenalty,
+		BufferHitPenalty: tc.BufferHitPenalty,
+		MemOpLatency:     tc.MemOpLatency,
+		MemOpOccupancy:   tc.MemOpOccupancy,
+		CyclesPerRef:     tc.CyclesPerRef,
+		RefsPerCycle:     tc.RefsPerCycle,
+		RPSkipWhenBusy:   tc.RPSkipWhenBusy,
+	}
+}
+
+// ScaledTiming lifts sim.ScaledTiming's recalibrated cycle model — the
+// default constants scaled to a different miss penalty, walk-fraction
+// costs keeping their ratios — into a key axis, so tlbsweep, tlbsim and
+// the table3-lat experiment all mean the same cell by the same nominal
+// penalty.
+func ScaledTiming(missPenalty uint64) Timing {
+	return TimingOf(sim.ScaledTiming(missPenalty))
+}
+
+// Config lowers the axis back onto a functional configuration, producing
+// the sim.TimingConfig the cell's simulator is built from.
+func (t Timing) Config(c sim.Config) sim.TimingConfig {
+	return sim.TimingConfig{
+		Config:           c,
+		MissPenalty:      t.MissPenalty,
+		BufferHitPenalty: t.BufferHitPenalty,
+		MemOpLatency:     t.MemOpLatency,
+		MemOpOccupancy:   t.MemOpOccupancy,
+		CyclesPerRef:     t.CyclesPerRef,
+		RefsPerCycle:     t.RefsPerCycle,
+		RPSkipWhenBusy:   t.RPSkipWhenBusy,
+	}
+}
+
+// Normalize canonicalizes the equivalent spellings sim.TimingConfig
+// accepts — RefsPerCycle 0 means 1, MemOpOccupancy 0 means fully
+// serialized (= MemOpLatency) — so identical cycle models always
+// content-address to the same cell, mirroring canonicalTLBWays for the
+// TLB geometry.
+func (t Timing) Normalize() Timing {
+	if t.RefsPerCycle == 0 {
+		t.RefsPerCycle = 1
+	}
+	if t.MemOpOccupancy == 0 {
+		t.MemOpOccupancy = t.MemOpLatency
+	}
+	return t
+}
+
+// Validate reports whether the constants form a usable cycle model.
+func (t Timing) Validate() error {
+	if t.MissPenalty == 0 || t.MemOpLatency == 0 || t.CyclesPerRef == 0 {
+		return fmt.Errorf("sweep: timing constants must be positive (penalty=%d, memop=%d, perRef=%d)",
+			t.MissPenalty, t.MemOpLatency, t.CyclesPerRef)
+	}
+	if n := t.Normalize(); n.MemOpOccupancy > n.MemOpLatency {
+		return fmt.Errorf("sweep: MemOpOccupancy %d exceeds MemOpLatency %d (an operation cannot block the channel longer than it takes)",
+			n.MemOpOccupancy, n.MemOpLatency)
+	}
+	return nil
+}

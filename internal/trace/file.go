@@ -1,0 +1,52 @@
+package trace
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"os"
+)
+
+// DigestFile returns the hex SHA-256 of the file's raw bytes. The digest is
+// the machine-independent identity of a recorded trace: the sweep engine
+// embeds it in content-addressed keys so the same trace produces the same
+// cell no matter where the file lives.
+func DigestFile(path string) (string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, bufio.NewReaderSize(f, 1<<16)); err != nil {
+		return "", fmt.Errorf("trace: digesting %s: %w", path, err)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// OpenFile opens a trace file, auto-detecting the format from its leading
+// bytes (the binary magic "TLBT", otherwise the text format). The caller
+// must Close the returned closer when done reading.
+func OpenFile(path string) (Reader, io.Closer, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	br := bufio.NewReaderSize(f, 1<<16)
+	head, err := br.Peek(len(binMagic))
+	if err != nil && err != io.EOF {
+		f.Close()
+		return nil, nil, fmt.Errorf("trace: reading %s: %w", path, err)
+	}
+	if string(head) == binMagic {
+		r, err := NewBinaryReader(br)
+		if err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("trace: %s: %w", path, err)
+		}
+		return r, f, nil
+	}
+	return NewTextReader(br), f, nil
+}
