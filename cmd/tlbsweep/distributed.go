@@ -1,0 +1,119 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"tlbprefetch/internal/sweep"
+	"tlbprefetch/internal/sweepd"
+	"tlbprefetch/internal/trace"
+)
+
+// runServe is coordinator mode: the declared grid becomes a lease-based
+// job feed that remote workers drain; verified results merge into the
+// store, which is saved on completion. The merged store is byte-identical
+// to a single-process sweep of the same grid.
+func runServe(cfg sweepConfig, jobs []sweep.Job, store *sweep.Store) (int, error) {
+	ccfg := sweepd.Config{
+		Jobs:     jobs,
+		Store:    store,
+		LeaseTTL: cfg.leaseTTL,
+		MaxBatch: cfg.batch,
+	}
+	if !cfg.quiet {
+		ccfg.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	coord, err := sweepd.New(ccfg)
+	if err != nil {
+		return 1, err
+	}
+	ln, err := net.Listen("tcp", cfg.serve)
+	if err != nil {
+		return 1, fmt.Errorf("-serve %s: %w", cfg.serve, err)
+	}
+	st := coord.Status()
+	fmt.Fprintf(os.Stderr, "tlbsweep: serving %d-cell feed (%d cached, %d to run) on http://%s\n",
+		st.Total, st.Cached, st.Pending, ln.Addr())
+	srv := &http.Server{Handler: coord.Handler()}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	start := time.Now()
+	waitErr := coord.Wait(context.Background())
+	if cfg.storePath != "" {
+		if err := store.Save(); err != nil {
+			return 1, err
+		}
+	}
+	final := coord.Status()
+	fmt.Fprintf(os.Stderr, "tlbsweep: %d cells (%d cached, %d completed by workers, %d failed) in %v\n",
+		final.Total, final.Cached, final.Done, final.Failed, time.Since(start).Round(time.Millisecond))
+	if waitErr != nil {
+		return 1, waitErr
+	}
+
+	// Emit the grid's results in enumeration order, exactly as a local
+	// sweep of the same grid would.
+	results := make([]sweep.Result, 0, len(jobs))
+	for _, j := range jobs {
+		if r, ok := store.Get(j.Key().Hash()); ok {
+			results = append(results, r)
+		}
+	}
+	return 0, emit(results, cfg.format)
+}
+
+// runWorker is worker mode: join the coordinator's feed, simulate leased
+// cells on the local sharded path, upload fingerprinted results, exit when
+// the grid completes.
+func runWorker(cfg sweepConfig) (int, error) {
+	traces, err := localTraces(cfg.traces)
+	if err != nil {
+		return 1, err
+	}
+	w := &sweepd.Worker{
+		URL:      strings.TrimRight(cfg.workerURL, "/"),
+		ID:       cfg.workerID,
+		MaxBatch: cfg.batch,
+		Traces:   traces,
+		Runner:   &sweep.Runner{Workers: cfg.workers},
+	}
+	if !cfg.quiet {
+		w.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	start := time.Now()
+	sum, err := w.Run(context.Background())
+	if err != nil {
+		return 1, err
+	}
+	fmt.Fprintf(os.Stderr, "tlbsweep: worker ran %d cells in %d shards in %v\n",
+		sum.Ran, sum.Shards, time.Since(start).Round(time.Millisecond))
+	return 0, nil
+}
+
+// localTraces digests the worker's -trace files into the digest → path
+// map leased trace cells are resolved against.
+func localTraces(spec string) (map[string]string, error) {
+	out := make(map[string]string)
+	for _, tok := range strings.Split(spec, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		digest, err := trace.DigestFile(tok)
+		if err != nil {
+			return nil, err
+		}
+		out[digest] = tok
+	}
+	return out, nil
+}

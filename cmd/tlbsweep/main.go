@@ -11,6 +11,12 @@
 // a stored subset without re-declaring the grid, -gc drops cells the
 // current grid no longer references, and -diff compares two stores.
 //
+// A grid can also span hosts: -serve turns tlbsweep into the coordinator
+// of a lease-based job feed (internal/sweepd) and -worker joins a feed,
+// pulling batches of cells, simulating them on the local sharded path, and
+// uploading fingerprinted results. The merged store is byte-identical to a
+// single-process run of the same grid.
+//
 // Examples:
 //
 //	tlbsweep -workloads swim,mcf -mechs DP,RP,ASP -entries 64,128,256 -buffer 8,16,32
@@ -19,6 +25,8 @@
 //	tlbsweep -store lat.json -where mech=DP,misspenalty=200 -format csv
 //	tlbsweep -workloads mcf -mechs DP -store sweep.json -gc
 //	tlbsweep -store a.json -diff b.json
+//	tlbsweep -serve 127.0.0.1:9177 -workloads all -mechs DP,RP -store grid.json
+//	tlbsweep -worker http://coordinator:9177 -workers 8
 package main
 
 import (
@@ -57,6 +65,11 @@ func main() {
 		where       = flag.String("where", "", "render matching store cells (field=value,... filters) instead of sweeping")
 		gc          = flag.Bool("gc", false, "drop store cells the declared grid does not reference, then save")
 		diffPath    = flag.String("diff", "", "compare the -store file against this second store and exit (1 when they differ)")
+		serve       = flag.String("serve", "", "serve the grid as a distributed job feed on this address (coordinator mode, e.g. 127.0.0.1:9177)")
+		workerURL   = flag.String("worker", "", "join a coordinator's job feed at this base URL (worker mode; the grid comes from the coordinator)")
+		batch       = flag.Int("batch", 0, "distributed modes: max cells per lease (0 = coordinator default)")
+		leaseTTL    = flag.Duration("lease-ttl", 30*time.Second, "coordinator mode: a worker silent this long forfeits its leased cells")
+		workerID    = flag.String("worker-id", "", "worker mode: name shown in coordinator logs (default worker-<pid>)")
 		format      = flag.String("format", "table", "output format: table, csv, json, none")
 		workers     = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 		quiet       = flag.Bool("q", false, "suppress per-cell progress on stderr")
@@ -69,20 +82,40 @@ func main() {
 		os.Exit(2)
 	}
 	modes := 0
-	for _, on := range []bool{*where != "", *gc, *diffPath != ""} {
+	for _, on := range []bool{*where != "", *gc, *diffPath != "", *serve != "", *workerURL != ""} {
 		if on {
 			modes++
 		}
 	}
 	if modes > 1 {
-		fmt.Fprintln(os.Stderr, "tlbsweep: -where, -gc and -diff are mutually exclusive modes")
+		fmt.Fprintln(os.Stderr, "tlbsweep: -where, -gc, -diff, -serve and -worker are mutually exclusive modes")
 		os.Exit(2)
 	}
 	if (*where != "" || *gc || *diffPath != "") && *storePath == "" {
 		fmt.Fprintln(os.Stderr, "tlbsweep: -where/-gc/-diff operate on a store: -store is required")
 		os.Exit(2)
 	}
-	if *where == "" && *diffPath == "" && *workloads == "" && *traces == "" {
+	if *workerURL != "" && *storePath != "" {
+		fmt.Fprintln(os.Stderr, "tlbsweep: a worker holds no store — the coordinator given with -serve owns it")
+		os.Exit(2)
+	}
+	if *workerURL != "" {
+		// The grid comes from the coordinator: silently dropping axis
+		// flags would let `-worker URL -workloads swim -refs 1e6` look
+		// like it constrained the work. -trace is the exception (it names
+		// the worker's local recordings, matched to cells by digest).
+		workerFlags := map[string]bool{
+			"worker": true, "worker-id": true, "batch": true, "trace": true,
+			"workers": true, "q": true, "cpuprofile": true, "memprofile": true,
+		}
+		flag.Visit(func(f *flag.Flag) {
+			if !workerFlags[f.Name] {
+				fmt.Fprintf(os.Stderr, "tlbsweep: -%s has no effect in worker mode (the coordinator declares the grid)\n", f.Name)
+				os.Exit(2)
+			}
+		})
+	}
+	if *where == "" && *diffPath == "" && *workerURL == "" && *workloads == "" && *traces == "" {
 		fmt.Fprintln(os.Stderr, "tlbsweep: need a source axis: -workloads (names, suites, 'all') and/or -trace files")
 		flag.Usage()
 		os.Exit(2)
@@ -95,6 +128,8 @@ func main() {
 		refs: *refs, warmup: *warmup, seed: *seed,
 		timing: *timing, missPenalty: *missPenalty, memopLat: *memopLat,
 		storePath: *storePath, where: *where, gc: *gc, diffPath: *diffPath,
+		serve: *serve, workerURL: *workerURL, batch: *batch,
+		leaseTTL: *leaseTTL, workerID: *workerID,
 		format: *format, workers: *workers, quiet: *quiet,
 		cpuProf: *cpuProf, memProf: *memProf,
 	}
@@ -116,6 +151,9 @@ type sweepConfig struct {
 	missPenalty, memopLat                string
 	storePath, where, diffPath, format   string
 	gc                                   bool
+	serve, workerURL, workerID           string
+	batch                                int
+	leaseTTL                             time.Duration
 	workers                              int
 	quiet                                bool
 	cpuProf, memProf                     string
@@ -133,6 +171,12 @@ func run(cfg sweepConfig) (int, error) {
 		return 1, err
 	}
 	defer stopProf()
+
+	// Worker mode needs no grid or store of its own: everything comes
+	// from the coordinator's feed.
+	if cfg.workerURL != "" {
+		return runWorker(cfg)
+	}
 
 	// The read-only modes consume an existing store; a missing file there
 	// is a path typo that would otherwise succeed vacuously ("stores are
@@ -168,6 +212,13 @@ func run(cfg sweepConfig) (int, error) {
 	jobs, err := grid.Jobs()
 	if err != nil {
 		return 1, err
+	}
+
+	if cfg.serve != "" {
+		if store == nil {
+			store = sweep.NewStore()
+		}
+		return runServe(cfg, jobs, store)
 	}
 
 	if cfg.gc {

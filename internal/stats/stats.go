@@ -35,6 +35,22 @@ func Fingerprint(v any) (string, error) {
 	return hex.EncodeToString(sum[:]), nil
 }
 
+// VerifyFingerprint recomputes Fingerprint(v) and checks it against want.
+// It is the ingest-side half of the content-addressing contract: a receiver
+// (the sweep store, the distributed coordinator) re-derives the fingerprint
+// from the payload it actually decoded, so a value corrupted or tampered
+// with in transit can never be accepted under its claimed address.
+func VerifyFingerprint(v any, want string) error {
+	got, err := Fingerprint(v)
+	if err != nil {
+		return err
+	}
+	if !strings.EqualFold(got, want) {
+		return fmt.Errorf("stats: fingerprint mismatch: payload hashes to %.12s…, claimed %.12s…", got, want)
+	}
+	return nil
+}
+
 // Mean returns the arithmetic mean of xs (0 for an empty slice) — the
 // paper's (Σ p_i)/n.
 func Mean(xs []float64) float64 {

@@ -154,3 +154,29 @@ func TestCanonicalAndFingerprint(t *testing.T) {
 		t.Fatal("unmarshalable value fingerprinted without error")
 	}
 }
+
+func TestVerifyFingerprint(t *testing.T) {
+	type payload struct {
+		A int
+		B string
+	}
+	v := payload{A: 7, B: "cell"}
+	fp, err := Fingerprint(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyFingerprint(v, fp); err != nil {
+		t.Fatalf("honest payload rejected: %v", err)
+	}
+	if err := VerifyFingerprint(v, strings.ToUpper(fp)); err != nil {
+		t.Fatalf("hex case must not matter: %v", err)
+	}
+	tampered := v
+	tampered.A++
+	if err := VerifyFingerprint(tampered, fp); err == nil {
+		t.Fatal("tampered payload verified")
+	}
+	if err := VerifyFingerprint(func() {}, fp); err == nil {
+		t.Fatal("unmarshalable payload verified")
+	}
+}

@@ -1,0 +1,70 @@
+package sweep
+
+// JobSource feeds batches of cells to a Runner. It is the seam between the
+// execution engine and where work comes from: the local path wraps a fixed
+// job slice (SliceSource), the distributed path (internal/sweepd) leases
+// batches from a coordinator's work-stealing feed over HTTP. Both drain
+// through the same Runner.Run shard path, so a cell computes identically no
+// matter which feed delivered it.
+type JobSource interface {
+	// NextBatch returns the next batch of jobs to execute. An empty batch
+	// means the feed is drained and the run is over. Implementations may
+	// block (a remote feed polls until cells free up or the grid
+	// completes).
+	NextBatch() ([]Job, error)
+	// Report delivers the batch's outcome back to the source: the results
+	// on success, or the execution error when the whole batch failed
+	// (e.g. a trace shorter than the cells' budget). A remote source
+	// uploads results — or releases the lease as failed — here.
+	Report(results []Result, runErr error) error
+}
+
+// SliceSource adapts a fixed job slice to the JobSource interface: one
+// batch containing everything, results discarded (the Runner's Store and
+// Progress hooks observe them). It exists so the local path exercises the
+// same RunSource loop the distributed workers run.
+type SliceSource struct {
+	Jobs    []Job
+	drained bool
+}
+
+// NextBatch hands out the whole slice once.
+func (s *SliceSource) NextBatch() ([]Job, error) {
+	if s.drained {
+		return nil, nil
+	}
+	s.drained = true
+	return s.Jobs, nil
+}
+
+// Report has nowhere to route results, but a batch execution error is the
+// run's error — swallowing it would make RunSource report success for a
+// slice that never simulated.
+func (s *SliceSource) Report(_ []Result, runErr error) error { return runErr }
+
+// RunSource drains a job source through the runner: pull a batch, execute
+// it on the sharded path Run uses, report the outcome, repeat until the
+// source is empty. Batch-level execution errors are routed to the source's
+// Report (which decides whether they are fatal) rather than aborting the
+// loop, so a remote feed can re-queue a failed lease while other batches
+// keep flowing. The summary aggregates across batches.
+func (r *Runner) RunSource(src JobSource) (Summary, error) {
+	var total Summary
+	for {
+		jobs, err := src.NextBatch()
+		if err != nil {
+			return total, err
+		}
+		if len(jobs) == 0 {
+			return total, nil
+		}
+		results, sum, runErr := r.Run(jobs)
+		total.Total += sum.Total
+		total.Cached += sum.Cached
+		total.Ran += sum.Ran
+		total.Shards += sum.Shards
+		if err := src.Report(results, runErr); err != nil {
+			return total, err
+		}
+	}
+}

@@ -291,3 +291,126 @@ func TestRunnerNonDefaultTimingMatchesDirect(t *testing.T) {
 		t.Fatal("no cycles accounted")
 	}
 }
+
+// TestParseFilterTable drives the parser through its edge cases: empty
+// and whitespace-only specs, repeated fields, field-name normalization,
+// and malformed clauses.
+func TestParseFilterTable(t *testing.T) {
+	cases := []struct {
+		name, spec string
+		wantErr    string // substring; "" means the spec must parse
+	}{
+		{"empty", "", ""},
+		{"whitespace and stray commas", " ,  , ", ""},
+		{"single clause", "workload=swim", ""},
+		{"repeated field", "entries=64,entries=128", ""},
+		{"field case and padding", " WORKLOAD = swim ", ""},
+		{"trace digest value", "trace=ABC123", ""},
+		{"full digest value", "trace=" + strings.Repeat("ab", 32), ""},
+		{"bare word", "nonsense", "field=value"},
+		{"empty field name", "=5", "unknown filter field"},
+		{"unknown field", "bogus=3", "unknown filter field"},
+		{"empty int value", "entries=", "bad value"},
+		{"typo int value", "entries=12x", "bad value"},
+		{"typo bool value", "timing=yes", "bad value"},
+		{"letter in uint", "misspenalty=2OO", "bad value"},
+		{"negative refs", "refs=-1", "bad value"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ParseFilter(c.spec)
+			if c.wantErr == "" {
+				if err != nil {
+					t.Fatalf("ParseFilter(%q): %v", c.spec, err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+				t.Fatalf("ParseFilter(%q) err = %v, want substring %q", c.spec, err, c.wantErr)
+			}
+		})
+	}
+}
+
+// TestFilterMatchTable pins Match semantics directly on hand-built keys —
+// conjunction of repeated fields, trace-digest prefix matching (case
+// folded), and the workload/trace field split.
+func TestFilterMatchTable(t *testing.T) {
+	digest := strings.Repeat("ab", 16) + strings.Repeat("cd", 16)
+	synth := Job{Source: WorkloadSource("swim"), Mech: Mech{Kind: "RP"},
+		Config: sim.Default(), Refs: 1000}.Key()
+	traced := Job{Source: Source{TraceSHA256: digest}, Mech: Mech{Kind: "RP"},
+		Config: sim.Default(), Refs: 1000}.Key()
+
+	cases := []struct {
+		name, spec string
+		key        Key
+		want       bool
+	}{
+		{"empty matches synth", "", synth, true},
+		{"empty matches trace", "", traced, true},
+		{"repeated field is a conjunction", "entries=64,entries=128", synth, false},
+		{"repeated identical clauses", "workload=swim,workload=swim", synth, true},
+		{"workload never matches a trace cell", "workload=swim", traced, false},
+		{"trace never matches a synth cell", "trace=" + digest[:8], synth, false},
+		{"trace digest prefix", "trace=" + digest[:12], traced, true},
+		{"trace digest prefix case-folded", "trace=" + strings.ToUpper(digest[:12]), traced, true},
+		{"trace full digest", "trace=" + digest, traced, true},
+		{"trace wrong prefix", "trace=ffff", traced, false},
+		{"source label of a trace", "source=trace:" + digest[:12], traced, true},
+		{"source label of a workload", "source=swim", synth, true},
+		{"conjunction across fields", "workload=swim,entries=128,timing=false", synth, true},
+		{"conjunction with one miss", "workload=swim,entries=64", synth, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			f, err := ParseFilter(c.spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := f.Match(c.key); got != c.want {
+				t.Fatalf("Match(%q) = %v, want %v", c.spec, got, c.want)
+			}
+		})
+	}
+}
+
+// TestTimingNormalizeTable pins every canonical-spelling pair the timing
+// axis accepts: RefsPerCycle 0 means 1, MemOpOccupancy 0 means fully
+// serialized (= MemOpLatency), explicit values survive, and Normalize is
+// idempotent.
+func TestTimingNormalizeTable(t *testing.T) {
+	base := Timing{MissPenalty: 100, BufferHitPenalty: 65, MemOpLatency: 50,
+		MemOpOccupancy: 12, CyclesPerRef: 1, RefsPerCycle: 2, RPSkipWhenBusy: true}
+	with := func(mut func(*Timing)) Timing { t := base; mut(&t); return t }
+
+	cases := []struct {
+		name     string
+		in, want Timing
+	}{
+		{"already canonical", base, base},
+		{"zero refs-per-cycle means one",
+			with(func(t *Timing) { t.RefsPerCycle = 0 }),
+			with(func(t *Timing) { t.RefsPerCycle = 1 })},
+		{"zero occupancy means serialized",
+			with(func(t *Timing) { t.MemOpOccupancy = 0 }),
+			with(func(t *Timing) { t.MemOpOccupancy = 50 })},
+		{"both zero spellings at once",
+			with(func(t *Timing) { t.RefsPerCycle = 0; t.MemOpOccupancy = 0 }),
+			with(func(t *Timing) { t.RefsPerCycle = 1; t.MemOpOccupancy = 50 })},
+		{"explicit occupancy survives",
+			with(func(t *Timing) { t.MemOpOccupancy = 7 }),
+			with(func(t *Timing) { t.MemOpOccupancy = 7 })},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := c.in.Normalize()
+			if got != c.want {
+				t.Fatalf("Normalize(%+v) = %+v, want %+v", c.in, got, c.want)
+			}
+			if again := got.Normalize(); again != got {
+				t.Fatalf("Normalize not idempotent: %+v -> %+v", got, again)
+			}
+		})
+	}
+}

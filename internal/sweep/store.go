@@ -11,6 +11,7 @@ import (
 	"sync"
 
 	"tlbprefetch/internal/sim"
+	"tlbprefetch/internal/stats"
 )
 
 // Result is one completed cell: its identity plus the measured counters.
@@ -98,6 +99,14 @@ func OpenStore(path string) (*Store, error) {
 			if err := json.Unmarshal(raw, &r); err != nil {
 				return nil, fmt.Errorf("sweep: store %s entry %s: %w", path, h, err)
 			}
+			// A self-consistent cell from another schema hashes correctly
+			// (the schema is part of the key), so check it explicitly: it
+			// must be named as a schema problem, not surface later as a
+			// baffling cell mismatch in -diff or a cache miss in a sweep.
+			if r.Key.Schema != KeySchema {
+				return nil, fmt.Errorf("sweep: store %s entry %s declares key schema %d, this binary speaks %d (delete or migrate it)",
+					path, h, r.Key.Schema, KeySchema)
+			}
 			if got := r.Key.Hash(); got != h {
 				return nil, fmt.Errorf("sweep: store %s entry %s does not hash to its key (%s) — corrupt or hand-edited",
 					path, h, got)
@@ -145,6 +154,35 @@ func (s *Store) Put(r Result) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.results[r.Key.Hash()] = r
+}
+
+// Merge records a batch of results under one lock acquisition — the
+// coordinator's ingest path, where several workers' uploads race for the
+// store. A cell already present with an identical payload is skipped
+// (idempotent re-delivery after a lease expiry); a cell already present
+// with a *different* payload is a conflict — Merge keeps the first-accepted
+// value, merges the rest of the batch, and reports the conflict, since two
+// honest runs of one content-addressed cell can never disagree.
+func (s *Store) Merge(rs []Result) (added int, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, r := range rs {
+		h := r.Key.Hash()
+		old, ok := s.results[h]
+		if !ok {
+			s.results[h] = r
+			added++
+			continue
+		}
+		co, errO := stats.Canonical(old)
+		cn, errN := stats.Canonical(r)
+		if errO != nil || errN != nil || string(co) != string(cn) {
+			if err == nil {
+				err = fmt.Errorf("sweep: merge conflict on cell %.12s…: a different payload is already stored (simulator behaviour changed without a schema bump?)", h)
+			}
+		}
+	}
+	return added, err
 }
 
 // Results returns every stored result sorted by key hash — the same

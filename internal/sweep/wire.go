@@ -1,0 +1,38 @@
+package sweep
+
+import (
+	"fmt"
+
+	"tlbprefetch/internal/stats"
+)
+
+// WireResult is the transport form of a completed cell: the Result plus
+// the fingerprint of its canonical encoding. The fingerprint travels with
+// the payload so the receiving side can re-derive it from the bytes it
+// actually decoded and refuse anything that does not hash to its claim —
+// the distributed feed's defence against corruption in transit and buggy
+// or lying workers mislabelling results.
+type WireResult struct {
+	Result      Result `json:"result"`
+	Fingerprint string `json:"fp"`
+}
+
+// SealResult wraps a result for the wire, stamping it with the fingerprint
+// of its canonical encoding.
+func SealResult(r Result) (WireResult, error) {
+	fp, err := stats.Fingerprint(r)
+	if err != nil {
+		return WireResult{}, err
+	}
+	return WireResult{Result: r, Fingerprint: fp}, nil
+}
+
+// Open verifies the sealed result against its fingerprint and returns the
+// payload. A mismatch means the cell was corrupted or relabelled somewhere
+// between the producing worker and here.
+func (w WireResult) Open() (Result, error) {
+	if err := stats.VerifyFingerprint(w.Result, w.Fingerprint); err != nil {
+		return Result{}, fmt.Errorf("sweep: cell %s: %w", w.Result.Key.Hash()[:12], err)
+	}
+	return w.Result, nil
+}

@@ -1,0 +1,183 @@
+package sweep
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// wireTestResults runs a tiny grid and returns its results.
+func wireTestResults(t *testing.T) []Result {
+	t.Helper()
+	g := Grid{
+		Workloads: []string{"swim"},
+		Mechs:     []Mech{{Kind: "RP"}, {Kind: "SP"}},
+		Refs:      5_000,
+	}
+	jobs, err := g.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, _, err := (&Runner{}).Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return results
+}
+
+func TestSealOpenRoundTrip(t *testing.T) {
+	results := wireTestResults(t)
+	wc, err := SealResult(results[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wc.Fingerprint) != 64 {
+		t.Fatalf("fingerprint %q is not 64 hex chars", wc.Fingerprint)
+	}
+	back, err := wc.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Stats != results[0].Stats || back.Key.Hash() != results[0].Key.Hash() {
+		t.Fatal("seal/open changed the result")
+	}
+
+	corrupt := wc
+	corrupt.Result.Stats.BufferHits++
+	if _, err := corrupt.Open(); err == nil || !strings.Contains(err.Error(), "fingerprint mismatch") {
+		t.Fatalf("corrupted payload opened (err=%v)", err)
+	}
+}
+
+// TestWireResultJSONRoundTrip pins the transport encoding the protocol
+// actually ships (WireResult inside a JSON request body): a sealed cell
+// survives marshal/unmarshal exactly, and one corrupted in transit fails
+// verification on the receiving side.
+func TestWireResultJSONRoundTrip(t *testing.T) {
+	results := wireTestResults(t)
+	sealed := make([]WireResult, len(results))
+	for i, r := range results {
+		var err error
+		if sealed[i], err = SealResult(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := json.Marshal(sealed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back []WireResult
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	for i := range back {
+		r, err := back[i].Open()
+		if err != nil {
+			t.Fatalf("cell %d failed verification after the wire: %v", i, err)
+		}
+		if r.Stats != results[i].Stats {
+			t.Fatalf("cell %d changed across the wire", i)
+		}
+	}
+
+	// Corruption in transit: flip a counter inside the serialized bytes.
+	tampered := bytes.Replace(data, []byte(`"Misses":`), []byte(`"Misses":1`), 1)
+	if bytes.Equal(tampered, data) {
+		t.Fatal("tamper target not found")
+	}
+	var bad []WireResult
+	if err := json.Unmarshal(tampered, &bad); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bad[0].Open(); err == nil {
+		t.Fatal("cell corrupted in transit opened without error")
+	}
+}
+
+func TestStoreMerge(t *testing.T) {
+	results := wireTestResults(t)
+	st := NewStore()
+	added, err := st.Merge(results)
+	if err != nil || added != len(results) {
+		t.Fatalf("first merge: added=%d err=%v", added, err)
+	}
+	// Idempotent re-delivery: nothing added, no error, bytes unchanged.
+	before, _ := st.Bytes()
+	added, err = st.Merge(results)
+	if err != nil || added != 0 {
+		t.Fatalf("re-merge: added=%d err=%v", added, err)
+	}
+	after, _ := st.Bytes()
+	if string(before) != string(after) {
+		t.Fatal("idempotent merge changed the store bytes")
+	}
+	// A divergent payload under an existing hash is a conflict: the first
+	// value wins and the conflict is reported.
+	divergent := results[0]
+	divergent.Stats.Misses += 99
+	if _, err := st.Merge([]Result{divergent}); err == nil || !strings.Contains(err.Error(), "conflict") {
+		t.Fatalf("divergent merge accepted (err=%v)", err)
+	}
+	kept, _ := st.Get(results[0].Key.Hash())
+	if kept.Stats != results[0].Stats {
+		t.Fatal("conflict replaced the first-accepted value")
+	}
+}
+
+// TestStoreRejectsUnknownSchemaCells is the -diff regression: a store file
+// whose header says the current schema but which contains a
+// self-consistent cell keyed under another schema (doctored or produced by
+// a broken writer) must fail to open with an error naming that schema —
+// not load silently and surface later as a baffling cell mismatch in
+// tlbsweep -diff or a cache miss in a sweep.
+func TestStoreRejectsUnknownSchemaCells(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "store.json")
+	st, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := wireTestResults(t)
+	if _, err := st.Merge(results); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Save(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Doctor the file: re-key one cell under a future schema, with its
+	// hash recomputed so it is self-consistent (the hash check alone
+	// cannot catch it).
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f storeFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		t.Fatal(err)
+	}
+	doctored := results[0]
+	doctored.Key.Schema = KeySchema + 1
+	delete(f.Results, results[0].Key.Hash())
+	f.Results[doctored.Key.Hash()] = doctored
+	raw, err := json.Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, err = OpenStore(path)
+	if err == nil {
+		t.Fatal("store with an unknown-schema cell opened without error")
+	}
+	for _, want := range []string{"schema 3", "speaks 2"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not name the schemas (want %q)", err, want)
+		}
+	}
+}

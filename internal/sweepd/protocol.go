@@ -1,0 +1,106 @@
+// Package sweepd spans a sweep grid across processes and hosts. A
+// Coordinator loads a grid's cells, consults the authoritative Store for
+// ones already settled, and exposes the dirty remainder as an HTTP/JSON
+// job feed with lease-based work stealing: workers pull batches of cells,
+// heartbeat their leases while simulating, and upload fingerprinted
+// results that the coordinator re-verifies before merging into the store.
+// A lease that expires (worker died, network partitioned) returns its
+// cells to the feed for the next worker to steal.
+//
+// Every cell is content-addressed and every simulation deterministic, so
+// the distributed path inherits the local engine's guarantee: the merged
+// store is byte-identical to a single-process sweep.Runner run of the same
+// grid, no matter how many workers joined, how batches were stolen, or how
+// many leases expired along the way.
+package sweepd
+
+import (
+	"tlbprefetch/internal/sweep"
+)
+
+// Protocol endpoints (all JSON bodies). Lease, Complete and Heartbeat are
+// POST; Status is GET.
+const (
+	PathLease     = "/v1/lease"
+	PathComplete  = "/v1/complete"
+	PathHeartbeat = "/v1/heartbeat"
+	PathStatus    = "/v1/status"
+)
+
+// LeaseRequest asks the coordinator for a batch of cells.
+type LeaseRequest struct {
+	// Worker identifies the requester in logs and lease bookkeeping.
+	Worker string `json:"worker"`
+	// Max caps the batch size; the coordinator may hand out fewer (and
+	// clamps to its own configured maximum).
+	Max int `json:"max,omitempty"`
+}
+
+// LeaseReply carries a leased batch, a poll-again hint, or the completion
+// signal.
+type LeaseReply struct {
+	// Done reports that every cell has settled: the worker may exit.
+	Done bool `json:"done,omitempty"`
+	// RetryMs, when nonzero, means no cells are available right now
+	// (others hold them under lease) — poll again after this delay.
+	RetryMs int64 `json:"retry_ms,omitempty"`
+	// LeaseID names the lease; Complete and Heartbeat quote it. TTLMs is
+	// the lease's lifetime — heartbeat well inside it or the cells return
+	// to the feed.
+	LeaseID string `json:"lease_id,omitempty"`
+	TTLMs   int64  `json:"ttl_ms,omitempty"`
+	// Jobs are the leased cells. Trace sources travel as digests only
+	// (paths are machine-local); the worker resolves digests against its
+	// own trace files and verifies them before simulating.
+	Jobs   []sweep.Job `json:"jobs,omitempty"`
+	Status Status      `json:"status"`
+}
+
+// CompleteRequest uploads a lease's outcome: fingerprinted results for the
+// cells that ran, failure reports for the ones that could not.
+type CompleteRequest struct {
+	LeaseID string `json:"lease_id"`
+	Worker  string `json:"worker"`
+	// Cells are sealed results; the coordinator re-derives each
+	// fingerprint from the payload it decoded and rejects mismatches.
+	Cells []sweep.WireResult `json:"cells,omitempty"`
+	// Failed reports cells the worker could not run (missing trace file,
+	// stream error); the coordinator re-queues them up to its attempt
+	// budget.
+	Failed []CellFailure `json:"failed,omitempty"`
+}
+
+// CellFailure names one cell (by key hash) and why it failed or was
+// rejected.
+type CellFailure struct {
+	Hash string `json:"hash"`
+	Err  string `json:"err"`
+}
+
+// CompleteReply acknowledges an upload.
+type CompleteReply struct {
+	// Accepted counts cells merged into the store (idempotent
+	// re-deliveries of already-settled cells included).
+	Accepted int `json:"accepted"`
+	// Rejected lists cells refused — fingerprint mismatch, unknown key —
+	// each re-queued for another worker when still wanted.
+	Rejected []CellFailure `json:"rejected,omitempty"`
+	Status   Status        `json:"status"`
+}
+
+// HeartbeatRequest extends a lease's lifetime.
+type HeartbeatRequest struct {
+	LeaseID string `json:"lease_id"`
+}
+
+// Status is the coordinator's progress snapshot, aggregated across every
+// worker.
+type Status struct {
+	Total    int  `json:"total"`   // grid cells
+	Cached   int  `json:"cached"`  // settled from the store before serving
+	Done     int  `json:"done"`    // completed by workers this run
+	Pending  int  `json:"pending"` // queued, waiting for a lease
+	Leased   int  `json:"leased"`  // out under lease right now
+	Failed   int  `json:"failed"`  // permanently failed (attempt budget spent)
+	Complete bool `json:"complete"`
+}

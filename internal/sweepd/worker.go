@@ -1,0 +1,327 @@
+package sweepd
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+
+	"tlbprefetch/internal/sweep"
+)
+
+// Worker joins a coordinator's job feed: it leases batches of cells, runs
+// them through the local sweep.Runner execution path (the same sharding
+// and sim.Group coalescing a single-process sweep uses), and uploads
+// fingerprinted results. Trace cells arrive as digests; the worker
+// resolves them against its Traces map and the runner re-verifies each
+// file's digest before simulating, so a stale local recording can never be
+// uploaded under a fresh recording's key.
+type Worker struct {
+	// URL is the coordinator's base address, e.g. "http://host:9177".
+	URL string
+	// ID names the worker in coordinator logs (default "worker-<pid>").
+	ID string
+	// Runner executes leased cells (nil: a zero Runner — GOMAXPROCS
+	// shards, no local store).
+	Runner *sweep.Runner
+	// Traces maps trace digests to local file paths, from the worker's
+	// own -trace flags.
+	Traces map[string]string
+	// MaxBatch caps cells requested per lease (0: the coordinator's
+	// default).
+	MaxBatch int
+	// Client is the HTTP client (nil: a default with a 30s timeout — the
+	// protocol's requests all answer immediately, so a silently
+	// partitioned coordinator must surface as a transport error, not
+	// block the worker forever).
+	Client *http.Client
+	// Logf, when non-nil, receives per-lease progress lines.
+	Logf func(format string, args ...any)
+}
+
+// Run drains the coordinator's feed until the grid completes, returning
+// the summary of cells this worker executed.
+func (w *Worker) Run(ctx context.Context) (sweep.Summary, error) {
+	runner := w.Runner
+	if runner == nil {
+		runner = &sweep.Runner{}
+	}
+	f := &feed{w: w, ctx: ctx}
+	defer f.stopHeartbeat()
+	return runner.RunSource(f)
+}
+
+func (w *Worker) id() string {
+	if w.ID != "" {
+		return w.ID
+	}
+	return fmt.Sprintf("worker-%d", os.Getpid())
+}
+
+func (w *Worker) logf(format string, args ...any) {
+	if w.Logf != nil {
+		w.Logf(format, args...)
+	}
+}
+
+// defaultClient bounds every protocol request: none of them long-poll, so
+// anything slower than this is a dead or partitioned coordinator.
+var defaultClient = &http.Client{Timeout: 30 * time.Second}
+
+// transportError marks a failure to reach the coordinator at all (dial
+// refused, connection reset, request timeout), as opposed to a reply it
+// chose to send.
+type transportError struct{ err error }
+
+func (e transportError) Error() string { return e.err.Error() }
+func (e transportError) Unwrap() error { return e.err }
+
+func isTransport(err error) bool {
+	var te transportError
+	return errors.As(err, &te)
+}
+
+// post sends a JSON request body and decodes a JSON reply. Non-200
+// responses become errors carrying the coordinator's message; failures to
+// reach it at all are tagged as transport errors so the feed can tell a
+// vanished coordinator from a rejecting one.
+func (w *Worker) post(ctx context.Context, path string, body, reply any) error {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.URL+path, bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	client := w.Client
+	if client == nil {
+		client = defaultClient
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return transportError{err}
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("sweepd: %s: coordinator replied %s: %s", path, resp.Status, bytes.TrimSpace(msg))
+	}
+	return json.NewDecoder(resp.Body).Decode(reply)
+}
+
+// feed adapts the coordinator's lease protocol to sweep.JobSource, so the
+// worker drains it through the exact Runner loop the local path uses.
+type feed struct {
+	w   *Worker
+	ctx context.Context
+
+	connected bool // at least one exchange with the coordinator succeeded
+	dialTries int  // consecutive startup dial failures
+
+	leaseID     string
+	ttl         time.Duration
+	outstanding []string      // leased cell hashes, issue order
+	prefailed   []CellFailure // cells unrunnable before simulation (missing trace)
+
+	stopHB chan struct{}
+	hbDone chan struct{}
+}
+
+// startupDialTries bounds how long a worker waits for a coordinator that
+// is not listening yet (tries × 200ms ≈ 10s).
+const startupDialTries = 50
+
+// NextBatch leases the next batch: it polls while the feed is empty,
+// returns a drained signal when the coordinator reports completion, and
+// otherwise resolves trace paths and starts the lease heartbeat. Dial
+// failures before the first successful exchange retry briefly (the
+// coordinator may still be binding its socket); after one, they mean the
+// coordinator finished and left — the feed is over.
+func (f *feed) NextBatch() ([]sweep.Job, error) {
+	for {
+		if err := f.ctx.Err(); err != nil {
+			return nil, err
+		}
+		var rep LeaseReply
+		err := f.w.post(f.ctx, PathLease, LeaseRequest{Worker: f.w.id(), Max: f.w.MaxBatch}, &rep)
+		if err != nil {
+			if !isTransport(err) {
+				return nil, err
+			}
+			if f.connected {
+				f.w.logf("sweepd: %s: coordinator gone (%v) — treating the feed as complete", f.w.id(), err)
+				return nil, nil
+			}
+			f.dialTries++
+			if f.dialTries >= startupDialTries {
+				return nil, err
+			}
+			select {
+			case <-f.ctx.Done():
+				return nil, f.ctx.Err()
+			case <-time.After(200 * time.Millisecond):
+			}
+			continue
+		}
+		f.connected = true
+		if rep.Done {
+			f.w.logf("sweepd: %s: feed complete (%d/%d cells done, %d failed)",
+				f.w.id(), rep.Status.Cached+rep.Status.Done, rep.Status.Total, rep.Status.Failed)
+			return nil, nil
+		}
+		if len(rep.Jobs) == 0 {
+			retry := time.Duration(rep.RetryMs) * time.Millisecond
+			if retry <= 0 {
+				retry = 100 * time.Millisecond
+			}
+			select {
+			case <-f.ctx.Done():
+				return nil, f.ctx.Err()
+			case <-time.After(retry):
+			}
+			continue
+		}
+
+		f.leaseID = rep.LeaseID
+		f.ttl = time.Duration(rep.TTLMs) * time.Millisecond
+		f.outstanding = f.outstanding[:0]
+		f.prefailed = nil
+		var runnable []sweep.Job
+		for _, j := range rep.Jobs {
+			h := j.Key().Hash()
+			f.outstanding = append(f.outstanding, h)
+			if j.Source.IsTrace() {
+				path, ok := f.w.Traces[j.Source.TraceSHA256]
+				if !ok {
+					f.prefailed = append(f.prefailed, CellFailure{
+						Hash: h,
+						Err:  fmt.Sprintf("no local file for trace %s (give the worker its -trace)", j.Source.Label()),
+					})
+					continue
+				}
+				j.Source.TracePath = path
+			}
+			runnable = append(runnable, j)
+		}
+		f.w.logf("sweepd: %s: leased %d cells (%s)", f.w.id(), len(rep.Jobs), rep.LeaseID)
+		if len(runnable) == 0 {
+			// Nothing in the batch can run here; return the lease with
+			// the failures, then back off before asking again. Without
+			// the pause this worker would re-lease the same cells in a
+			// tight loop, spending their whole attempt budget in
+			// milliseconds before a worker that *does* hold the trace
+			// files gets a chance to steal them.
+			if err := f.Report(nil, nil); err != nil {
+				return nil, err
+			}
+			backoff := f.ttl / 4
+			if backoff < 200*time.Millisecond {
+				backoff = 200 * time.Millisecond
+			}
+			if backoff > 2*time.Second {
+				backoff = 2 * time.Second
+			}
+			select {
+			case <-f.ctx.Done():
+				return nil, f.ctx.Err()
+			case <-time.After(backoff):
+			}
+			continue
+		}
+		f.startHeartbeat()
+		return runnable, nil
+	}
+}
+
+// Report uploads the lease's outcome. Cells absent from results — a batch
+// execution error fails the whole batch — are reported failed so the
+// coordinator can re-queue them within its attempt budget.
+func (f *feed) Report(results []sweep.Result, runErr error) error {
+	f.stopHeartbeat()
+	req := CompleteRequest{LeaseID: f.leaseID, Worker: f.w.id(), Failed: f.prefailed}
+	done := make(map[string]bool, len(results))
+	for _, r := range results {
+		wc, err := sweep.SealResult(r)
+		if err != nil {
+			return err
+		}
+		done[r.Key.Hash()] = true
+		req.Cells = append(req.Cells, wc)
+	}
+	if runErr != nil {
+		failed := make(map[string]bool, len(f.prefailed))
+		for _, pf := range f.prefailed {
+			failed[pf.Hash] = true
+		}
+		for _, h := range f.outstanding {
+			if !done[h] && !failed[h] {
+				req.Failed = append(req.Failed, CellFailure{Hash: h, Err: runErr.Error()})
+			}
+		}
+		f.w.logf("sweepd: %s: lease %s failed: %v", f.w.id(), f.leaseID, runErr)
+	}
+	var rep CompleteReply
+	if err := f.w.post(f.ctx, PathComplete, req, &rep); err != nil {
+		if isTransport(err) && f.connected {
+			// The coordinator vanished mid-upload. Its lease will expire
+			// and the cells re-issue if it comes back; nothing useful is
+			// left for this worker to do with them.
+			f.w.logf("sweepd: %s: completion upload for %s lost (%v)", f.w.id(), f.leaseID, err)
+			f.leaseID, f.outstanding, f.prefailed = "", f.outstanding[:0], nil
+			return nil
+		}
+		return err
+	}
+	for _, rj := range rep.Rejected {
+		f.w.logf("sweepd: %s: coordinator rejected cell %.12s…: %s", f.w.id(), rj.Hash, rj.Err)
+	}
+	f.leaseID, f.outstanding, f.prefailed = "", f.outstanding[:0], nil
+	return nil
+}
+
+// startHeartbeat keeps the current lease alive while the batch simulates.
+func (f *feed) startHeartbeat() {
+	interval := f.ttl / 3
+	if interval <= 0 {
+		interval = time.Second
+	}
+	f.stopHB = make(chan struct{})
+	f.hbDone = make(chan struct{})
+	leaseID := f.leaseID
+	go func() {
+		defer close(f.hbDone)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-f.stopHB:
+				return
+			case <-f.ctx.Done():
+				return
+			case <-t.C:
+				// A failed heartbeat (coordinator restarted, lease
+				// expired) is not fatal: the run finishes and the
+				// completion upload is idempotent.
+				var rep struct{}
+				if err := f.w.post(f.ctx, PathHeartbeat, HeartbeatRequest{LeaseID: leaseID}, &rep); err != nil {
+					f.w.logf("sweepd: %s: heartbeat for %s: %v", f.w.id(), leaseID, err)
+				}
+			}
+		}
+	}()
+}
+
+func (f *feed) stopHeartbeat() {
+	if f.stopHB != nil {
+		close(f.stopHB)
+		<-f.hbDone
+		f.stopHB, f.hbDone = nil, nil
+	}
+}
