@@ -1,5 +1,5 @@
 // Benchmarks regenerating the paper's tables and figures, one testing.B
-// target per artifact (DESIGN.md §5 maps each to its experiment). They run
+// target per artifact (internal/experiments maps each to its grid). They run
 // scaled-down experiment bodies and report the headline numbers as custom
 // metrics, so `go test -bench=. -benchmem` doubles as a quick reproduction
 // pass; cmd/experiments produces the full-scale versions.
@@ -186,7 +186,7 @@ func BenchmarkSweepCached(b *testing.B) {
 	}
 }
 
-// --- Ablation benches for the design choices DESIGN.md calls out ----------
+// --- Ablation benches for the paper's headline design claims --------------
 
 // BenchmarkAblationDPTableSize measures DP accuracy as the table shrinks
 // (the paper's claim: 32 rows already work).

@@ -1,13 +1,19 @@
 // Command experiments regenerates the tables and figures of Kandiraju &
 // Sivasubramaniam, "Going the Distance for TLB Prefetching" (ISCA 2002),
-// plus the extension studies described in DESIGN.md.
+// plus the ext-* extension studies and the table3-lat/table3-space
+// design-space studies (docs/EXPERIMENTS.md walks every one).
 //
 // Usage:
 //
 //	experiments [flags] <experiment>
 //
-// Experiments: table1, table2, table3, table3-lat, fig7, fig8, fig9,
-// ext-dpvariants, ext-cache, ext-multiprog, ext-pagesize, all.
+// Experiments: table1, table2, table3, table3-lat, table3-space, fig7,
+// fig8, fig9, ext-dpvariants, ext-cache, ext-multiprog, ext-pagesize, all.
+//
+// The figure experiments (fig7, fig8, fig9, table3-space) can also render
+// as paper-style grouped-bar figures: -figure text|csv|svg switches the
+// output to internal/report's renderers (fig9's four panels stack into one
+// SVG document).
 package main
 
 import (
@@ -17,6 +23,7 @@ import (
 	"time"
 
 	"tlbprefetch/internal/experiments"
+	"tlbprefetch/internal/report"
 	"tlbprefetch/internal/sweep"
 )
 
@@ -29,10 +36,11 @@ func main() {
 	slots := flag.Int("slots", 2, "prediction slots per row (s)")
 	warmup := flag.Uint64("warmup", 0, "references to simulate before counting (statistics fast-forward)")
 	storePath := flag.String("store", "", "sweep result store (JSON): cells found there are not re-simulated, fresh cells are merged back")
+	figFmt := flag.String("figure", "", "render fig7/fig8/fig9/table3-space as a grouped-bar report figure: text, csv or svg")
 	quiet := flag.Bool("q", false, "suppress timing banner")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: experiments [flags] <experiment>\n")
-		fmt.Fprintf(os.Stderr, "experiments: table1 table2 table3 table3-lat fig7 fig8 fig9 ext-dpvariants ext-cache ext-multiprog ext-pagesize ext-tlbassoc all\n")
+		fmt.Fprintf(os.Stderr, "experiments: table1 table2 table3 table3-lat table3-space fig7 fig8 fig9 ext-dpvariants ext-cache ext-multiprog ext-pagesize ext-tlbassoc all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -47,7 +55,18 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	switch *figFmt {
+	case "", "text", "csv", "svg":
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -figure format %q (text, csv, svg)\n", *figFmt)
+		os.Exit(2)
+	}
+	if *figFmt != "" && !figureCapable(flag.Arg(0)) {
+		fmt.Fprintf(os.Stderr, "-figure applies to a single figure experiment (fig7, fig8, fig9, table3-space), not %q\n", flag.Arg(0))
+		os.Exit(2)
+	}
 
+	tally := &sweep.Summary{}
 	opts := experiments.Options{
 		Refs:       *refs,
 		TLBEntries: *tlbEntries,
@@ -56,6 +75,7 @@ func main() {
 		PageShift:  *pageShift,
 		Slots:      *slots,
 		WarmupRefs: *warmup,
+		Tally:      tally,
 	}
 	if *storePath != "" {
 		store, err := sweep.OpenStore(*storePath)
@@ -74,6 +94,24 @@ func main() {
 		}()
 	}
 
+	// renderFigures emits report figures in the chosen -figure format
+	// (text is also the default table3-space rendering appended after its
+	// flat table).
+	renderFigures := func(format string, figs ...*report.Figure) {
+		switch format {
+		case "csv":
+			for _, f := range figs {
+				fmt.Print(f.CSV())
+			}
+		case "svg":
+			fmt.Print(report.SVGDocument(figs...))
+		default:
+			for _, f := range figs {
+				fmt.Print(f.Text())
+			}
+		}
+	}
+
 	run := func(name string) {
 		start := time.Now()
 		switch name {
@@ -89,14 +127,42 @@ func main() {
 			fmt.Println("Table 3 latency sensitivity: miss-penalty axis (50..400 cycles)")
 			fmt.Print(experiments.FormatTable3Latency(
 				experiments.Table3Latency(opts, experiments.DefaultLatencyAxis())))
+		case "table3-space":
+			rows, err := experiments.Table3Space(opts, experiments.DefaultTable3SpaceAxes())
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				return
+			}
+			if *figFmt != "" {
+				renderFigures(*figFmt, experiments.Table3SpaceFigure(rows))
+				break
+			}
+			fmt.Print(experiments.FormatTable3Space(rows))
+			fmt.Println()
+			renderFigures("text", experiments.Table3SpaceFigure(rows))
 		case "fig7":
+			res := experiments.Fig7(opts)
+			if *figFmt != "" {
+				renderFigures(*figFmt, experiments.FigureFromApps("Figure 7: prediction accuracy, SPEC CPU2000", res))
+				break
+			}
 			fmt.Println("Figure 7: prediction accuracy, SPEC CPU2000")
-			fmt.Print(experiments.FormatFigure(experiments.Fig7(opts)))
+			fmt.Print(experiments.FormatFigure(res))
 		case "fig8":
+			res := experiments.Fig8(opts)
+			if *figFmt != "" {
+				renderFigures(*figFmt, experiments.FigureFromApps("Figure 8: prediction accuracy, MediaBench / Etch / Pointer-Intensive", res))
+				break
+			}
 			fmt.Println("Figure 8: prediction accuracy, MediaBench / Etch / Pointer-Intensive")
-			fmt.Print(experiments.FormatFigure(experiments.Fig8(opts)))
+			fmt.Print(experiments.FormatFigure(res))
 		case "fig9":
-			fmt.Print(experiments.FormatFig9(experiments.Fig9(opts)))
+			res := experiments.Fig9(opts)
+			if *figFmt != "" {
+				renderFigures(*figFmt, experiments.Fig9Figures(res)...)
+				break
+			}
+			fmt.Print(experiments.FormatFig9(res))
 		case "ext-dpvariants":
 			fmt.Println("Extension A: DP indexing variants (paper §4 future work)")
 			fmt.Print(experiments.FormatExtDPVariants(experiments.ExtDPVariants(opts)))
@@ -122,23 +188,35 @@ func main() {
 		for _, name := range allExperiments {
 			run(name)
 		}
-		return
+	} else {
+		run(flag.Arg(0))
 	}
-	run(flag.Arg(0))
+	fmt.Fprintf(os.Stderr, "experiments: %d cells (%d cached, %d run in %d shards)\n",
+		tally.Total, tally.Cached, tally.Ran, tally.Shards)
 }
 
 // allExperiments is the "all" ordering (the paper's presentation order,
-// extensions last). table3-lat is on-demand only: it shares table3's
-// default-point cells through the store but extends the penalty axis, so
-// it stays out of "all" to keep that output stable.
+// extensions last). table3-lat and table3-space are on-demand only: they
+// share table3's default-point cells through the store but extend the
+// timing axes, so they stay out of "all" to keep that output stable.
 var allExperiments = []string{
 	"table1", "fig7", "fig8", "table2", "table3", "fig9",
 	"ext-dpvariants", "ext-cache", "ext-multiprog", "ext-pagesize",
 	"ext-tlbassoc",
 }
 
+// figureCapable reports whether -figure can render the experiment (the
+// per-application accuracy panels and the design-space study).
+func figureCapable(name string) bool {
+	switch name {
+	case "fig7", "fig8", "fig9", "table3-space":
+		return true
+	}
+	return false
+}
+
 func knownExperiment(name string) bool {
-	if name == "all" || name == "table3-lat" {
+	if name == "all" || name == "table3-lat" || name == "table3-space" {
 		return true
 	}
 	for _, n := range allExperiments {

@@ -8,8 +8,10 @@
 // only the new cells.
 //
 // Besides sweeping, tlbsweep is the store's lifecycle tool: -where renders
-// a stored subset without re-declaring the grid, -gc drops cells the
-// current grid no longer references, and -diff compares two stores.
+// a stored subset without re-declaring the grid, -figure renders a subset
+// as a paper-style grouped-bar figure (text, CSV or SVG via internal/
+// report), -gc drops cells the current grid no longer references, and
+// -diff compares two stores.
 //
 // A grid can also span hosts: -serve turns tlbsweep into the coordinator
 // of a lease-based job feed (internal/sweepd) and -worker joins a feed,
@@ -22,7 +24,9 @@
 //	tlbsweep -workloads swim,mcf -mechs DP,RP,ASP -entries 64,128,256 -buffer 8,16,32
 //	tlbsweep -workloads SPEC -mechs DP -rows 32,64,128,256,512,1024 -store dp-table.json
 //	tlbsweep -trace app.trc -mechs none,RP,DP -miss-penalty 50,100,200 -store lat.json
+//	tlbsweep -trace app.trc -mechs none,RP,DP -miss-penalty 100,200 -memop-ratio 0.25,0.5,1 -refs-per-cycle 1,2 -store space.json
 //	tlbsweep -store lat.json -where mech=DP,misspenalty=200 -format csv
+//	tlbsweep -store lat.json -figure accuracy -where misspenalty=200 -format svg > fig.svg
 //	tlbsweep -workloads mcf -mechs DP -store sweep.json -gc
 //	tlbsweep -store a.json -diff b.json
 //	tlbsweep -serve 127.0.0.1:9177 -workloads all -mechs DP,RP -store grid.json
@@ -32,12 +36,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"strconv"
 	"strings"
 	"time"
 
 	"tlbprefetch/internal/prof"
+	"tlbprefetch/internal/report"
 	"tlbprefetch/internal/stats"
 	"tlbprefetch/internal/sweep"
 	"tlbprefetch/internal/workload"
@@ -60,9 +66,12 @@ func main() {
 		seed        = flag.Uint64("seed", 0, "base seed: 0 keeps the models' paper-calibrated streams, nonzero derives an independent per-cell stream seed")
 		timing      = flag.Bool("timing", false, "run every cell under the cycle model (paper Table 3)")
 		missPenalty = flag.String("miss-penalty", "", "TLB miss penalty axis in cycles (implies -timing; default 100, memop/buffer-hit costs scale with it)")
-		memopLat    = flag.String("memop-latency", "", "prefetch memory-op latency axis in cycles (implies -timing; default scales at half the miss penalty)")
+		memopLat    = flag.String("memop-latency", "", "prefetch memory-op latency axis in cycles (implies -timing; default scales at half the miss penalty; exclusive with -memop-ratio)")
+		memopRatio  = flag.String("memop-ratio", "", "prefetch memory-op cost axis as a ratio of the miss penalty (implies -timing; the paper's point is 0.5)")
+		refsPerCyc  = flag.String("refs-per-cycle", "", "issue-width axis: references retired per cycle (implies -timing; default 2)")
 		storePath   = flag.String("store", "", "JSON result store to read from and merge into")
 		where       = flag.String("where", "", "render matching store cells (field=value,... filters) instead of sweeping")
+		figure      = flag.String("figure", "", "render matching store cells as a grouped-bar figure of this metric ("+report.MetricNames()+"); combine with -where to subset")
 		gc          = flag.Bool("gc", false, "drop store cells the declared grid does not reference, then save")
 		diffPath    = flag.String("diff", "", "compare the -store file against this second store and exit (1 when they differ)")
 		serve       = flag.String("serve", "", "serve the grid as a distributed job feed on this address (coordinator mode, e.g. 127.0.0.1:9177)")
@@ -70,29 +79,41 @@ func main() {
 		batch       = flag.Int("batch", 0, "distributed modes: max cells per lease (0 = coordinator default)")
 		leaseTTL    = flag.Duration("lease-ttl", 30*time.Second, "coordinator mode: a worker silent this long forfeits its leased cells")
 		workerID    = flag.String("worker-id", "", "worker mode: name shown in coordinator logs (default worker-<pid>)")
-		format      = flag.String("format", "table", "output format: table, csv, json, none")
+		format      = flag.String("format", "table", "output format: table, csv, json, none (-figure mode: table, csv, svg)")
 		workers     = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 		quiet       = flag.Bool("q", false, "suppress per-cell progress on stderr")
 		cpuProf     = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf     = flag.String("memprofile", "", "write a heap profile to this file")
 	)
+	flag.Usage = func() {
+		o := flag.CommandLine.Output()
+		fmt.Fprintf(o, "usage: tlbsweep [flags]\n\n")
+		fmt.Fprintf(o, "Modes (mutually exclusive): sweep the declared grid (default), render a store\n")
+		fmt.Fprintf(o, "subset (-where and/or -figure), -gc, -diff, -serve, -worker. -figure combines\n")
+		fmt.Fprintf(o, "with -where to render only the matching cells.\n\n")
+		fmt.Fprintf(o, "Exit codes: 0 success; 1 error, differing stores (-diff), or a filter matching\n")
+		fmt.Fprintf(o, "zero cells (-where/-figure — a diagnostic on stderr names the clauses that\n")
+		fmt.Fprintf(o, "match nothing); 2 flag or usage errors.\n\n")
+		flag.PrintDefaults()
+	}
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintf(os.Stderr, "tlbsweep: unexpected arguments %q (the grid is declared with flags)\n", flag.Args())
 		os.Exit(2)
 	}
+	render := *where != "" || *figure != ""
 	modes := 0
-	for _, on := range []bool{*where != "", *gc, *diffPath != "", *serve != "", *workerURL != ""} {
+	for _, on := range []bool{render, *gc, *diffPath != "", *serve != "", *workerURL != ""} {
 		if on {
 			modes++
 		}
 	}
 	if modes > 1 {
-		fmt.Fprintln(os.Stderr, "tlbsweep: -where, -gc, -diff, -serve and -worker are mutually exclusive modes")
+		fmt.Fprintln(os.Stderr, "tlbsweep: -where/-figure, -gc, -diff, -serve and -worker are mutually exclusive modes")
 		os.Exit(2)
 	}
-	if (*where != "" || *gc || *diffPath != "") && *storePath == "" {
-		fmt.Fprintln(os.Stderr, "tlbsweep: -where/-gc/-diff operate on a store: -store is required")
+	if (render || *gc || *diffPath != "") && *storePath == "" {
+		fmt.Fprintln(os.Stderr, "tlbsweep: -where/-figure/-gc/-diff operate on a store: -store is required")
 		os.Exit(2)
 	}
 	if *workerURL != "" && *storePath != "" {
@@ -115,7 +136,7 @@ func main() {
 			}
 		})
 	}
-	if *where == "" && *diffPath == "" && *workerURL == "" && *workloads == "" && *traces == "" {
+	if !render && *diffPath == "" && *workerURL == "" && *workloads == "" && *traces == "" {
 		fmt.Fprintln(os.Stderr, "tlbsweep: need a source axis: -workloads (names, suites, 'all') and/or -trace files")
 		flag.Usage()
 		os.Exit(2)
@@ -127,7 +148,8 @@ func main() {
 		entries: *entries, tlbWays: *tlbWays, buffers: *buffers, pageShift: *pageShift,
 		refs: *refs, warmup: *warmup, seed: *seed,
 		timing: *timing, missPenalty: *missPenalty, memopLat: *memopLat,
-		storePath: *storePath, where: *where, gc: *gc, diffPath: *diffPath,
+		memopRatio: *memopRatio, refsPerCyc: *refsPerCyc,
+		storePath: *storePath, where: *where, figure: *figure, gc: *gc, diffPath: *diffPath,
 		serve: *serve, workerURL: *workerURL, batch: *batch,
 		leaseTTL: *leaseTTL, workerID: *workerID,
 		format: *format, workers: *workers, quiet: *quiet,
@@ -149,7 +171,9 @@ type sweepConfig struct {
 	refs, warmup, seed                   uint64
 	timing                               bool
 	missPenalty, memopLat                string
-	storePath, where, diffPath, format   string
+	memopRatio, refsPerCyc               string
+	storePath, where, figure             string
+	diffPath, format                     string
 	gc                                   bool
 	serve, workerURL, workerID           string
 	batch                                int
@@ -162,8 +186,12 @@ type sweepConfig struct {
 func run(cfg sweepConfig) (int, error) {
 	switch cfg.format {
 	case "table", "csv", "json", "none":
+	case "svg":
+		if cfg.figure == "" {
+			return 1, fmt.Errorf("-format svg renders figures: combine it with -figure")
+		}
 	default:
-		return 1, fmt.Errorf("unknown -format %q (table, csv, json, none)", cfg.format)
+		return 1, fmt.Errorf("unknown -format %q (table, csv, json, none; -figure mode also svg)", cfg.format)
 	}
 
 	stopProf, err := prof.Start("tlbsweep", cfg.cpuProf, cfg.memProf)
@@ -181,7 +209,7 @@ func run(cfg sweepConfig) (int, error) {
 	// The read-only modes consume an existing store; a missing file there
 	// is a path typo that would otherwise succeed vacuously ("stores are
 	// identical", "0 cells match"). Only a sweep may start a store fresh.
-	readOnly := cfg.diffPath != "" || cfg.where != "" || cfg.gc
+	readOnly := cfg.diffPath != "" || cfg.where != "" || cfg.figure != "" || cfg.gc
 	var store *sweep.Store
 	if cfg.storePath != "" {
 		if readOnly {
@@ -201,6 +229,8 @@ func run(cfg sweepConfig) (int, error) {
 	switch {
 	case cfg.diffPath != "":
 		return runDiff(store, cfg.diffPath)
+	case cfg.figure != "":
+		return runFigure(store, cfg.figure, cfg.where, cfg.format)
 	case cfg.where != "":
 		return runWhere(store, cfg.where, cfg.format)
 	}
@@ -267,7 +297,9 @@ func run(cfg sweepConfig) (int, error) {
 	return 0, emit(results, cfg.format)
 }
 
-// runWhere renders the store subset a filter selects, no grid required.
+// runWhere renders the store subset a filter selects, no grid required. A
+// filter matching zero cells is an error (exit 1) with a diagnostic naming
+// the clauses that match nothing, not a vacuous empty table.
 func runWhere(store *sweep.Store, spec, format string) (int, error) {
 	f, err := sweep.ParseFilter(spec)
 	if err != nil {
@@ -275,7 +307,81 @@ func runWhere(store *sweep.Store, spec, format string) (int, error) {
 	}
 	results := f.Select(store)
 	fmt.Fprintf(os.Stderr, "tlbsweep: %d of %d store cells match %q\n", len(results), store.Len(), spec)
+	if len(results) == 0 {
+		diagnoseEmptyMatch(store, f)
+		return 1, nil
+	}
 	return 0, emit(results, format)
+}
+
+// runFigure renders the store subset (everything, or the -where matches) as
+// a grouped-bar figure of the chosen metric.
+func runFigure(store *sweep.Store, metric, spec, format string) (int, error) {
+	m, ok := report.MetricByName(metric)
+	if !ok {
+		return 1, fmt.Errorf("unknown -figure metric %q (known: %s)", metric, report.MetricNames())
+	}
+	f, err := sweep.ParseFilter(spec)
+	if err != nil {
+		return 1, err
+	}
+	results := f.Select(store)
+	fmt.Fprintf(os.Stderr, "tlbsweep: rendering %d of %d store cells as a figure of %s\n",
+		len(results), store.Len(), m.Name)
+	if len(results) == 0 {
+		diagnoseEmptyMatch(store, f)
+		return 1, nil
+	}
+	title := m.Axis + " by application"
+	if spec != "" {
+		title += " [" + spec + "]"
+	}
+	fig, err := report.Build(results, report.Options{Metric: m.Name, Title: title})
+	if err != nil {
+		return 1, err
+	}
+	switch format {
+	case "table":
+		fmt.Print(fig.Text())
+	case "csv":
+		fmt.Print(fig.CSV())
+	case "svg":
+		fmt.Print(fig.SVG())
+	default:
+		return 1, fmt.Errorf("-figure renders table, csv or svg, not %q", format)
+	}
+	return 0, nil
+}
+
+// diagnoseEmptyMatch explains a filter that selected nothing: per-clause
+// solo match counts, with the clauses no store cell satisfies called out —
+// the difference between a typoed value and an empty conjunction.
+func diagnoseEmptyMatch(store *sweep.Store, f sweep.Filter) {
+	if store.Len() == 0 {
+		fmt.Fprintln(os.Stderr, "tlbsweep: the store holds no cells at all — sweep into it first")
+		return
+	}
+	if f.Empty() {
+		return // store.Len()>0 and an empty filter cannot select nothing
+	}
+	results := store.Results()
+	keys := make([]sweep.Key, len(results))
+	for i, r := range results {
+		keys[i] = r.Key
+	}
+	var unmatched []string
+	for _, cm := range f.ClauseMatches(keys) {
+		fmt.Fprintf(os.Stderr, "tlbsweep:   %s alone matches %d cells\n", cm.Clause, cm.Matches)
+		if cm.Matches == 0 {
+			unmatched = append(unmatched, cm.Clause)
+		}
+	}
+	if len(unmatched) > 0 {
+		fmt.Fprintf(os.Stderr, "tlbsweep: no store cell satisfies %s — drop or fix those clauses\n",
+			strings.Join(unmatched, ", "))
+	} else {
+		fmt.Fprintln(os.Stderr, "tlbsweep: every clause matches some cells, but no single cell satisfies the whole conjunction")
+	}
 }
 
 // runDiff compares two stores; exit code 1 reports a difference.
@@ -386,61 +492,53 @@ func buildGrid(cfg sweepConfig) (sweep.Grid, error) {
 		g.PageShifts = append(g.PageShifts, uint(s))
 	}
 
-	timings, err := buildTimings(cfg.timing, cfg.missPenalty, cfg.memopLat)
+	axes, err := buildTimingAxes(cfg)
 	if err != nil {
 		return g, err
 	}
-	g.Timings = timings
+	g.TimingAxes = axes
 	return g, nil
 }
 
-// buildTimings constructs the cycle-model axis: the cross product of the
-// -miss-penalty and -memop-latency lists. Each penalty point starts from
-// the scaled default calibration (memory-op and buffer-hit costs keep
-// their ratio to the walk cost, so prefetching is never modeled as
-// costlier than the miss it avoids); an explicit -memop-latency then
-// overrides the memory-op cost. Either flag implies the cycle model;
-// -timing alone runs the single default point.
-func buildTimings(timing bool, missPenalty, memopLat string) ([]sweep.Timing, error) {
-	if !timing && missPenalty == "" && memopLat == "" {
-		return nil, nil
+// buildTimingAxes parses the cycle-model flags into the decoupled design
+// space sweep.TimingAxes expands: -miss-penalty × (-memop-latency cycles OR
+// -memop-ratio fractions of the penalty) × -refs-per-cycle issue widths.
+// Any of the axis flags implies the cycle model; -timing alone runs the
+// single default point.
+func buildTimingAxes(cfg sweepConfig) (sweep.TimingAxes, error) {
+	var axes sweep.TimingAxes
+	if cfg.missPenalty == "" && cfg.memopLat == "" && cfg.memopRatio == "" && cfg.refsPerCyc == "" {
+		if cfg.timing {
+			// The single default point, spelled as a one-penalty axis.
+			axes.MissPenalties = []uint64{sweep.DefaultTiming().MissPenalty}
+		}
+		return axes, nil
 	}
-	penalties := []uint64{sweep.DefaultTiming().MissPenalty}
-	if missPenalty != "" {
-		var err error
-		if penalties, err = parseUints("miss-penalty", missPenalty); err != nil {
-			return nil, err
+	var err error
+	if cfg.missPenalty != "" {
+		if axes.MissPenalties, err = parseUints("miss-penalty", cfg.missPenalty); err != nil {
+			return axes, err
 		}
 	}
-	var latencies []uint64 // empty = scaled default per penalty
-	if memopLat != "" {
-		var err error
-		if latencies, err = parseUints("memop-latency", memopLat); err != nil {
-			return nil, err
+	if cfg.memopLat != "" {
+		if axes.MemOpLatencies, err = parseUints("memop-latency", cfg.memopLat); err != nil {
+			return axes, err
 		}
 	}
-	var out []sweep.Timing
-	for _, p := range penalties {
-		base := sweep.ScaledTiming(p)
-		points := latencies
-		if len(points) == 0 {
-			points = []uint64{base.MemOpLatency}
-		}
-		for _, l := range points {
-			t := base
-			t.MemOpLatency = l
-			// An explicit latency below the scaled occupancy means the
-			// channel is fully serialized at that latency.
-			if t.MemOpOccupancy > t.MemOpLatency {
-				t.MemOpOccupancy = t.MemOpLatency
-			}
-			if err := t.Validate(); err != nil {
-				return nil, err
-			}
-			out = append(out, t)
+	if cfg.memopRatio != "" {
+		if axes.MemOpRatios, err = parseFloats("memop-ratio", cfg.memopRatio); err != nil {
+			return axes, err
 		}
 	}
-	return out, nil
+	if cfg.refsPerCyc != "" {
+		if axes.RefsPerCycle, err = parseUints("refs-per-cycle", cfg.refsPerCyc); err != nil {
+			return axes, err
+		}
+	}
+	if _, err := axes.Points(); err != nil { // surface axis conflicts at flag-parse time
+		return axes, err
+	}
+	return axes, nil
 }
 
 // canonicalKind maps case-insensitive user input onto the registry's
@@ -505,6 +603,28 @@ func parseInts(name, spec string) ([]int, error) {
 		v, err := strconv.Atoi(tok)
 		if err != nil {
 			return nil, fmt.Errorf("-%s: %q is not an integer", name, tok)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-%s needs at least one value", name)
+	}
+	return out, nil
+}
+
+// parseFloats parses a comma-separated ratio axis.
+func parseFloats(name, spec string) ([]float64, error) {
+	var out []float64
+	for _, tok := range strings.Split(spec, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(tok, 64)
+		// !(v > 0) also rejects NaN; infinities parse fine but would cast
+		// to platform-dependent uint64 cells, so reject them explicitly.
+		if err != nil || !(v > 0) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("-%s: %q is not a positive finite number", name, tok)
 		}
 		out = append(out, v)
 	}

@@ -1,7 +1,10 @@
 // Package experiments regenerates every table and figure of the paper's
-// evaluation (§3), plus the extension studies DESIGN.md lists. It is shared
-// by cmd/experiments (human-readable output) and bench_test.go (one
-// testing.B benchmark per experiment).
+// evaluation (§3), plus the extension studies in ext.go and the
+// design-space studies that go beyond the published tables (table3-lat,
+// table3-space). It is shared by cmd/experiments (human-readable output)
+// and bench_test.go (one testing.B benchmark per experiment); the figure
+// experiments also render as report.Figure values (report.go in this
+// package) for cmd/experiments -figure.
 package experiments
 
 import (
@@ -36,6 +39,11 @@ type Options struct {
 	// reads from and writes to: cells already present (from an earlier
 	// experiment or a previous run) are not re-simulated.
 	Store *sweep.Store
+	// Tally, when non-nil, accumulates how the experiments' sweep cells
+	// were satisfied (cached vs freshly simulated) across every grid the
+	// run declares — the cache-behaviour evidence cmd/experiments prints
+	// and the docs smoke asserts.
+	Tally *sweep.Summary
 }
 
 // DefaultOptions returns the paper's baseline configuration at the default
@@ -175,9 +183,15 @@ func runJobs(ws []workload.Workload, opts Options, jobs []sweep.Job) []sweep.Res
 			return workload.ByName(name)
 		},
 	}
-	results, _, err := r.Run(jobs)
+	results, sum, err := r.Run(jobs)
 	if err != nil {
 		panic("experiments: " + err.Error())
+	}
+	if opts.Tally != nil {
+		opts.Tally.Total += sum.Total
+		opts.Tally.Cached += sum.Cached
+		opts.Tally.Ran += sum.Ran
+		opts.Tally.Shards += sum.Shards
 	}
 	return results
 }

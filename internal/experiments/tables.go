@@ -217,6 +217,51 @@ func DefaultLatencyAxis() []sweep.Timing {
 	return out
 }
 
+// DefaultTable3SpaceAxes declares the table3-space design space: the
+// latency axis bracketing the paper's 100-cycle point, the memory-op cost
+// decoupled from the paper's fixed 2:1 penalty:memop ratio (0.25 models an
+// aggressive prefetch path, 1.0 a memory system where a prefetch op costs
+// a full walk), and both a serialized and the paper's 2-wide issue core.
+func DefaultTable3SpaceAxes() sweep.TimingAxes {
+	return sweep.TimingAxes{
+		MissPenalties: []uint64{50, 100, 200, 400},
+		MemOpRatios:   []float64{0.25, 0.5, 1},
+		RefsPerCycle:  []uint64{1, 2},
+	}
+}
+
+// Table3Space maps the full Table 3 design space: the (5 apps) ×
+// (baseline, RP, DP) grid crossed with every point of the decoupled
+// (MissPenalty × memop ratio × RefsPerCycle) axes. It is Table3Latency
+// over TimingAxes.Points — every cell content-addressed, so the default
+// Table 3 point is shared with table3/table3-lat through the store and a
+// re-render recomputes nothing.
+func Table3Space(opts Options, axes sweep.TimingAxes) ([]Table3LatencyRow, error) {
+	pts, err := axes.Points()
+	if err != nil {
+		return nil, err
+	}
+	return Table3Latency(opts, pts), nil
+}
+
+// FormatTable3Space renders the design-space grid flat, one row per
+// (application, timing point).
+func FormatTable3Space(rows []Table3LatencyRow) string {
+	t := stats.NewTable("app", "penalty", "memop", "ipc", "RP", "DP", "base cycles")
+	for _, r := range rows {
+		t.AddRow(r.App,
+			fmt.Sprintf("%d", r.Timing.MissPenalty),
+			fmt.Sprintf("%d", r.Timing.MemOpLatency),
+			fmt.Sprintf("%d", r.Timing.RefsPerCycle),
+			stats.F2(r.RPNormalized), stats.F2(r.DPNormalized),
+			fmt.Sprintf("%d", r.BaselineCycles))
+	}
+	var b strings.Builder
+	b.WriteString("Table 3 design space: normalized cycles vs (penalty × memop × issue width)\n")
+	b.WriteString(t.String())
+	return b.String()
+}
+
 // FormatTable3Latency renders the sensitivity grid, one row per
 // (application, miss penalty).
 func FormatTable3Latency(rows []Table3LatencyRow) string {

@@ -1,0 +1,30 @@
+package report
+
+import (
+	"strconv"
+
+	"tlbprefetch/internal/stats"
+)
+
+// CSV renders the figure in the wide layout plotting tools group bars from:
+// one row per group, one column per series, the first column naming the
+// group. Values carry full float precision (strconv 'g', shortest exact
+// form); absent bars are empty cells. Series labels containing commas (the
+// paper's "DP,256,D" legends) are quoted by the CSV writer.
+func (f *Figure) CSV() string {
+	header := append([]string{"app"}, f.Series...)
+	t := stats.NewTable(header...)
+	for _, g := range f.Groups {
+		row := make([]string, 0, len(header))
+		row = append(row, g.Label)
+		for i := range f.Series {
+			if v, ok := g.value(i); ok {
+				row = append(row, strconv.FormatFloat(v, 'g', -1, 64))
+			} else {
+				row = append(row, "")
+			}
+		}
+		t.AddRow(row...)
+	}
+	return t.CSV()
+}

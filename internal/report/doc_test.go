@@ -1,0 +1,77 @@
+package report
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"strings"
+	"testing"
+)
+
+// TestExportedIdentifiersDocumented enforces the package's documentation
+// contract (and backs the CI docs job): every exported type, function,
+// method, variable and constant in internal/report carries a doc comment.
+func TestExportedIdentifiersDocumented(t *testing.T) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, ".", func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	undocumented := func(name string, doc *ast.CommentGroup, pos token.Pos) {
+		if doc == nil || strings.TrimSpace(doc.Text()) == "" {
+			t.Errorf("%s: exported identifier %s has no doc comment", fset.Position(pos), name)
+		}
+	}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if !d.Name.IsExported() {
+						continue
+					}
+					name := d.Name.Name
+					if d.Recv != nil && len(d.Recv.List) == 1 {
+						recv := d.Recv.List[0].Type
+						if star, ok := recv.(*ast.StarExpr); ok {
+							recv = star.X
+						}
+						if id, ok := recv.(*ast.Ident); ok {
+							if !id.IsExported() {
+								continue // method on an unexported type
+							}
+							name = id.Name + "." + name
+						}
+					}
+					undocumented(name, d.Doc, d.Pos())
+				case *ast.GenDecl:
+					for _, spec := range d.Specs {
+						switch s := spec.(type) {
+						case *ast.TypeSpec:
+							if s.Name.IsExported() {
+								doc := s.Doc
+								if doc == nil {
+									doc = d.Doc
+								}
+								undocumented(s.Name.Name, doc, s.Pos())
+							}
+						case *ast.ValueSpec:
+							for _, n := range s.Names {
+								if n.IsExported() {
+									doc := s.Doc
+									if doc == nil {
+										doc = d.Doc
+									}
+									undocumented(n.Name, doc, n.Pos())
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}

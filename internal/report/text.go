@@ -1,0 +1,70 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// textBarWidth is the widest text bar, in '#' characters.
+const textBarWidth = 44
+
+// Text renders the figure as an aligned grouped-bar chart for terminals:
+// one row per (group, series) bar, the group label printed once per group,
+// bars scaled so the figure's largest value spans textBarWidth characters.
+// The output is a pure function of the figure value.
+func (f *Figure) Text() string {
+	if err := f.Validate(); err != nil {
+		return err.Error() + "\n"
+	}
+	groupW := len("app")
+	seriesW := len("series")
+	valueW := len("value")
+	for _, g := range f.Groups {
+		if len(g.Label) > groupW {
+			groupW = len(g.Label)
+		}
+		for i, s := range f.Series {
+			v, ok := g.value(i)
+			if !ok {
+				continue
+			}
+			if len(s) > seriesW {
+				seriesW = len(s)
+			}
+			if w := len(formatValue(v)); w > valueW {
+				valueW = w
+			}
+		}
+	}
+	max := f.maxValue()
+
+	var b strings.Builder
+	b.WriteString(f.Title)
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "%-*s  %-*s  %*s\n", groupW, "app", seriesW, "series", valueW, "value")
+	fmt.Fprintf(&b, "%s  %s  %s\n",
+		strings.Repeat("-", groupW), strings.Repeat("-", seriesW), strings.Repeat("-", valueW))
+	for _, g := range f.Groups {
+		label := g.Label
+		for i, s := range f.Series {
+			v, ok := g.value(i)
+			if !ok {
+				continue
+			}
+			bar := ""
+			if max > 0 {
+				bar = strings.Repeat("#", int(v/max*textBarWidth+0.5))
+			}
+			fmt.Fprintf(&b, "%-*s  %-*s  %*s  %s\n", groupW, label, seriesW, s, valueW, formatValue(v), bar)
+			label = "" // group label once per group
+		}
+	}
+	if max > 0 {
+		fmt.Fprintf(&b, "scale: # = %s %s\n", fmt.Sprintf("%.4g", max/textBarWidth), f.Axis)
+	}
+	return b.String()
+}
+
+// formatValue renders a bar value for the text view: fixed three decimals,
+// matching the precision the paper's figures are read at.
+func formatValue(v float64) string { return fmt.Sprintf("%.3f", v) }

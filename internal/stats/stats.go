@@ -1,8 +1,8 @@
 // Package stats aggregates and formats experiment results: the plain and
 // miss-rate-weighted averages of the paper's Table 2, the ASCII / CSV
-// table rendering used by cmd/experiments and EXPERIMENTS.md, and the
-// canonical serialization that internal/sweep's content-addressed result
-// store is built on.
+// table rendering used by cmd/experiments and shown throughout
+// docs/EXPERIMENTS.md, and the canonical serialization that
+// internal/sweep's content-addressed result store is built on.
 package stats
 
 import (

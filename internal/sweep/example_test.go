@@ -1,0 +1,84 @@
+package sweep_test
+
+import (
+	"fmt"
+
+	"tlbprefetch/internal/sweep"
+)
+
+// ExampleGrid declares a small workload × mechanism × geometry grid and
+// enumerates its cells. Cells that canonicalize identically (RP ignores the
+// table axes) enumerate once, so the grid is 2 workloads × 2 mechanisms ×
+// 2 TLB sizes.
+func ExampleGrid() {
+	g := sweep.Grid{
+		Workloads:  []string{"swim", "mcf"},
+		Mechs:      []sweep.Mech{{Kind: "DP", Rows: 256, Slots: 2}, {Kind: "RP"}},
+		TLBEntries: []int{64, 128},
+		Refs:       100_000,
+	}
+	jobs, err := g.Jobs()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(len(jobs), "cells")
+	first := jobs[0]
+	fmt.Println(first.Source.Label(), first.Mech.Label(), first.Config.TLB.Entries)
+	// Every cell is content-addressed: equal configurations always hash
+	// identically, which is what lets a Store cache across sweeps.
+	fmt.Println(first.Key().Hash() == jobs[0].Key().Hash())
+	// Output:
+	// 8 cells
+	// swim DP,256,D 64
+	// true
+}
+
+// ExampleParseFilter selects store cells by key fields — the -where and
+// -figure surface of cmd/tlbsweep. Values are validated at parse time, so
+// a typo fails loudly instead of matching nothing.
+func ExampleParseFilter() {
+	f, err := sweep.ParseFilter("mech=DP,entries=128")
+	if err != nil {
+		panic(err)
+	}
+	g := sweep.Grid{
+		Workloads:  []string{"swim"},
+		Mechs:      []sweep.Mech{{Kind: "DP", Rows: 256, Slots: 2}, {Kind: "RP"}},
+		TLBEntries: []int{64, 128},
+		Refs:       100_000,
+	}
+	jobs, _ := g.Jobs()
+	for _, j := range jobs {
+		if k := j.Key(); f.Match(k) {
+			fmt.Println(k.Mech.Label(), k.TLBEntries)
+		}
+	}
+	_, err = sweep.ParseFilter("entries=12x")
+	fmt.Println("typo rejected:", err != nil)
+	// Output:
+	// DP,256,D 128
+	// typo rejected: true
+}
+
+// ExampleTimingAxes_Points expands the decoupled cycle-model design space:
+// miss penalties crossed with memory-op costs (here as a ratio of the
+// penalty, the paper's point being 0.5) and issue widths.
+func ExampleTimingAxes_Points() {
+	axes := sweep.TimingAxes{
+		MissPenalties: []uint64{100, 200},
+		MemOpRatios:   []float64{0.5},
+		RefsPerCycle:  []uint64{1, 2},
+	}
+	pts, err := axes.Points()
+	if err != nil {
+		panic(err)
+	}
+	for _, p := range pts {
+		fmt.Printf("penalty=%d memop=%d ipc=%d\n", p.MissPenalty, p.MemOpLatency, p.RefsPerCycle)
+	}
+	// Output:
+	// penalty=100 memop=50 ipc=1
+	// penalty=100 memop=50 ipc=2
+	// penalty=200 memop=100 ipc=1
+	// penalty=200 memop=100 ipc=2
+}

@@ -70,6 +70,8 @@ var filterFields = map[string]filterField{
 	}},
 	"misspenalty":  {checkUint, func(k Key, v string) bool { return k.Timing != nil && matchUint(k.Timing.MissPenalty, v) }},
 	"memoplatency": {checkUint, func(k Key, v string) bool { return k.Timing != nil && matchUint(k.Timing.MemOpLatency, v) }},
+	"memopocc":     {checkUint, func(k Key, v string) bool { return k.Timing != nil && matchUint(k.Timing.MemOpOccupancy, v) }},
+	"refspercycle": {checkUint, func(k Key, v string) bool { return k.Timing != nil && matchUint(k.Timing.RefsPerCycle, v) }},
 }
 
 func matchInt(have int, v string) bool {
@@ -129,6 +131,34 @@ func (f Filter) Match(k Key) bool {
 	return true
 }
 
+// Empty reports whether the filter has no clauses (and so matches every
+// key).
+func (f Filter) Empty() bool { return len(f.clauses) == 0 }
+
+// ClauseMatch pairs one parsed clause, rendered back as "field=value", with
+// how many of the examined keys that clause alone accepts.
+type ClauseMatch struct {
+	Clause  string
+	Matches int
+}
+
+// ClauseMatches evaluates every clause independently against the keys — the
+// diagnostic behind "0 cells match": a clause with zero solo matches names
+// the constraint that cannot be satisfied at all, while all-positive solo
+// counts mean only the conjunction is empty.
+func (f Filter) ClauseMatches(keys []Key) []ClauseMatch {
+	out := make([]ClauseMatch, len(f.clauses))
+	for i, c := range f.clauses {
+		out[i] = ClauseMatch{Clause: c.field + "=" + c.value}
+		for _, k := range keys {
+			if filterFields[c.field].match(k, c.value) {
+				out[i].Matches++
+			}
+		}
+	}
+	return out
+}
+
 // Select returns the store cells matching the filter, sorted by key fields
 // (source, mechanism, geometry, timing) — a stable, human-oriented order
 // that does not depend on hash values.
@@ -146,7 +176,9 @@ func (f Filter) Select(s *Store) []Result {
 }
 
 // keyLess orders keys by (source label, mech label, TLB entries, TLB ways,
-// buffer, page shift, refs, warmup, seed, miss penalty, memop latency).
+// buffer, page shift, refs, warmup, seed) and then by the timing axis
+// (miss penalty, memop latency, issue width) — a stable, human-oriented
+// order that never consults hash values.
 func keyLess(a, b Key) bool {
 	if x, y := a.Source.Label(), b.Source.Label(); x != y {
 		return x < y
@@ -175,16 +207,18 @@ func keyLess(a, b Key) bool {
 	if a.Seed != b.Seed {
 		return a.Seed < b.Seed
 	}
-	ta, tb := uint64(0), uint64(0)
-	la, lb := uint64(0), uint64(0)
+	var ta, tb, la, lb, wa, wb uint64
 	if a.Timing != nil {
-		ta, la = a.Timing.MissPenalty, a.Timing.MemOpLatency
+		ta, la, wa = a.Timing.MissPenalty, a.Timing.MemOpLatency, a.Timing.RefsPerCycle
 	}
 	if b.Timing != nil {
-		tb, lb = b.Timing.MissPenalty, b.Timing.MemOpLatency
+		tb, lb, wb = b.Timing.MissPenalty, b.Timing.MemOpLatency, b.Timing.RefsPerCycle
 	}
 	if ta != tb {
 		return ta < tb
 	}
-	return la < lb
+	if la != lb {
+		return la < lb
+	}
+	return wa < wb
 }

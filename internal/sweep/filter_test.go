@@ -414,3 +414,71 @@ func TestTimingNormalizeTable(t *testing.T) {
 		})
 	}
 }
+
+// TestFilterClauseMatches pins the zero-match diagnostic machinery: per-
+// clause solo counts over a key set, and Empty for the no-clause filter.
+func TestFilterClauseMatches(t *testing.T) {
+	keys := []Key{
+		Job{Source: WorkloadSource("swim"), Mech: Mech{Kind: "RP"}, Config: sim.Default(), Refs: 1000}.Key(),
+		Job{Source: WorkloadSource("mcf"), Mech: Mech{Kind: "RP"}, Config: sim.Default(), Refs: 1000}.Key(),
+		Job{Source: WorkloadSource("mcf"), Mech: Mech{Kind: "DP", Rows: 256, Slots: 2}, Config: sim.Default(), Refs: 1000}.Key(),
+	}
+	f, err := ParseFilter("mech=RP,workload=mcf,entries=64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Empty() {
+		t.Error("three-clause filter reports Empty")
+	}
+	empty, _ := ParseFilter("")
+	if !empty.Empty() {
+		t.Error("no-clause filter should be Empty")
+	}
+	got := f.ClauseMatches(keys)
+	want := []ClauseMatch{
+		{Clause: "mech=RP", Matches: 2},
+		{Clause: "workload=mcf", Matches: 2},
+		{Clause: "entries=64", Matches: 0},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("ClauseMatches = %+v, want %+v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("clause %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestFilterNewTimingFields pins the refspercycle and memopocc fields the
+// design-space studies filter on.
+func TestFilterNewTimingFields(t *testing.T) {
+	tm := Timing{MissPenalty: 100, BufferHitPenalty: 65, MemOpLatency: 50,
+		MemOpOccupancy: 12, CyclesPerRef: 1, RefsPerCycle: 2, RPSkipWhenBusy: true}
+	timed := Job{Source: WorkloadSource("swim"), Mech: Mech{Kind: "RP"},
+		Config: sim.Default(), Refs: 1000, Timing: &tm}.Key()
+	functional := Job{Source: WorkloadSource("swim"), Mech: Mech{Kind: "RP"},
+		Config: sim.Default(), Refs: 1000}.Key()
+
+	cases := []struct {
+		spec string
+		key  Key
+		want bool
+	}{
+		{"refspercycle=2", timed, true},
+		{"refspercycle=1", timed, false},
+		{"refspercycle=2", functional, false},
+		{"memopocc=12", timed, true},
+		{"memopocc=50", timed, false},
+		{"memopocc=12", functional, false},
+	}
+	for _, c := range cases {
+		f, err := ParseFilter(c.spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := f.Match(c.key); got != c.want {
+			t.Errorf("Match(%q, timing=%v) = %v, want %v", c.spec, c.key.Timing != nil, got, c.want)
+		}
+	}
+}

@@ -1,7 +1,8 @@
 // Package sweep is the parameter-grid sweep engine behind the experiment
 // harness and cmd/tlbsweep. The paper's whole evaluation is one big
-// cross-product — workloads × mechanisms × TLB geometries × buffer sizes ×
-// table shapes — and sweep makes that cross-product a first-class object:
+// cross-product — sources (synthetic workloads and recorded traces) ×
+// mechanisms × TLB geometries × buffer sizes × table shapes × cycle-model
+// timing points — and sweep makes that cross-product a first-class object:
 //
 //   - A Grid declares axes and enumerates Jobs (one simulation cell each).
 //   - Every Job is content-addressed: a canonical Key (schema-versioned,
@@ -9,13 +10,20 @@
 //     same cell always lands in the same place no matter which sweep asked
 //     for it.
 //   - A Runner shards jobs across a worker pool, coalescing cells that
-//     share a workload stream and TLB geometry onto one sim.Group shared
-//     frontend (the 21-way fan-out win of the figure harness, applied
-//     automatically), and skips cells already present in a Store.
+//     share a reference stream (workload or trace) and TLB geometry onto
+//     one sim.Group shared frontend (the 21-way fan-out win of the figure
+//     harness, applied automatically), and skips cells already present in
+//     a Store. Work arrives either as a fixed slice (Run) or through the
+//     JobSource seam (RunSource), which the distributed backend in
+//     internal/sweepd implements as a remote lease feed.
 //   - A Store maps key hashes to results and persists as deterministic
 //     JSON: re-running a sweep after editing one mechanism recomputes only
 //     the dirty cells, and two runs of the same grid produce byte-identical
 //     files regardless of worker count.
+//
+// Rendering lives next door: Filter selects store subsets for the flat
+// emitters in this package (Table, CSV, JSON), and internal/report turns
+// the same subsets into paper-style grouped-bar figures.
 package sweep
 
 import (
@@ -342,10 +350,14 @@ type Grid struct {
 	// models' own paper-calibrated streams. Trace cells always keep 0.
 	Seed uint64
 	// Timings is the cycle-model axis: each cell is crossed with every
-	// timing point. Empty Timings with Timing set runs every cell at
-	// DefaultTiming; both empty runs the functional simulator.
-	Timings []Timing
-	Timing  bool
+	// timing point. When Timings is empty, a non-empty TimingAxes expands
+	// into the axis instead (the decoupled penalty × memory-op-cost ×
+	// issue-width design space); declaring both is an error. Failing both,
+	// Timing set runs every cell at DefaultTiming, and everything empty
+	// runs the functional simulator.
+	Timings    []Timing
+	TimingAxes TimingAxes
+	Timing     bool
 }
 
 // Jobs enumerates and validates the grid's cells.
@@ -363,9 +375,19 @@ func (g Grid) Jobs() ([]Job, error) {
 	}
 	timings := make([]*Timing, 0, 1)
 	switch {
+	case len(g.Timings) > 0 && !g.TimingAxes.Empty():
+		return nil, fmt.Errorf("sweep: grid declares both explicit Timings and TimingAxes — pick one cycle-model axis")
 	case len(g.Timings) > 0:
 		for i := range g.Timings {
 			timings = append(timings, &g.Timings[i])
+		}
+	case !g.TimingAxes.Empty():
+		pts, err := g.TimingAxes.Points()
+		if err != nil {
+			return nil, err
+		}
+		for i := range pts {
+			timings = append(timings, &pts[i])
 		}
 	case g.Timing:
 		dt := DefaultTiming()

@@ -1,0 +1,116 @@
+package sweep
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTimingAxesDefaults(t *testing.T) {
+	// The zero value is empty; a single default-penalty axis reproduces
+	// the paper's point exactly.
+	if !(TimingAxes{}).Empty() {
+		t.Error("zero TimingAxes should be empty")
+	}
+	pts, err := TimingAxes{MissPenalties: []uint64{DefaultTiming().MissPenalty}}.Points()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 1 || pts[0] != DefaultTiming() {
+		t.Errorf("default-penalty axis = %+v, want the default timing point", pts)
+	}
+}
+
+func TestTimingAxesRatioDerivation(t *testing.T) {
+	pts, err := TimingAxes{
+		MissPenalties: []uint64{200},
+		MemOpRatios:   []float64{0.25, 0.5, 1},
+	}.Points()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("got %d points, want 3", len(pts))
+	}
+	def := DefaultTiming()
+	for i, wantMemop := range []uint64{50, 100, 200} {
+		if pts[i].MemOpLatency != wantMemop {
+			t.Errorf("ratio point %d memop = %d, want %d", i, pts[i].MemOpLatency, wantMemop)
+		}
+		// Occupancy keeps the default pipelining ratio to the memop cost.
+		wantOcc := wantMemop * def.MemOpOccupancy / def.MemOpLatency
+		if pts[i].MemOpOccupancy != wantOcc {
+			t.Errorf("ratio point %d occupancy = %d, want %d", i, pts[i].MemOpOccupancy, wantOcc)
+		}
+		// The walk-fraction costs still scale with the penalty.
+		if pts[i].BufferHitPenalty != 130 {
+			t.Errorf("ratio point %d buffer-hit penalty = %d, want 130", i, pts[i].BufferHitPenalty)
+		}
+	}
+}
+
+func TestTimingAxesAbsoluteLatencyClampsOccupancy(t *testing.T) {
+	pts, err := TimingAxes{
+		MissPenalties:  []uint64{100},
+		MemOpLatencies: []uint64{5},
+	}.Points()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts[0].MemOpLatency != 5 || pts[0].MemOpOccupancy != 5 {
+		t.Errorf("tiny latency point = %+v, want fully serialized at 5", pts[0])
+	}
+}
+
+func TestTimingAxesConflict(t *testing.T) {
+	_, err := TimingAxes{
+		MemOpLatencies: []uint64{50},
+		MemOpRatios:    []float64{0.5},
+	}.Points()
+	if err == nil || !strings.Contains(err.Error(), "pick one axis") {
+		t.Fatalf("latency+ratio conflict not reported: %v", err)
+	}
+}
+
+func TestGridTimingAxesExpansion(t *testing.T) {
+	base := Grid{
+		Workloads: []string{"swim"},
+		Mechs:     []Mech{{Kind: "RP"}},
+		Refs:      1000,
+	}
+
+	// TimingAxes expands into the timing axis exactly like the equivalent
+	// explicit Timings declaration.
+	axes := TimingAxes{MissPenalties: []uint64{100, 200}, RefsPerCycle: []uint64{1, 2}}
+	viaAxes := base
+	viaAxes.TimingAxes = axes
+	pts, err := axes.Points()
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaTimings := base
+	viaTimings.Timings = pts
+
+	ja, err := viaAxes.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	jt, err := viaTimings.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ja) != 4 || len(ja) != len(jt) {
+		t.Fatalf("axes grid has %d cells, explicit grid %d, want 4", len(ja), len(jt))
+	}
+	for i := range ja {
+		if ja[i].Key().Hash() != jt[i].Key().Hash() {
+			t.Errorf("cell %d: axes and explicit timing keys differ", i)
+		}
+	}
+
+	// Declaring both axes is rejected.
+	both := viaAxes
+	both.Timings = pts
+	if _, err := both.Jobs(); err == nil {
+		t.Error("grid with Timings and TimingAxes should fail")
+	}
+}

@@ -15,8 +15,9 @@
 //
 // Each named application model carries a PaperNote citing the sentence of
 // the paper's §3.2 narrative it encodes (which mechanism wins and why).
-// EXPERIMENTS.md records how closely the resulting accuracies track the
-// published figures.
+// `experiments table2` and `experiments table3` print the resulting
+// accuracies next to the published values, and docs/EXPERIMENTS.md walks
+// the workflows that regenerate them.
 package workload
 
 import (

@@ -2,11 +2,12 @@
 // generator used by the synthetic workload models.
 //
 // The simulator's results must be bit-for-bit reproducible across runs, Go
-// releases and platforms, because EXPERIMENTS.md records exact numbers and the
-// test suite asserts qualitative shapes of those numbers. math/rand's stream
-// is only guaranteed stable for a given Go release, so we pin our own
-// generator: splitmix64 for seeding and xoshiro256** for the stream (public
-// domain algorithms by Vigna et al.).
+// releases and platforms: the sweep store content-addresses exact results,
+// docs/EXPERIMENTS.md pins expected output snippets, and the test suite
+// asserts qualitative shapes of those numbers. math/rand's stream is only
+// guaranteed stable for a given Go release, so we pin our own generator:
+// splitmix64 for seeding and xoshiro256** for the stream (public domain
+// algorithms by Vigna et al.).
 package xrand
 
 import "math"

@@ -28,8 +28,9 @@ func TestSeedsDiffer(t *testing.T) {
 }
 
 func TestPinnedStream(t *testing.T) {
-	// The first outputs of seed 0 are pinned: results in EXPERIMENTS.md
-	// depend on this stream never changing.
+	// The first outputs of seed 0 are pinned: stored sweep cells and the
+	// output snippets in docs/EXPERIMENTS.md depend on this stream never
+	// changing.
 	r := New(0)
 	got := []uint64{r.Uint64(), r.Uint64(), r.Uint64()}
 	r2 := New(0)

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# docs-smoke.sh — execute every ```bash block of docs/EXPERIMENTS.md, in
+# order, exactly as written. This is the drift gate for the guide: a
+# documented command that errors, an embedded verification grep that no
+# longer matches (cache tallies, zero-match diagnostics, the table3-space
+# zero-recompute contract), or a broken determinism check all fail CI.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+script=$(mktemp)
+trap 'rm -f "$script"' EXIT
+awk '/^```bash$/{inblock=1; next} /^```/{inblock=0} inblock' docs/EXPERIMENTS.md > "$script"
+
+lines=$(grep -c '' "$script" || true)
+if [ "$lines" -lt 10 ]; then
+    echo "docs-smoke: only $lines command lines extracted from docs/EXPERIMENTS.md — extraction broke?" >&2
+    exit 1
+fi
+echo "docs-smoke: running $lines command lines from docs/EXPERIMENTS.md"
+bash -euo pipefail "$script"
+echo "docs-smoke: all EXPERIMENTS.md commands passed"
