@@ -2,11 +2,17 @@ package main
 
 import (
 	"context"
+	"crypto/tls"
+	"crypto/x509"
+	"errors"
 	"fmt"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"tlbprefetch/internal/sweep"
@@ -18,12 +24,36 @@ import (
 // job feed that remote workers drain; verified results merge into the
 // store, which is saved on completion. The merged store is byte-identical
 // to a single-process sweep of the same grid.
+//
+// Hardening knobs: -token gates every endpoint behind bearer auth,
+// -tls-cert/-tls-key serve the feed over TLS, -checkpoint saves a
+// file-bound store mid-grid so a crash (or SIGTERM) loses at most one
+// interval, and any -trace files are served as content-addressed blobs so
+// workers need not carry their own copies.
 func runServe(cfg sweepConfig, jobs []sweep.Job, store *sweep.Store) (int, error) {
+	if (cfg.tlsCert == "") != (cfg.tlsKey == "") {
+		return 1, fmt.Errorf("-tls-cert and -tls-key must be given together")
+	}
+	// Every trace job carries its local path (the coordinator built the
+	// grid, so it has the files); serve them all as blobs.
+	blobs := make(map[string]string)
+	for _, j := range jobs {
+		if src := j.Source; src.TraceSHA256 != "" && src.TracePath != "" {
+			blobs[src.TraceSHA256] = src.TracePath
+		}
+	}
 	ccfg := sweepd.Config{
 		Jobs:     jobs,
 		Store:    store,
 		LeaseTTL: cfg.leaseTTL,
 		MaxBatch: cfg.batch,
+		Token:    cfg.token,
+		Blobs:    blobs,
+	}
+	if cfg.storePath != "" {
+		// Checkpointing an in-memory store would be a silent no-op; only a
+		// file-bound store can resume.
+		ccfg.Checkpoint = cfg.checkpoint
 	}
 	if !cfg.quiet {
 		ccfg.Logf = func(format string, args ...any) {
@@ -39,14 +69,39 @@ func runServe(cfg sweepConfig, jobs []sweep.Job, store *sweep.Store) (int, error
 		return 1, fmt.Errorf("-serve %s: %w", cfg.serve, err)
 	}
 	st := coord.Status()
-	fmt.Fprintf(os.Stderr, "tlbsweep: serving %d-cell feed (%d cached, %d to run) on http://%s\n",
-		st.Total, st.Cached, st.Pending, ln.Addr())
+	scheme := "http"
+	if cfg.tlsCert != "" {
+		scheme = "https"
+	}
+	fmt.Fprintf(os.Stderr, "tlbsweep: serving %d-cell feed (%d cached, %d to run) on %s://%s\n",
+		st.Total, st.Cached, st.Pending, scheme, ln.Addr())
 	srv := &http.Server{Handler: coord.Handler()}
-	go srv.Serve(ln)
+	if cfg.tlsCert != "" {
+		go srv.ServeTLS(ln, cfg.tlsCert, cfg.tlsKey)
+	} else {
+		go srv.Serve(ln)
+	}
 	defer srv.Close()
 
+	// SIGTERM/SIGINT drain: stop waiting, checkpoint what has settled, and
+	// exit with a distinct code. A restart with the same -store re-feeds
+	// only the still-dirty cells.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	start := time.Now()
-	waitErr := coord.Wait(context.Background())
+	waitErr := coord.Wait(ctx)
+	if errors.Is(waitErr, context.Canceled) {
+		if cfg.storePath != "" {
+			if err := store.Save(); err != nil {
+				return 1, fmt.Errorf("interrupted, and the final checkpoint failed: %w", err)
+			}
+		}
+		drained := coord.Status()
+		fmt.Fprintf(os.Stderr, "tlbsweep: interrupted with %d of %d cells still unsettled; store checkpointed — rerun with the same -store and grid to resume\n",
+			drained.Pending+drained.Leased, drained.Total)
+		return 3, nil
+	}
 	if cfg.storePath != "" {
 		if err := store.Save(); err != nil {
 			return 1, err
@@ -72,17 +127,30 @@ func runServe(cfg sweepConfig, jobs []sweep.Job, store *sweep.Store) (int, error
 
 // runWorker is worker mode: join the coordinator's feed, simulate leased
 // cells on the local sharded path, upload fingerprinted results, exit when
-// the grid completes.
+// the grid completes. Trace cells resolve against local -trace files
+// first, then fall back to fetching the blob from the coordinator into a
+// bounded, digest-verified on-disk cache.
 func runWorker(cfg sweepConfig) (int, error) {
 	traces, err := localTraces(cfg.traces)
+	if err != nil {
+		return 1, err
+	}
+	client, err := workerClient(cfg.tlsCA)
+	if err != nil {
+		return 1, err
+	}
+	cacheDir, err := blobCacheDir(cfg.blobCache)
 	if err != nil {
 		return 1, err
 	}
 	w := &sweepd.Worker{
 		URL:      strings.TrimRight(cfg.workerURL, "/"),
 		ID:       cfg.workerID,
+		Token:    cfg.token,
+		Client:   client,
 		MaxBatch: cfg.batch,
 		Traces:   traces,
+		Blobs:    &sweepd.BlobCache{Dir: cacheDir},
 		Runner:   &sweep.Runner{Workers: cfg.workers},
 	}
 	if !cfg.quiet {
@@ -98,6 +166,38 @@ func runWorker(cfg sweepConfig) (int, error) {
 	fmt.Fprintf(os.Stderr, "tlbsweep: worker ran %d cells in %d shards in %v\n",
 		sum.Ran, sum.Shards, time.Since(start).Round(time.Millisecond))
 	return 0, nil
+}
+
+// workerClient builds the worker's HTTP client. With -tls-ca it trusts
+// exactly that CA (the usual shape for a self-signed lab coordinator);
+// otherwise the default client (system roots for https, plain http else).
+func workerClient(caPath string) (*http.Client, error) {
+	if caPath == "" {
+		return nil, nil // Worker defaults to http.DefaultClient
+	}
+	pem, err := os.ReadFile(caPath)
+	if err != nil {
+		return nil, fmt.Errorf("-tls-ca: %w", err)
+	}
+	pool := x509.NewCertPool()
+	if !pool.AppendCertsFromPEM(pem) {
+		return nil, fmt.Errorf("-tls-ca %s: no PEM certificates found", caPath)
+	}
+	return &http.Client{
+		Transport: &http.Transport{TLSClientConfig: &tls.Config{RootCAs: pool}},
+	}, nil
+}
+
+// blobCacheDir resolves the worker's blob-cache directory: the -blob-cache
+// flag, else a stable per-user cache dir, else a temp dir.
+func blobCacheDir(flag string) (string, error) {
+	if flag != "" {
+		return flag, nil
+	}
+	if base, err := os.UserCacheDir(); err == nil {
+		return filepath.Join(base, "tlbsweep-blobs"), nil
+	}
+	return filepath.Join(os.TempDir(), "tlbsweep-blobs"), nil
 }
 
 // localTraces digests the worker's -trace files into the digest → path

@@ -79,6 +79,12 @@ func main() {
 		batch       = flag.Int("batch", 0, "distributed modes: max cells per lease (0 = coordinator default)")
 		leaseTTL    = flag.Duration("lease-ttl", 30*time.Second, "coordinator mode: a worker silent this long forfeits its leased cells")
 		workerID    = flag.String("worker-id", "", "worker mode: name shown in coordinator logs (default worker-<pid>)")
+		token       = flag.String("token", "", "distributed modes: bearer token — the coordinator requires it on every request (401 otherwise), workers send it")
+		tlsCert     = flag.String("tls-cert", "", "coordinator mode: serve the feed over TLS with this certificate file (requires -tls-key)")
+		tlsKey      = flag.String("tls-key", "", "coordinator mode: TLS private key file (requires -tls-cert)")
+		tlsCA       = flag.String("tls-ca", "", "worker mode: PEM bundle to trust for an https coordinator (self-signed deployments; default system roots)")
+		checkpoint  = flag.Duration("checkpoint", 30*time.Second, "coordinator mode: save the store this often mid-grid so a crash resumes from the last checkpoint (0 disables)")
+		blobCache   = flag.String("blob-cache", "", "worker mode: directory for trace blobs fetched from the coordinator (default <user-cache-dir>/tlbsweep-blobs)")
 		format      = flag.String("format", "table", "output format: table, csv, json, none (-figure mode: table, csv, svg)")
 		workers     = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 		quiet       = flag.Bool("q", false, "suppress per-cell progress on stderr")
@@ -128,6 +134,7 @@ func main() {
 		workerFlags := map[string]bool{
 			"worker": true, "worker-id": true, "batch": true, "trace": true,
 			"workers": true, "q": true, "cpuprofile": true, "memprofile": true,
+			"token": true, "tls-ca": true, "blob-cache": true,
 		}
 		flag.Visit(func(f *flag.Flag) {
 			if !workerFlags[f.Name] {
@@ -152,6 +159,8 @@ func main() {
 		storePath: *storePath, where: *where, figure: *figure, gc: *gc, diffPath: *diffPath,
 		serve: *serve, workerURL: *workerURL, batch: *batch,
 		leaseTTL: *leaseTTL, workerID: *workerID,
+		token: *token, tlsCert: *tlsCert, tlsKey: *tlsKey, tlsCA: *tlsCA,
+		checkpoint: *checkpoint, blobCache: *blobCache,
 		format: *format, workers: *workers, quiet: *quiet,
 		cpuProf: *cpuProf, memProf: *memProf,
 	}
@@ -176,8 +185,10 @@ type sweepConfig struct {
 	diffPath, format                     string
 	gc                                   bool
 	serve, workerURL, workerID           string
+	token, tlsCert, tlsKey, tlsCA        string
+	blobCache                            string
 	batch                                int
-	leaseTTL                             time.Duration
+	leaseTTL, checkpoint                 time.Duration
 	workers                              int
 	quiet                                bool
 	cpuProf, memProf                     string

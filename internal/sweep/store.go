@@ -57,6 +57,7 @@ func binaryVersion() string {
 // in-memory (NewStore) or bound to a JSON file (OpenStore + Save).
 type Store struct {
 	mu       sync.Mutex
+	saveMu   sync.Mutex // serializes Saves: a checkpoint and a final save must not reorder
 	path     string
 	results  map[string]Result
 	migrated int // cells re-keyed from an older schema at open time
@@ -235,12 +236,21 @@ func (s *Store) GC(keep map[string]bool) int {
 	return dropped
 }
 
-// Save writes the store to its bound file atomically (temp file + rename).
+// Save writes the store to its bound file atomically and durably: the
+// serialized bytes land in a temp file which is fsynced before the rename,
+// and the parent directory is fsynced after, so a crash at any point leaves
+// either the old complete store or the new complete store — never a torn
+// file, and never a rename the filesystem forgot. Saves are serialized
+// against each other (a periodic checkpoint racing a final save must not
+// let older bytes land last), and the snapshot itself is taken under the
+// results lock, so a concurrent Merge is either fully in or fully out.
 // Saving an in-memory store is a no-op.
 func (s *Store) Save() error {
 	if s.path == "" {
 		return nil
 	}
+	s.saveMu.Lock()
+	defer s.saveMu.Unlock()
 	data, err := s.Bytes()
 	if err != nil {
 		return err
@@ -267,6 +277,11 @@ func (s *Store) Save() error {
 		os.Remove(tmpName)
 		return fmt.Errorf("sweep: saving store: %w", err)
 	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("sweep: saving store: %w", err)
+	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmpName)
 		return fmt.Errorf("sweep: saving store: %w", err)
@@ -275,5 +290,18 @@ func (s *Store) Save() error {
 		os.Remove(tmpName)
 		return fmt.Errorf("sweep: saving store: %w", err)
 	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a just-renamed file's directory entry is
+// durable. Filesystems that refuse to fsync directories are tolerated: the
+// rename itself already happened, only its crash-durability is weaker.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return nil
+	}
+	defer d.Close()
+	d.Sync()
 	return nil
 }

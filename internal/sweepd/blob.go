@@ -1,0 +1,212 @@
+package sweepd
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// ErrBlobUnavailable marks a fetch the origin answered definitively — the
+// coordinator has no file for the digest. Retrying cannot help, so the
+// cache fails the cell immediately instead of spending its attempt budget.
+var ErrBlobUnavailable = errors.New("blob unavailable at the coordinator")
+
+// BlobCache is a bounded, content-addressed on-disk cache of trace blobs.
+// Path resolves a digest to a local file, fetching it through Fetch on
+// first use: the body is streamed to a temp file while being hashed, the
+// digest is verified before the file becomes visible, and truncated or
+// corrupted bodies are retried up to Attempts times before a deterministic
+// failure report. Because every entry's name is its digest and the runner
+// re-verifies the file before simulating, a cache hit can never smuggle
+// stale bytes under a fresh recording's key.
+//
+// Path is safe for concurrent use; two goroutines racing one digest fetch
+// twice and atomically rename to the same name, which is wasteful but
+// correct.
+type BlobCache struct {
+	// Dir is the cache directory, created on demand.
+	Dir string
+	// MaxBytes bounds the cache size (default 4 GiB). After each fetch the
+	// oldest entries (by mtime — hits re-touch) are evicted until the
+	// total fits; the just-fetched blob itself is never evicted, so one
+	// oversized blob still resolves.
+	MaxBytes int64
+	// Attempts is the per-resolution fetch budget (default 3): transport
+	// failures, truncations and digest mismatches all spend one.
+	Attempts int
+	// Fetch streams a blob's bytes. Worker.Run wires it to the
+	// coordinator's PathBlob endpoint when nil. A fetch that cannot ever
+	// succeed (no such blob) must return ErrBlobUnavailable.
+	Fetch func(ctx context.Context, digest string) (io.ReadCloser, error)
+	// Logf, when non-nil, receives fetch/retry/evict lines.
+	Logf func(format string, args ...any)
+
+	mu      sync.Mutex
+	fetches int
+}
+
+func (b *BlobCache) logf(format string, args ...any) {
+	if b.Logf != nil {
+		b.Logf(format, args...)
+	}
+}
+
+// Fetches returns how many Fetch calls the cache has made — cache hits make
+// none, which is what tests assert.
+func (b *BlobCache) Fetches() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.fetches
+}
+
+func (b *BlobCache) attempts() int {
+	if b.Attempts > 0 {
+		return b.Attempts
+	}
+	return 3
+}
+
+func (b *BlobCache) maxBytes() int64 {
+	if b.MaxBytes > 0 {
+		return b.MaxBytes
+	}
+	return 4 << 30
+}
+
+// entryName is the on-disk name of a cached blob.
+func (b *BlobCache) entryName(digest string) string {
+	return filepath.Join(b.Dir, digest+".blob")
+}
+
+// Path resolves a digest to a local file, fetching and verifying it when
+// the cache misses. The error after the attempt budget is deterministic:
+// it names the digest, the budget, and the last failure.
+func (b *BlobCache) Path(ctx context.Context, digest string) (string, error) {
+	if !ValidDigest(digest) {
+		return "", fmt.Errorf("sweepd: %q is not a blob digest (64 hex chars)", digest)
+	}
+	if b.Fetch == nil {
+		return "", errors.New("sweepd: BlobCache has no Fetch wired")
+	}
+	final := b.entryName(digest)
+	if _, err := os.Stat(final); err == nil {
+		// A hit re-touches the entry so eviction age tracks use, not
+		// arrival.
+		now := time.Now()
+		os.Chtimes(final, now, now)
+		return final, nil
+	}
+	if err := os.MkdirAll(b.Dir, 0o755); err != nil {
+		return "", fmt.Errorf("sweepd: blob cache: %w", err)
+	}
+	var lastErr error
+	for attempt := 1; attempt <= b.attempts(); attempt++ {
+		if err := ctx.Err(); err != nil {
+			return "", err
+		}
+		b.mu.Lock()
+		b.fetches++
+		b.mu.Unlock()
+		rc, err := b.Fetch(ctx, digest)
+		if err != nil {
+			if errors.Is(err, ErrBlobUnavailable) {
+				return "", fmt.Errorf("sweepd: blob %.12s…: %w", digest, err)
+			}
+			lastErr = err
+			b.logf("sweepd: blob %.12s… fetch attempt %d/%d: %v", digest, attempt, b.attempts(), err)
+			continue
+		}
+		err = b.download(rc, digest, final)
+		if err == nil {
+			b.evict(final)
+			return final, nil
+		}
+		lastErr = err
+		b.logf("sweepd: blob %.12s… fetch attempt %d/%d: %v", digest, attempt, b.attempts(), err)
+	}
+	return "", fmt.Errorf("sweepd: blob %.12s…: %d fetch attempts failed, last: %w", digest, b.attempts(), lastErr)
+}
+
+// download streams one fetched body to a temp file while hashing it, then
+// atomically publishes it under its digest. Any mismatch — truncation,
+// corruption, the coordinator serving the wrong file — discards the temp
+// file and reports the digest it actually saw.
+func (b *BlobCache) download(rc io.ReadCloser, digest, final string) error {
+	defer rc.Close()
+	tmp, err := os.CreateTemp(b.Dir, ".blob-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	h := sha256.New()
+	_, copyErr := io.Copy(io.MultiWriter(tmp, h), rc)
+	closeErr := tmp.Close()
+	if copyErr != nil || closeErr != nil {
+		os.Remove(tmpName)
+		if copyErr != nil {
+			return fmt.Errorf("reading blob body: %w", copyErr)
+		}
+		return closeErr
+	}
+	if got := hex.EncodeToString(h.Sum(nil)); got != digest {
+		os.Remove(tmpName)
+		return fmt.Errorf("body hashes to %.12s…, want %.12s… (truncated or corrupted)", got, digest)
+	}
+	if err := os.Rename(tmpName, final); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return nil
+}
+
+// evict drops the oldest cache entries until the total size fits MaxBytes,
+// never touching the entry just fetched.
+func (b *BlobCache) evict(keep string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	entries, err := filepath.Glob(filepath.Join(b.Dir, "*.blob"))
+	if err != nil {
+		return
+	}
+	type ent struct {
+		path  string
+		size  int64
+		mtime time.Time
+	}
+	var (
+		total int64
+		es    []ent
+	)
+	for _, p := range entries {
+		fi, err := os.Stat(p)
+		if err != nil {
+			continue
+		}
+		total += fi.Size()
+		es = append(es, ent{p, fi.Size(), fi.ModTime()})
+	}
+	if total <= b.maxBytes() {
+		return
+	}
+	sort.Slice(es, func(i, j int) bool { return es[i].mtime.Before(es[j].mtime) })
+	for _, e := range es {
+		if total <= b.maxBytes() {
+			return
+		}
+		if e.path == keep {
+			continue
+		}
+		if os.Remove(e.path) == nil {
+			total -= e.size
+			b.logf("sweepd: blob cache evicted %s (%d bytes)", filepath.Base(e.path), e.size)
+		}
+	}
+}

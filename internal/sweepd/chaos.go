@@ -1,0 +1,226 @@
+package sweepd
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// ChaosStats counts the faults a ChaosTransport injected, so a chaos run
+// can prove it actually exercised the failure paths it claims to.
+type ChaosStats struct {
+	Requests   int // round trips attempted through the transport
+	Resets     int // connection reset before the request was sent
+	LostReply  int // request delivered, response thrown away (reset after send)
+	Timeouts   int // synthetic timeout errors
+	Truncated  int // response bodies cut short
+	Duplicated int // requests delivered twice
+	Errors5xx  int // synthetic 503 replies
+	Delayed    int // requests delayed (reordering pressure)
+}
+
+// Injected sums every fault.
+func (s ChaosStats) Injected() int {
+	return s.Resets + s.LostReply + s.Timeouts + s.Truncated + s.Duplicated + s.Errors5xx + s.Delayed
+}
+
+func (s ChaosStats) String() string {
+	return fmt.Sprintf("%d requests: %d resets, %d lost replies, %d timeouts, %d truncations, %d duplicates, %d 5xx, %d delays",
+		s.Requests, s.Resets, s.LostReply, s.Timeouts, s.Truncated, s.Duplicated, s.Errors5xx, s.Delayed)
+}
+
+// ChaosTransport is a fault-injecting http.RoundTripper: it wraps a real
+// transport and, with the configured probabilities, resets connections
+// before or after the request is delivered, times requests out, truncates
+// response bodies, duplicates requests (delivering them twice — the
+// idempotency trial for uploads), answers with a synthetic 503, or delays
+// requests to create reordering pressure between concurrent workers.
+//
+// The fault stream is drawn from a seeded PRNG, so a chaos run is
+// reproducible for a given seed and request order. Faults compose with the
+// protocol's own defences — content-addressed cells, fingerprint
+// verification, lease expiry, idempotent merges — and the test harness
+// asserts the one property that matters: the store that survives the
+// chaos is byte-identical to a fault-free single-process sweep.
+//
+// It is safe for concurrent use.
+type ChaosTransport struct {
+	// Base performs the real round trips (nil: http.DefaultTransport).
+	Base http.RoundTripper
+	// Seed seeds the fault stream.
+	Seed int64
+	// Fault probabilities, each in [0, 1], checked in this order; at most
+	// one fault fires per request.
+	PReset     float64 // reset: half before delivery, half after (reply lost)
+	PTimeout   float64 // synthetic timeout error, request not delivered
+	PTruncate  float64 // deliver, then cut the response body in half
+	PDuplicate float64 // deliver the request twice
+	P5xx       float64 // synthetic 503 without delivering
+	PDelay     float64 // sleep up to MaxDelay before delivering
+	// MaxDelay bounds PDelay sleeps (default 20ms).
+	MaxDelay time.Duration
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	stats ChaosStats
+}
+
+// Stats snapshots the fault counters.
+func (t *ChaosTransport) Stats() ChaosStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.stats
+}
+
+func (t *ChaosTransport) base() http.RoundTripper {
+	if t.Base != nil {
+		return t.Base
+	}
+	return http.DefaultTransport
+}
+
+// fault draws this request's fate from the seeded stream.
+type faultKind int
+
+const (
+	faultNone faultKind = iota
+	faultResetBefore
+	faultResetAfter
+	faultTimeout
+	faultTruncate
+	faultDuplicate
+	fault5xx
+	faultDelay
+)
+
+func (t *ChaosTransport) draw() (faultKind, time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.rng == nil {
+		t.rng = rand.New(rand.NewSource(t.Seed))
+	}
+	t.stats.Requests++
+	roll := t.rng.Float64()
+	var delay time.Duration
+	switch {
+	case roll < t.PReset:
+		if t.rng.Intn(2) == 0 {
+			t.stats.Resets++
+			return faultResetBefore, 0
+		}
+		t.stats.LostReply++
+		return faultResetAfter, 0
+	case roll < t.PReset+t.PTimeout:
+		t.stats.Timeouts++
+		return faultTimeout, 0
+	case roll < t.PReset+t.PTimeout+t.PTruncate:
+		t.stats.Truncated++
+		return faultTruncate, 0
+	case roll < t.PReset+t.PTimeout+t.PTruncate+t.PDuplicate:
+		t.stats.Duplicated++
+		return faultDuplicate, 0
+	case roll < t.PReset+t.PTimeout+t.PTruncate+t.PDuplicate+t.P5xx:
+		t.stats.Errors5xx++
+		return fault5xx, 0
+	case roll < t.PReset+t.PTimeout+t.PTruncate+t.PDuplicate+t.P5xx+t.PDelay:
+		t.stats.Delayed++
+		max := t.MaxDelay
+		if max <= 0 {
+			max = 20 * time.Millisecond
+		}
+		delay = time.Duration(t.rng.Int63n(int64(max)))
+		return faultDelay, delay
+	}
+	return faultNone, 0
+}
+
+// chaosTimeoutError satisfies net.Error, so it looks exactly like a client
+// timeout to the worker's error classification.
+type chaosTimeoutError struct{}
+
+func (chaosTimeoutError) Error() string   { return "chaos: injected request timeout" }
+func (chaosTimeoutError) Timeout() bool   { return true }
+func (chaosTimeoutError) Temporary() bool { return true }
+
+// RoundTrip applies this request's drawn fault. The request body is
+// buffered first so faults that deliver the request more than once (or
+// deliver it and then discard the reply, forcing the client to resend) can
+// replay it byte-for-byte.
+func (t *ChaosTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	var body []byte
+	if req.Body != nil {
+		var err error
+		body, err = io.ReadAll(req.Body)
+		req.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+	}
+	send := func() (*http.Response, error) {
+		r := req.Clone(req.Context())
+		if body != nil {
+			r.Body = io.NopCloser(bytes.NewReader(body))
+			r.ContentLength = int64(len(body))
+		}
+		return t.base().RoundTrip(r)
+	}
+
+	kind, delay := t.draw()
+	switch kind {
+	case faultResetBefore:
+		return nil, fmt.Errorf("chaos: connection reset before request")
+	case faultResetAfter:
+		// The server processes the request; the client never learns.
+		if resp, err := send(); err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		return nil, fmt.Errorf("chaos: connection reset awaiting response")
+	case faultTimeout:
+		return nil, chaosTimeoutError{}
+	case faultTruncate:
+		resp, err := send()
+		if err != nil {
+			return nil, err
+		}
+		full, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		resp.Body = io.NopCloser(bytes.NewReader(full[:len(full)/2]))
+		return resp, nil
+	case faultDuplicate:
+		// Deliver twice: the first reply is discarded, the second is what
+		// the client sees. For uploads this is exactly the duplicated-
+		// delivery case the coordinator's idempotent merge must absorb;
+		// for leases it strands a lease that must die by TTL.
+		if resp, err := send(); err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		return send()
+	case fault5xx:
+		return &http.Response{
+			Status:     "503 Service Unavailable",
+			StatusCode: http.StatusServiceUnavailable,
+			Proto:      req.Proto,
+			ProtoMajor: req.ProtoMajor,
+			ProtoMinor: req.ProtoMinor,
+			Header:     make(http.Header),
+			Body:       io.NopCloser(bytes.NewReader([]byte("chaos: injected server error"))),
+			Request:    req,
+		}, nil
+	case faultDelay:
+		select {
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		case <-time.After(delay):
+		}
+	}
+	return send()
+}

@@ -1,0 +1,136 @@
+package sweepd
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"tlbprefetch/internal/sweep"
+)
+
+// TestChaosGridBitIdentity is the hardening acceptance pin: a full grid —
+// synthetic cells plus a coordinator-served trace blob — is driven to
+// completion by three workers whose every request passes through a seeded
+// fault-injecting transport (connection resets before and after delivery,
+// synthetic timeouts, truncated bodies, duplicated deliveries, injected
+// 5xx, reordering delays), while the coordinator checkpoints the store
+// mid-grid. The store that survives must be byte-identical to a fault-free
+// single-process sweep, on disk as well as in memory.
+func TestChaosGridBitIdentity(t *testing.T) {
+	const refs = 15_000
+	tracePath, src := makeTraceFile(t, refs)
+	jobs := append(testJobs(t, refs), traceJobs(t, src, refs)...)
+	want := referenceStore(t, jobs)
+
+	storePath := filepath.Join(t.TempDir(), "store.json")
+	st, err := sweep.OpenStore(storePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, err := New(Config{
+		Jobs:     jobs,
+		Store:    st,
+		Token:    "chaos-token",
+		Blobs:    map[string]string{src.TraceSHA256: tracePath},
+		LeaseTTL: 2 * time.Second, // duplicated leases strand quickly, not for 30s
+		MaxBatch: 1,               // one cell per lease: more protocol traffic to fault
+		// Sustained faults burn attempts (every expiry and failure report
+		// spends one); the budget must absorb the storm, not the workers'
+		// honesty.
+		MaxAttempts: 1000,
+		Checkpoint:  50 * time.Millisecond,
+		Logf:        t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(coord.Handler())
+	defer srv.Close()
+
+	chaos := &ChaosTransport{
+		Seed:       42,
+		PReset:     0.10,
+		PTimeout:   0.04,
+		PTruncate:  0.12,
+		PDuplicate: 0.10,
+		P5xx:       0.05,
+		PDelay:     0.15,
+		MaxDelay:   10 * time.Millisecond,
+	}
+	client := &http.Client{Transport: chaos, Timeout: 10 * time.Second}
+
+	var (
+		wg   sync.WaitGroup
+		errs = make([]error, 3)
+	)
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w := &Worker{
+				URL:     srv.URL,
+				ID:      fmt.Sprintf("chaos-%d", i),
+				Token:   "chaos-token",
+				Client:  client,
+				Retries: 10_000, // only grid completion may end the feed
+				Rand:    rand.New(rand.NewSource(int64(i + 1))),
+				Runner:  &sweep.Runner{Workers: 2},
+				Blobs:   &BlobCache{Dir: filepath.Join(t.TempDir(), fmt.Sprintf("blobs-%d", i)), Attempts: 100},
+			}
+			_, errs[i] = w.Run(context.Background())
+		}(i)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	if err := coord.Wait(ctx); err != nil {
+		t.Fatalf("grid did not survive the chaos: %v", err)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+	}
+
+	stats := chaos.Stats()
+	t.Logf("chaos: %s", stats)
+	if stats.Injected() == 0 {
+		t.Fatal("the chaos transport injected no faults — the test proved nothing")
+	}
+	if stats.Truncated == 0 || stats.Resets+stats.LostReply == 0 || stats.Duplicated == 0 {
+		t.Fatalf("fault mix too thin to trust: %s", stats)
+	}
+
+	// The one property that matters: bit-identity with the fault-free run.
+	storesEqual(t, want, st)
+
+	// And the checkpointed file is the complete store (Wait checkpoints on
+	// completion), byte-identical to what a fresh save produces.
+	onDisk, err := sweep.OpenStore(storePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	storesEqual(t, want, onDisk)
+	ckpt, err := os.ReadFile(storePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Save(); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := os.ReadFile(storePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(ckpt) != string(fresh) {
+		t.Fatal("checkpointed file differs from a fresh save of the same store")
+	}
+}

@@ -2,9 +2,15 @@ package sweepd
 
 import (
 	"context"
+	"crypto/sha256"
+	"crypto/subtle"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
+	"os"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -34,6 +40,20 @@ type Config struct {
 	Now func() time.Time
 	// Logf, when non-nil, receives progress lines as cells settle.
 	Logf func(format string, args ...any)
+	// Token, when non-empty, gates every endpoint behind bearer-token
+	// auth: requests must carry `Authorization: Bearer <token>` or they
+	// are answered 401 before touching any coordinator state. The compare
+	// is constant-time.
+	Token string
+	// Blobs maps trace digests (hex SHA-256) to local file paths served at
+	// PathBlob, so workers can fetch recordings from the coordinator
+	// instead of carrying their own -trace files.
+	Blobs map[string]string
+	// Checkpoint, when positive and Store is file-bound, makes Wait save
+	// the store at roughly this interval while the grid is in flight, so a
+	// coordinator crash loses at most one interval of settled cells — a
+	// restart re-feeds only the still-dirty remainder.
+	Checkpoint time.Duration
 }
 
 type cellState int
@@ -230,20 +250,35 @@ func (c *Coordinator) Done() <-chan struct{} { return c.complete }
 // Wait blocks until the grid settles or the context ends, then reports
 // permanently failed cells (if any) as an error. It also ticks lease
 // expiry, so a feed whose workers all vanished still fails cells instead
-// of hanging on their leases.
+// of hanging on their leases. When Config.Checkpoint is set, each tick
+// also checkpoints the store once the interval has elapsed; a checkpoint
+// that fails is logged and retried next interval rather than killing a
+// run whose workers are still making progress.
 func (c *Coordinator) Wait(ctx context.Context) error {
 	tick := c.cfg.LeaseTTL / 2
 	if tick > time.Second {
 		tick = time.Second
+	}
+	if c.cfg.Checkpoint > 0 && c.cfg.Checkpoint < tick {
+		tick = c.cfg.Checkpoint
 	}
 	if tick < 10*time.Millisecond {
 		tick = 10 * time.Millisecond
 	}
 	t := time.NewTicker(tick)
 	defer t.Stop()
+	lastCkpt := time.Now()
 	for {
 		select {
 		case <-c.complete:
+			// One final checkpoint, so a checkpointing coordinator always
+			// leaves the completed store on disk even if the caller's own
+			// save never runs.
+			if c.cfg.Checkpoint > 0 {
+				if err := c.Checkpoint(); err != nil {
+					c.logf("sweepd: final checkpoint failed: %v", err)
+				}
+			}
 			return c.Err()
 		case <-ctx.Done():
 			return ctx.Err()
@@ -251,9 +286,20 @@ func (c *Coordinator) Wait(ctx context.Context) error {
 			c.mu.Lock()
 			c.expireLocked(c.cfg.Now())
 			c.mu.Unlock()
+			if c.cfg.Checkpoint > 0 && time.Since(lastCkpt) >= c.cfg.Checkpoint {
+				lastCkpt = time.Now()
+				if err := c.Checkpoint(); err != nil {
+					c.logf("sweepd: checkpoint failed (retrying next interval): %v", err)
+				}
+			}
 		}
 	}
 }
+
+// Checkpoint saves the store now (atomic temp+rename+fsync via
+// sweep.Store.Save, serialized against Merge and other Saves). It is safe
+// to call while workers are uploading; an in-memory store is a no-op.
+func (c *Coordinator) Checkpoint() error { return c.cfg.Store.Save() }
 
 // Err summarizes permanently failed cells and store-merge conflicts (nil
 // when every cell is done and every upload agreed). The report is
@@ -312,7 +358,83 @@ func (c *Coordinator) Handler() http.Handler {
 		}
 		reply(w, c.Status())
 	})
+	mux.HandleFunc(PathBlob, c.serveBlob)
+	if c.cfg.Token != "" {
+		return requireBearer(c.cfg.Token, mux)
+	}
 	return mux
+}
+
+// requireBearer wraps a handler behind bearer-token auth. Both sides of the
+// comparison are hashed first, so the compare is constant-time regardless
+// of credential length and leaks nothing about the configured token.
+func requireBearer(token string, next http.Handler) http.Handler {
+	want := sha256.Sum256([]byte(token))
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var supplied string
+		if auth := r.Header.Get("Authorization"); strings.HasPrefix(auth, "Bearer ") {
+			supplied = strings.TrimPrefix(auth, "Bearer ")
+		}
+		got := sha256.Sum256([]byte(supplied))
+		if subtle.ConstantTimeCompare(want[:], got[:]) != 1 {
+			w.Header().Set("WWW-Authenticate", `Bearer realm="sweepd"`)
+			http.Error(w, "unauthorized: missing or wrong bearer token", http.StatusUnauthorized)
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// serveBlob streams a content-addressed trace blob: GET /v1/blob/<sha256>.
+// The digest names the bytes, so the reply is immutable and the worker can
+// (and does) verify it end-to-end; the coordinator only guarantees it
+// streams the file its configuration maps the digest to.
+func (c *Coordinator) serveBlob(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	digest := strings.TrimPrefix(r.URL.Path, PathBlob)
+	if !ValidDigest(digest) {
+		http.Error(w, "blob names are 64 hex characters (a SHA-256 digest)", http.StatusBadRequest)
+		return
+	}
+	path, ok := c.cfg.Blobs[digest]
+	if !ok {
+		http.Error(w, "no such blob: the coordinator was not given a file with this digest", http.StatusNotFound)
+		return
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		c.logf("sweepd: blob %.12s…: %v", digest, err)
+		http.Error(w, "blob file unreadable on the coordinator", http.StatusInternalServerError)
+		return
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		http.Error(w, "blob file unreadable on the coordinator", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.FormatInt(fi.Size(), 10))
+	io.Copy(w, f)
+}
+
+// ValidDigest reports whether s is a plausible blob name: exactly 64
+// lowercase hex characters. Gating on it keeps attacker-shaped digests
+// ("../../etc/passwd") out of both the blob endpoint and the on-disk cache.
+func ValidDigest(s string) bool {
+	if len(s) != 64 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
 }
 
 // maxBodyBytes bounds request bodies: far above any honest lease's upload,

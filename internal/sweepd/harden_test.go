@@ -1,0 +1,455 @@
+package sweepd
+
+import (
+	"context"
+	"crypto/sha256"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"tlbprefetch/internal/sweep"
+	"tlbprefetch/internal/trace"
+	"tlbprefetch/internal/workload"
+)
+
+// makeTraceFile records a synthetic workload into a binary trace file and
+// returns its path and digest-pinned source.
+func makeTraceFile(t *testing.T, refs uint64) (string, sweep.Source) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "app.trc")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bw, err := trace.NewBinaryWriter(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, _ := workload.ByName("swim")
+	workload.Generate(w, refs, func(pc, vaddr uint64) bool {
+		if err := bw.Write(trace.Ref{PC: pc, VAddr: vaddr}); err != nil {
+			t.Fatal(err)
+		}
+		return true
+	})
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	src, err := sweep.TraceSource(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return path, src
+}
+
+func traceJobs(t *testing.T, src sweep.Source, refs uint64) []sweep.Job {
+	t.Helper()
+	g := sweep.Grid{
+		Traces: []sweep.Source{src},
+		Mechs:  []sweep.Mech{{Kind: "RP"}, {Kind: "DP", Rows: 256, Ways: 1, Slots: 2}},
+		Refs:   refs,
+	}
+	jobs, err := g.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return jobs
+}
+
+// TestAuthRequired pins the bearer-token gate: every endpoint answers 401
+// to missing or wrong credentials (before touching coordinator state), a
+// worker with the wrong token fails fast instead of spinning, and a worker
+// with the right token completes the grid to the byte-identical store.
+func TestAuthRequired(t *testing.T) {
+	jobs := testJobs(t, 10_000)
+	want := referenceStore(t, jobs)
+
+	st := sweep.NewStore()
+	coord, err := New(Config{Jobs: jobs, Store: st, Token: "s3cret"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(coord.Handler())
+	defer srv.Close()
+
+	get := func(token string) int {
+		req, err := http.NewRequest(http.MethodGet, srv.URL+PathStatus, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if token != "" {
+			req.Header.Set("Authorization", "Bearer "+token)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode
+	}
+	if code := get(""); code != http.StatusUnauthorized {
+		t.Fatalf("missing token: status %d, want 401", code)
+	}
+	if code := get("wrong"); code != http.StatusUnauthorized {
+		t.Fatalf("wrong token: status %d, want 401", code)
+	}
+	if code := get("s3cret"); code != http.StatusOK {
+		t.Fatalf("right token: status %d, want 200", code)
+	}
+	// POST endpoints are gated too.
+	if code := postJSON(t, srv.URL+PathLease, LeaseRequest{Worker: "anon"}, nil); code != http.StatusUnauthorized {
+		t.Fatalf("unauthenticated lease: status %d, want 401", code)
+	}
+	if s := coord.Status(); s.Leased != 0 {
+		t.Fatalf("unauthenticated lease touched state: %+v", s)
+	}
+
+	// A worker with the wrong token must surface a fatal error quickly —
+	// 401 is a deliberate answer, not a transient fault to retry through.
+	bad := &Worker{URL: srv.URL, ID: "intruder", Token: "wrong"}
+	start := time.Now()
+	if _, err := bad.Run(context.Background()); err == nil || !strings.Contains(err.Error(), "401") {
+		t.Fatalf("wrong-token worker: err = %v, want a 401", err)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("wrong-token worker spun for %v before failing", d)
+	}
+
+	good := &Worker{URL: srv.URL, ID: "trusted", Token: "s3cret", Runner: &sweep.Runner{Workers: 2}}
+	if _, err := good.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	storesEqual(t, want, st)
+}
+
+// TestAuthOverTLS runs the full feed over TLS with bearer auth: the
+// transport the ROADMAP calls hostile-LAN-ready, end to end in-process.
+func TestAuthOverTLS(t *testing.T) {
+	jobs := testJobs(t, 10_000)
+	want := referenceStore(t, jobs)
+
+	st := sweep.NewStore()
+	coord, err := New(Config{Jobs: jobs, Store: st, Token: "tls-token"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewTLSServer(coord.Handler())
+	defer srv.Close()
+
+	w := &Worker{URL: srv.URL, ID: "tls-worker", Token: "tls-token",
+		Client: srv.Client(), Runner: &sweep.Runner{Workers: 2}}
+	if _, err := w.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	storesEqual(t, want, st)
+}
+
+// TestBlobServedGrid pins the coordinator-served trace contract: a worker
+// with no local trace files fetches the recording from the coordinator's
+// content-addressed endpoint, verifies it, caches it, and completes the
+// grid to the byte-identical store; a second grid over the same recording
+// is served from the cache without another fetch.
+func TestBlobServedGrid(t *testing.T) {
+	const refs = 15_000
+	path, src := makeTraceFile(t, refs)
+	jobs := traceJobs(t, src, refs)
+	want := referenceStore(t, jobs)
+
+	cache := &BlobCache{Dir: filepath.Join(t.TempDir(), "blobs")}
+	for round := 0; round < 2; round++ {
+		st := sweep.NewStore()
+		coord, err := New(Config{Jobs: jobs, Store: st,
+			Blobs: map[string]string{src.TraceSHA256: path}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := httptest.NewServer(coord.Handler())
+		w := &Worker{URL: srv.URL, ID: fmt.Sprintf("fetcher-%d", round), Blobs: cache}
+		if _, err := w.Run(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		if err := coord.Wait(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		storesEqual(t, want, st)
+		srv.Close()
+	}
+	if n := cache.Fetches(); n != 1 {
+		t.Fatalf("cache made %d fetches across two grids, want 1 (second grid must hit the cache)", n)
+	}
+}
+
+// TestBlobEndpoint pins the raw endpoint: traversal-shaped names are 400,
+// unknown digests 404, and a valid digest streams the exact file bytes.
+func TestBlobEndpoint(t *testing.T) {
+	const refs = 5_000
+	path, src := makeTraceFile(t, refs)
+	coord, err := New(Config{Jobs: testJobs(t, refs),
+		Blobs: map[string]string{src.TraceSHA256: path}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(coord.Handler())
+	defer srv.Close()
+
+	// (Traversal-shaped names never reach the handler: the HTTP layer
+	// path-cleans them away, and ValidDigest — pinned separately — rejects
+	// anything that is not 64 lowercase hex characters.)
+	for name, wantCode := range map[string]int{
+		"deadbeef":                     http.StatusBadRequest,
+		"zz" + strings.Repeat("0", 62): http.StatusBadRequest,
+		strings.Repeat("0", 64):        http.StatusNotFound,
+		src.TraceSHA256:                http.StatusOK,
+	} {
+		resp, err := http.Get(srv.URL + PathBlob + name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != wantCode {
+			t.Fatalf("GET blob %q: status %d, want %d", name, resp.StatusCode, wantCode)
+		}
+		if wantCode == http.StatusOK {
+			disk, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(body) != string(disk) {
+				t.Fatalf("blob body differs from the file (%d vs %d bytes)", len(body), len(disk))
+			}
+		}
+	}
+}
+
+// TestBlobDigestMismatchFailsDeterministically pins the corruption path: a
+// coordinator serving the wrong bytes for a digest makes the worker
+// re-fetch up to its attempt budget and then report a deterministic
+// failure; the coordinator's own attempt budget then fails the cells
+// permanently with that reason on record.
+func TestBlobDigestMismatchFailsDeterministically(t *testing.T) {
+	const refs = 5_000
+	_, src := makeTraceFile(t, refs)
+	wrong := filepath.Join(t.TempDir(), "wrong.trc")
+	if err := os.WriteFile(wrong, []byte("not the recording the digest names"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	jobs := traceJobs(t, src, refs)
+	coord, err := New(Config{Jobs: jobs, MaxAttempts: 2,
+		Blobs: map[string]string{src.TraceSHA256: wrong}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(coord.Handler())
+	defer srv.Close()
+
+	cache := &BlobCache{Dir: filepath.Join(t.TempDir(), "blobs"), Attempts: 2}
+	w := &Worker{URL: srv.URL, ID: "unlucky", Blobs: cache}
+	if _, err := w.Run(context.Background()); err != nil {
+		t.Fatal(err) // the worker survives; the cells fail, not the process
+	}
+	if err := coord.Wait(context.Background()); err == nil ||
+		!strings.Contains(err.Error(), "2 fetch attempts failed") {
+		t.Fatalf("Err() = %v, want the deterministic blob-failure report", err)
+	}
+	if n := cache.Fetches(); n < 2 {
+		t.Fatalf("cache fetched %d times, want at least the per-resolution budget of 2 (re-fetch before giving up)", n)
+	}
+	if s := coord.Status(); !s.Complete || s.Failed != len(jobs) {
+		t.Fatalf("final status %+v, want all %d cells failed", s, len(jobs))
+	}
+}
+
+// TestBlobCacheEviction pins the bound: the cache evicts oldest-first once
+// MaxBytes is exceeded, never evicting the entry just fetched.
+func TestBlobCacheEviction(t *testing.T) {
+	blobs := map[string][]byte{}
+	var digests []string
+	for i := 0; i < 3; i++ {
+		body := []byte(strings.Repeat(fmt.Sprintf("blob-%d ", i), 100)) // ~700 bytes
+		digest := fmt.Sprintf("%x", sha256.Sum256(body))
+		blobs[digest] = body
+		digests = append(digests, digest)
+	}
+	cache := &BlobCache{
+		Dir:      filepath.Join(t.TempDir(), "blobs"),
+		MaxBytes: 1500, // fits two entries, not three
+		Fetch: func(_ context.Context, digest string) (io.ReadCloser, error) {
+			b, ok := blobs[digest]
+			if !ok {
+				return nil, ErrBlobUnavailable
+			}
+			return io.NopCloser(strings.NewReader(string(b))), nil
+		},
+	}
+	ctx := context.Background()
+	for i, d := range digests {
+		if _, err := cache.Path(ctx, d); err != nil {
+			t.Fatal(err)
+		}
+		// Space the mtimes out so eviction age ordering is unambiguous.
+		old := time.Now().Add(time.Duration(i-len(digests)) * time.Hour)
+		os.Chtimes(cache.entryName(d), old, old)
+	}
+	if _, err := os.Stat(cache.entryName(digests[0])); !os.IsNotExist(err) {
+		t.Fatalf("oldest blob survived eviction (err=%v)", err)
+	}
+	if _, err := os.Stat(cache.entryName(digests[2])); err != nil {
+		t.Fatalf("just-fetched blob evicted: %v", err)
+	}
+}
+
+// TestCheckpointKillRestart is the crash-tolerance pin: a coordinator
+// checkpoints mid-grid, "crashes" (its server closes with leases still
+// unsettled), and a restarted coordinator over the checkpointed file
+// re-feeds only the still-dirty cells; the resumed run's saved store is
+// byte-identical to an uninterrupted single-process sweep's save.
+func TestCheckpointKillRestart(t *testing.T) {
+	jobs := testJobs(t, 20_000)
+	dir := t.TempDir()
+
+	// The uninterrupted baseline, saved through the same file path.
+	refPath := filepath.Join(dir, "reference.json")
+	ref, err := sweep.OpenStore(refPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := (&sweep.Runner{Store: ref}).Run(jobs); err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.Save(); err != nil {
+		t.Fatal(err)
+	}
+
+	// First life: a worker settles 3 cells through the real upload path,
+	// a 4th is leased but never completed, then the coordinator
+	// checkpoints and crashes.
+	livePath := filepath.Join(dir, "store.json")
+	st, err := sweep.OpenStore(livePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coordA, err := New(Config{Jobs: jobs, Store: st, MaxBatch: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvA := httptest.NewServer(coordA.Handler())
+	var lr LeaseReply
+	postJSON(t, srvA.URL+PathLease, LeaseRequest{Worker: "doomed", Max: 3}, &lr)
+	if len(lr.Jobs) != 3 {
+		t.Fatalf("leased %d cells, want 3", len(lr.Jobs))
+	}
+	results, _, err := (&sweep.Runner{}).Run(lr.Jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := CompleteRequest{LeaseID: lr.LeaseID, Worker: "doomed"}
+	for _, r := range results {
+		wc, err := sweep.SealResult(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Cells = append(req.Cells, wc)
+	}
+	postJSON(t, srvA.URL+PathComplete, req, &CompleteReply{})
+	var stranded LeaseReply // a lease the crash strands mid-flight
+	postJSON(t, srvA.URL+PathLease, LeaseRequest{Worker: "doomed", Max: 1}, &stranded)
+	if err := coordA.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	srvA.Close() // crash
+
+	// Second life: reopen the checkpoint. Only the 5 unsettled cells —
+	// the stranded lease's included — feed out again.
+	re, err := sweep.OpenStore(livePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Len() != 3 {
+		t.Fatalf("checkpoint holds %d cells, want 3", re.Len())
+	}
+	coordB, err := New(Config{Jobs: jobs, Store: re})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := coordB.Status(); s.Cached != 3 || s.Pending != len(jobs)-3 {
+		t.Fatalf("restart status %+v, want 3 cached / %d pending", s, len(jobs)-3)
+	}
+	srvB := httptest.NewServer(coordB.Handler())
+	defer srvB.Close()
+	w := &Worker{URL: srvB.URL, ID: "resumer", Runner: &sweep.Runner{Workers: 2},
+		Rand: rand.New(rand.NewSource(7))}
+	sum, err := w.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Ran != len(jobs)-3 {
+		t.Fatalf("resumed worker ran %d cells, want %d (re-feed only the dirty ones)", sum.Ran, len(jobs)-3)
+	}
+	if err := coordB.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := re.Save(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := os.ReadFile(livePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBytes, err := os.ReadFile(refPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(wantBytes) {
+		t.Fatal("resumed store file differs from the uninterrupted run's save")
+	}
+}
+
+// TestJitterBounds pins the backoff jitter contract: delays spread over
+// [d/2, d], never zero, never past the nominal delay.
+func TestJitterBounds(t *testing.T) {
+	f := &feed{rng: rand.New(rand.NewSource(1))}
+	const d = 100 * time.Millisecond
+	for i := 0; i < 1000; i++ {
+		j := f.jitter(d)
+		if j < d/2 || j > d {
+			t.Fatalf("jitter(%v) = %v, want within [%v, %v]", d, j, d/2, d)
+		}
+	}
+}
+
+// TestValidDigest pins the digest gate both endpoints and the cache rely on.
+func TestValidDigest(t *testing.T) {
+	ok := strings.Repeat("0123456789abcdef", 4)
+	for s, want := range map[string]bool{
+		ok:                      true,
+		strings.ToUpper(ok):     false,
+		ok[:63]:                 false,
+		ok + "0":                false,
+		"../" + ok[3:]:          false,
+		strings.Repeat("g", 64): false,
+		"":                      false,
+	} {
+		if got := ValidDigest(s); got != want {
+			t.Errorf("ValidDigest(%q) = %v, want %v", s, got, want)
+		}
+	}
+}

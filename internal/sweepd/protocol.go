@@ -18,13 +18,18 @@ import (
 	"tlbprefetch/internal/sweep"
 )
 
-// Protocol endpoints (all JSON bodies). Lease, Complete and Heartbeat are
-// POST; Status is GET.
+// Protocol endpoints. Lease, Complete and Heartbeat are POST with JSON
+// bodies; Status is GET; Blob is GET returning raw bytes — PathBlob is a
+// prefix, the trailing path element is the hex SHA-256 of the wanted blob
+// (e.g. GET /v1/blob/3f5a…). When the coordinator is configured with a
+// bearer token, every endpoint requires `Authorization: Bearer <token>`
+// (compared in constant time) and answers 401 otherwise.
 const (
 	PathLease     = "/v1/lease"
 	PathComplete  = "/v1/complete"
 	PathHeartbeat = "/v1/heartbeat"
 	PathStatus    = "/v1/status"
+	PathBlob      = "/v1/blob/"
 )
 
 // LeaseRequest asks the coordinator for a batch of cells.
