@@ -11,6 +11,7 @@ import (
 
 	"tlbprefetch"
 	"tlbprefetch/internal/experiments"
+	"tlbprefetch/internal/multiprog"
 	"tlbprefetch/internal/sweep"
 )
 
@@ -464,3 +465,57 @@ func BenchmarkGroupFanout(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkMixInterleaver measures the multiprogramming interleaver's
+// per-reference scheduling cost: two 2M-reference streams round-robined at
+// a 20k quantum. One interleaving pass feeds every cell of a mix shard, so
+// this sits on the sweep hot path — it must stay allocation-free per
+// reference (allocs/op pins it).
+func BenchmarkMixInterleaver(b *testing.B) {
+	streams := [][]tlbprefetch.Ref{
+		benchTrace(b, "galgel", 2_000_000),
+		benchTrace(b, "gcc", 2_000_000),
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	it := multiprog.NewInterleaver(streams, 20_000)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		_, _, vaddr, ok := it.Next()
+		if !ok {
+			it = multiprog.NewInterleaver(streams, 20_000)
+			continue
+		}
+		sink ^= vaddr
+	}
+	benchSink = sink
+}
+
+// BenchmarkMixExec measures one mix cell end to end: the interleaver
+// feeding a DP,256 Exec under the retain/flush-ASID point — the per-cell
+// cost a mix shard pays on top of the shared interleaving pass.
+func BenchmarkMixExec(b *testing.B) {
+	streams := [][]tlbprefetch.Ref{
+		benchTrace(b, "galgel", 2_000_000),
+		benchTrace(b, "gcc", 2_000_000),
+	}
+	cfg := tlbprefetch.DefaultConfig()
+	mk := func() tlbprefetch.Prefetcher { return tlbprefetch.NewDistance(256, 1, 2) }
+	b.ReportAllocs()
+	b.ResetTimer()
+	it := multiprog.NewInterleaver(streams, 20_000)
+	e := multiprog.NewExec(cfg, multiprog.Retain, multiprog.ASIDFlush, len(streams), mk)
+	for i := 0; i < b.N; i++ {
+		proc, pc, vaddr, ok := it.Next()
+		if !ok {
+			b.StopTimer()
+			it = multiprog.NewInterleaver(streams, 20_000)
+			e = multiprog.NewExec(cfg, multiprog.Retain, multiprog.ASIDFlush, len(streams), mk)
+			b.StartTimer()
+			continue
+		}
+		e.Ref(proc, pc, vaddr)
+	}
+}
+
+var benchSink uint64

@@ -22,6 +22,7 @@ import (
 
 	"tlbprefetch"
 	"tlbprefetch/internal/experiments"
+	"tlbprefetch/internal/multiprog"
 	"tlbprefetch/internal/trace"
 	"tlbprefetch/internal/workload"
 )
@@ -143,6 +144,39 @@ func main() {
 		}))
 	for _, m := range base.Measurements[len(base.Measurements)-2:] {
 		fmt.Fprintf(os.Stderr, "%-24s %-6s %8.2f ns/ref  %12.0f refs/s\n",
+			m.Name, m.Workload, m.NsPerRef, m.RefsPerSec)
+	}
+
+	// The multiprogramming hot path: the interleaver alone (the shared
+	// per-shard pass, pinned allocation-free), then one full mix cell
+	// (interleaver + Exec under retain/ASID-flush with DP,256).
+	streams := [][]trace.Ref{materialize("galgel", n/2), materialize("gcc", n/2)}
+	mkInter := func() func(pc, vaddr uint64) {
+		it := multiprog.NewInterleaver(streams, 20_000)
+		return func(pc, vaddr uint64) {
+			if _, _, _, ok := it.Next(); !ok {
+				it = multiprog.NewInterleaver(streams, 20_000)
+				it.Next()
+			}
+		}
+	}
+	flat := append(append([]trace.Ref(nil), streams[0]...), streams[1]...)
+	base.Measurements = append(base.Measurements,
+		measure("mix/interleaver", "galgel+gcc", flat, *passes, mkInter()))
+	it := multiprog.NewInterleaver(streams, 20_000)
+	e := multiprog.NewExec(tlbprefetch.DefaultConfig(), multiprog.Retain, multiprog.ASIDFlush,
+		len(streams), func() tlbprefetch.Prefetcher { return tlbprefetch.NewDistance(256, 1, 2) })
+	base.Measurements = append(base.Measurements,
+		measure("mix/exec-DP", "galgel+gcc", flat, *passes, func(pc, vaddr uint64) {
+			proc, mpc, mva, ok := it.Next()
+			if !ok {
+				it = multiprog.NewInterleaver(streams, 20_000)
+				proc, mpc, mva, _ = it.Next()
+			}
+			e.Ref(proc, mpc, mva)
+		}))
+	for _, m := range base.Measurements[len(base.Measurements)-2:] {
+		fmt.Fprintf(os.Stderr, "%-24s %-10s %8.2f ns/ref  %12.0f refs/s\n",
 			m.Name, m.Workload, m.NsPerRef, m.RefsPerSec)
 	}
 

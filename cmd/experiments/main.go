@@ -84,7 +84,7 @@ func main() {
 			os.Exit(1)
 		}
 		if n := store.Migrated(); n > 0 {
-			fmt.Fprintf(os.Stderr, "experiments: migrated %d cells from store schema 1 to %d\n", n, sweep.KeySchema)
+			fmt.Fprintf(os.Stderr, "experiments: migrated %d cells from store schema %d to %d\n", n, store.MigratedFrom(), sweep.KeySchema)
 		}
 		opts.Store = store
 		defer func() {

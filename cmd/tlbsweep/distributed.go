@@ -35,11 +35,20 @@ func runServe(cfg sweepConfig, jobs []sweep.Job, store *sweep.Store) (int, error
 		return 1, fmt.Errorf("-tls-cert and -tls-key must be given together")
 	}
 	// Every trace job carries its local path (the coordinator built the
-	// grid, so it has the files); serve them all as blobs.
+	// grid, so it has the files); serve them all as blobs — mix members
+	// included, so a worker can materialize every stream a mix interleaves.
 	blobs := make(map[string]string)
-	for _, j := range jobs {
-		if src := j.Source; src.TraceSHA256 != "" && src.TracePath != "" {
+	addBlob := func(src sweep.Source) {
+		if src.TraceSHA256 != "" && src.TracePath != "" {
 			blobs[src.TraceSHA256] = src.TracePath
+		}
+	}
+	for _, j := range jobs {
+		addBlob(j.Source)
+		if j.Mix != nil {
+			for _, src := range j.Mix.Sources {
+				addBlob(src)
+			}
 		}
 	}
 	ccfg := sweepd.Config{

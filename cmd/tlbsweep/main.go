@@ -1,11 +1,12 @@
 // Command tlbsweep runs a declarative parameter-grid sweep: the cross
-// product of sources (synthetic workloads and recorded traces) × mechanisms
-// × table shapes × TLB geometries × buffer sizes × page sizes × timing
-// points, sharded across the CPU by internal/sweep, with results landing in
-// a content-addressed JSON store. Re-running a sweep against the same store
-// only simulates the cells that are not already present, so growing a study
-// — more workloads, another buffer size, a new miss-penalty point — costs
-// only the new cells.
+// product of sources (synthetic workloads, recorded traces, and
+// multiprogrammed mixes of either) × mechanisms × table shapes × TLB
+// geometries × buffer sizes × page sizes × scheduler points (quantum ×
+// table policy × ASID mode, mix cells) × timing points, sharded across the
+// CPU by internal/sweep, with results landing in a content-addressed JSON
+// store. Re-running a sweep against the same store only simulates the cells
+// that are not already present, so growing a study — more workloads,
+// another buffer size, a new miss-penalty point — costs only the new cells.
 //
 // Besides sweeping, tlbsweep is the store's lifecycle tool: -where renders
 // a stored subset without re-declaring the grid, -figure renders a subset
@@ -23,6 +24,8 @@
 //
 //	tlbsweep -workloads swim,mcf -mechs DP,RP,ASP -entries 64,128,256 -buffer 8,16,32
 //	tlbsweep -workloads SPEC -mechs DP -rows 32,64,128,256,512,1024 -store dp-table.json
+//	tlbsweep -mix galgel+gcc -mechs DP -quantum 5000,20000 -policy retain,flush,per-process -store mix.json
+//	tlbsweep -store mix.json -figure accuracy -where quantum=20000 -format svg > policies.svg
 //	tlbsweep -trace app.trc -mechs none,RP,DP -miss-penalty 50,100,200 -store lat.json
 //	tlbsweep -trace app.trc -mechs none,RP,DP -miss-penalty 100,200 -memop-ratio 0.25,0.5,1 -refs-per-cycle 1,2 -store space.json
 //	tlbsweep -store lat.json -where mech=DP,misspenalty=200 -format csv
@@ -53,6 +56,10 @@ func main() {
 	var (
 		workloads   = flag.String("workloads", "", "comma-separated workload names, suite names (SPEC, MediaBench, Etch, PointerIntensive) or 'all'")
 		traces      = flag.String("trace", "", "comma-separated trace files added to the source axis (digested into the keys)")
+		mixes       = flag.String("mix", "", "comma-separated multiprogrammed mixes, each '+'-joined members (workload names or trace files), e.g. galgel+gcc")
+		quanta      = flag.String("quantum", "", "mix context-switch quantum axis in references (default 20000)")
+		policies    = flag.String("policy", "", "mix prediction-table policy axis: retain, flush, per-process (default retain)")
+		asids       = flag.String("asid", "", "mix translation treatment axis: flush (TLB+buffer emptied per switch) or tagged (default flush)")
 		mechs       = flag.String("mechs", "DP", "comma-separated mechanism kinds: DP, DP-PC, DP2, RP, RP3, MP, ASP, SP, SP-A, none")
 		rows        = flag.String("rows", "256", "prediction-table rows axis (table mechanisms)")
 		ways        = flag.String("ways", "1", "prediction-table associativity axis (table mechanisms)")
@@ -143,14 +150,15 @@ func main() {
 			}
 		})
 	}
-	if !render && *diffPath == "" && *workerURL == "" && *workloads == "" && *traces == "" {
-		fmt.Fprintln(os.Stderr, "tlbsweep: need a source axis: -workloads (names, suites, 'all') and/or -trace files")
+	if !render && *diffPath == "" && *workerURL == "" && *workloads == "" && *traces == "" && *mixes == "" {
+		fmt.Fprintln(os.Stderr, "tlbsweep: need a source axis: -workloads (names, suites, 'all'), -trace files and/or -mix combinations")
 		flag.Usage()
 		os.Exit(2)
 	}
 
 	cfg := sweepConfig{
 		workloads: *workloads, traces: *traces, mechs: *mechs,
+		mixes: *mixes, quanta: *quanta, policies: *policies, asids: *asids,
 		rows: *rows, ways: *ways, slots: *slots,
 		entries: *entries, tlbWays: *tlbWays, buffers: *buffers, pageShift: *pageShift,
 		refs: *refs, warmup: *warmup, seed: *seed,
@@ -175,6 +183,7 @@ func main() {
 // sweepConfig carries the parsed flag surface.
 type sweepConfig struct {
 	workloads, traces, mechs             string
+	mixes, quanta, policies, asids       string
 	rows, ways, slots                    string
 	entries, tlbWays, buffers, pageShift string
 	refs, warmup, seed                   uint64
@@ -233,7 +242,7 @@ func run(cfg sweepConfig) (int, error) {
 			return 1, err
 		}
 		if n := store.Migrated(); n > 0 {
-			fmt.Fprintf(os.Stderr, "tlbsweep: migrated %d cells from store schema 1 to %d\n", n, sweep.KeySchema)
+			fmt.Fprintf(os.Stderr, "tlbsweep: migrated %d cells from store schema %d to %d\n", n, store.MigratedFrom(), sweep.KeySchema)
 		}
 	}
 
@@ -288,7 +297,7 @@ func run(cfg sweepConfig) (int, error) {
 			k := ev.Result.Key
 			fmt.Fprintf(os.Stderr, "[%*d/%d] %-12s %-10s tlb=%d/%d buf=%d ps=%d  acc=%s%s\n",
 				len(fmt.Sprint(ev.Total)), ev.Done, ev.Total,
-				k.Source.Label(), k.Mech.Label(), k.TLBEntries, k.TLBWays, k.Buffer, k.PageShift,
+				k.SourceLabel(), k.Mech.Label(), k.TLBEntries, k.TLBWays, k.Buffer, k.PageShift,
 				stats.F(ev.Result.Stats.Accuracy()), note)
 		}
 	}
@@ -436,6 +445,7 @@ func emit(results []sweep.Result, format string) error {
 // buildGrid parses the axis flags into a sweep.Grid.
 func buildGrid(cfg sweepConfig) (sweep.Grid, error) {
 	g := sweep.Grid{Refs: cfg.refs, Warmup: cfg.warmup, Seed: cfg.seed}
+	var err error
 
 	if cfg.workloads != "" {
 		names, err := resolveWorkloads(cfg.workloads)
@@ -454,6 +464,28 @@ func buildGrid(cfg sweepConfig) (sweep.Grid, error) {
 			return g, err
 		}
 		g.Traces = append(g.Traces, src)
+	}
+	for _, tok := range strings.Split(cfg.mixes, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		mix, err := parseMix(tok)
+		if err != nil {
+			return g, err
+		}
+		g.Mixes = append(g.Mixes, mix)
+	}
+	if cfg.quanta != "" {
+		if g.Quanta, err = parseUints("quantum", cfg.quanta); err != nil {
+			return g, err
+		}
+	}
+	if cfg.policies != "" {
+		g.Policies = splitAxis(cfg.policies)
+	}
+	if cfg.asids != "" {
+		g.ASIDs = splitAxis(cfg.asids)
 	}
 
 	rowAxis, err := parseInts("rows", cfg.rows)
@@ -550,6 +582,44 @@ func buildTimingAxes(cfg sweepConfig) (sweep.TimingAxes, error) {
 		return axes, err
 	}
 	return axes, nil
+}
+
+// parseMix parses one '+'-joined mix spec: each member is a workload
+// registry name, or failing that a trace file path (digested into the key
+// like -trace). The scheduler parameters stay zero here — the grid's
+// -quantum/-policy/-asid axes (or their defaults) fill them in per cell.
+func parseMix(spec string) (sweep.Mix, error) {
+	var mix sweep.Mix
+	for _, tok := range strings.Split(spec, "+") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		if _, ok := workload.ByName(tok); ok {
+			mix.Sources = append(mix.Sources, sweep.WorkloadSource(tok))
+			continue
+		}
+		src, err := sweep.TraceSource(tok)
+		if err != nil {
+			return mix, fmt.Errorf("-mix member %q is neither a workload name nor a readable trace: %w", tok, err)
+		}
+		mix.Sources = append(mix.Sources, src)
+	}
+	if len(mix.Sources) < 2 {
+		return mix, fmt.Errorf("-mix %q needs at least two '+'-joined members", spec)
+	}
+	return mix, nil
+}
+
+// splitAxis splits a comma-separated string axis, trimming blanks.
+func splitAxis(spec string) []string {
+	var out []string
+	for _, tok := range strings.Split(spec, ",") {
+		if tok = strings.TrimSpace(tok); tok != "" {
+			out = append(out, tok)
+		}
+	}
+	return out
 }
 
 // canonicalKind maps case-insensitive user input onto the registry's

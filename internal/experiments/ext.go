@@ -6,10 +6,8 @@ import (
 	"tlbprefetch/internal/cachesim"
 	"tlbprefetch/internal/multiprog"
 	"tlbprefetch/internal/prefetch"
-	"tlbprefetch/internal/sim"
 	"tlbprefetch/internal/stats"
 	"tlbprefetch/internal/sweep"
-	"tlbprefetch/internal/tlb"
 	"tlbprefetch/internal/workload"
 	"tlbprefetch/internal/xrand"
 )
@@ -155,52 +153,64 @@ func FormatExtCache(rows []ExtCacheRow) string {
 
 // --- Extension C: multiprogramming ------------------------------------------
 
-// ExtMultiprogRow is one (quantum, policy) cell.
+// ExtMultiprogRow is one (quantum, policy) cell. Coverage is buffer hits /
+// TLB misses (the metric the paper calls prediction accuracy); Accuracy is
+// used / issued prefetches.
 type ExtMultiprogRow struct {
 	Quantum  uint64
-	Policy   multiprog.Policy
+	Policy   string
+	Coverage float64
 	Accuracy float64
 	Misses   uint64
 }
 
 // ExtMultiprog co-schedules galgel (strided) with gcc (history) and sweeps
-// the context-switch quantum under the three table policies.
+// the context-switch quantum under the three table policies, declared as a
+// mix grid to the sweep engine — so an Options.Store caches the cells like
+// any other experiment, and the rows match a tlbsweep -mix galgel+gcc run
+// cell for cell. Mix cells carry no warmup axis; Options.WarmupRefs is
+// ignored here.
 func ExtMultiprog(opts Options) []ExtMultiprogRow {
-	w1, ok1 := workload.ByName("galgel")
-	w2, ok2 := workload.ByName("gcc")
-	if !ok1 || !ok2 {
-		panic("experiments: multiprog workloads missing")
-	}
-	cfg := sim.Config{
-		TLB:           tlb.Config{Entries: opts.TLBEntries, Ways: opts.TLBWays},
-		BufferEntries: opts.Buffer,
-		PageShift:     opts.PageShift,
-	}
-	var out []ExtMultiprogRow
+	jobs := make([]sweep.Job, 0, 9)
 	for _, quantum := range []uint64{5_000, 20_000, 100_000} {
 		for _, pol := range []multiprog.Policy{multiprog.Retain, multiprog.Flush, multiprog.PerProcess} {
-			res := multiprog.Run(
-				[]workload.Workload{w1, w2}, opts.Refs, quantum, pol,
-				func() prefetch.Prefetcher {
-					return MechConfig{Kind: "DP", Rows: 256, Ways: 1}.Build(opts)
-				}, cfg)
-			out = append(out, ExtMultiprogRow{
-				Quantum:  quantum,
-				Policy:   pol,
-				Accuracy: res.Accuracy,
-				Misses:   res.Misses,
+			jobs = append(jobs, sweep.Job{
+				Mix: &sweep.Mix{
+					Sources: []sweep.Source{sweep.WorkloadSource("galgel"), sweep.WorkloadSource("gcc")},
+					Quantum: quantum,
+					Policy:  pol.String(),
+					ASID:    multiprog.ASIDFlush.String(),
+				},
+				Mech:   MechConfig{Kind: "DP", Rows: 256, Ways: 1}.sweepMech(opts),
+				Config: opts.simConfig(),
+				Refs:   opts.Refs,
 			})
 		}
+	}
+	results := runJobs(nil, opts, jobs)
+	out := make([]ExtMultiprogRow, len(results))
+	for i, r := range results {
+		st := r.Stats
+		row := ExtMultiprogRow{
+			Quantum:  jobs[i].Mix.Quantum,
+			Policy:   jobs[i].Mix.Policy,
+			Coverage: st.Accuracy(),
+			Misses:   st.Misses,
+		}
+		if st.PrefetchesIssued > 0 {
+			row.Accuracy = float64(st.PrefetchesIssued-st.PrefetchesUnused) / float64(st.PrefetchesIssued)
+		}
+		out[i] = row
 	}
 	return out
 }
 
 // FormatExtMultiprog renders the policy sweep.
 func FormatExtMultiprog(rows []ExtMultiprogRow) string {
-	t := stats.NewTable("quantum", "policy", "DP accuracy", "misses")
+	t := stats.NewTable("quantum", "policy", "DP coverage", "accuracy", "misses")
 	for _, r := range rows {
-		t.AddRow(fmt.Sprintf("%d", r.Quantum), r.Policy.String(),
-			stats.F(r.Accuracy), fmt.Sprintf("%d", r.Misses))
+		t.AddRow(fmt.Sprintf("%d", r.Quantum), r.Policy,
+			stats.F(r.Coverage), stats.F(r.Accuracy), fmt.Sprintf("%d", r.Misses))
 	}
 	return t.String()
 }

@@ -2,13 +2,29 @@
 // as ongoing work in §4: "We are also investigating prefetching issues in a
 // multiprogrammed environment (flushing/switching the prefetch tables)".
 //
-// Two (or more) workloads share one CPU round-robin with a context-switch
-// quantum. The TLB is flushed on every switch (no ASIDs, the conservative
-// 2002-era assumption). The question is what to do with the *prefetcher's*
-// prediction state: flush it alongside the TLB, or let the processes share
-// (and pollute) one table. DP's distance table is the interesting case —
-// distances are process-relative, so a shared table suffers cross-process
-// aliasing, while flushing discards warm state every quantum.
+// Two or more reference streams share one CPU round-robin with a
+// context-switch quantum. The TLB, prefetch buffer and prefetcher are one
+// shared hardware pipeline; what differs per cell is the scheduler's
+// treatment of that state at a switch:
+//
+//   - Policy picks what happens to the *prediction tables*: keep one shared
+//     table (Retain), reset it every switch (Flush), or save/restore a
+//     private table per process (PerProcess — the idealized tagged
+//     hardware). DP's distance table is the interesting case: distances are
+//     process-relative, so a shared table suffers cross-process aliasing,
+//     while flushing discards warm state every quantum.
+//   - ASIDMode picks what happens to the *translations*: flush TLB and
+//     prefetch buffer at every switch (ASIDFlush, the conservative 2002-era
+//     assumption of no address-space identifiers), or keep them resident
+//     under ASID-tagged entries (ASIDTagged; the interleaver's per-process
+//     address tagging stands in for the tag match).
+//
+// The package splits the mechanics in two so the sweep runner can share
+// work: an Interleaver deterministically round-robins materialized
+// per-process streams (allocation-free per reference, so one interleaving
+// pass can feed many cells), and an Exec drives one simulator under one
+// (Policy, ASIDMode) pair, attributing counters to the process that was
+// running. Run bundles both for single-cell use.
 package multiprog
 
 import (
@@ -16,6 +32,7 @@ import (
 
 	"tlbprefetch/internal/prefetch"
 	"tlbprefetch/internal/sim"
+	"tlbprefetch/internal/trace"
 	"tlbprefetch/internal/workload"
 )
 
@@ -25,10 +42,9 @@ type Policy int
 const (
 	// Retain keeps one shared prediction table across switches.
 	Retain Policy = iota
-	// Flush resets the prediction table at every switch (the TLB is
-	// flushed in both policies).
+	// Flush resets the prediction table at every switch.
 	Flush
-	// PerProcess gives each process its own table, switched with the
+	// PerProcess gives each process its own table, swapped in with the
 	// process — the idealized hardware (tagged or saved/restored tables).
 	PerProcess
 )
@@ -46,108 +62,326 @@ func (p Policy) String() string {
 	return fmt.Sprintf("Policy(%d)", int(p))
 }
 
-// Result summarizes one multiprogrammed run.
-type Result struct {
-	Policy   Policy
-	Quantum  uint64 // references per scheduling quantum
-	Refs     uint64
-	Misses   uint64
-	Hits     uint64 // prefetch buffer hits
-	Accuracy float64
+// ParsePolicy maps the string spellings ("retain", "flush", "per-process")
+// back to a Policy.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "retain":
+		return Retain, nil
+	case "flush":
+		return Flush, nil
+	case "per-process":
+		return PerProcess, nil
+	}
+	return 0, fmt.Errorf("multiprog: unknown policy %q (retain, flush, per-process)", s)
 }
 
-// Run interleaves the workloads round-robin with the given quantum and
-// mechanism factory, under the given policy. The factory is invoked once
-// for Retain/Flush and once per process for PerProcess.
-func Run(ws []workload.Workload, refsTotal, quantum uint64, policy Policy,
-	mk func() prefetch.Prefetcher, cfg sim.Config) Result {
+// ASIDMode selects the translation treatment at a context switch.
+type ASIDMode int
 
-	if len(ws) == 0 || quantum == 0 {
-		panic("multiprog: need workloads and a positive quantum")
+const (
+	// ASIDFlush flushes the TLB and prefetch buffer at every real switch:
+	// no address-space identifiers, the conservative 2002 assumption.
+	ASIDFlush ASIDMode = iota
+	// ASIDTagged keeps translations resident across switches under
+	// ASID-tagged entries; processes contend for capacity instead.
+	ASIDTagged
+)
+
+// String implements fmt.Stringer.
+func (m ASIDMode) String() string {
+	switch m {
+	case ASIDFlush:
+		return "flush"
+	case ASIDTagged:
+		return "tagged"
 	}
+	return fmt.Sprintf("ASIDMode(%d)", int(m))
+}
 
-	// One reference stream per process, consumed incrementally. The
-	// streams are materialized in chunks via workload.Reader at full
-	// length: refsTotal is split evenly.
-	perProc := refsTotal / uint64(len(ws))
-	readers := make([]func() (uint64, uint64, bool), len(ws))
-	for i, w := range ws {
-		r := workload.Reader(w, perProc)
-		readers[i] = func() (uint64, uint64, bool) {
-			ref, err := r.Read()
-			if err != nil {
-				return 0, 0, false
-			}
-			return ref.PC, ref.VAddr, true
+// ParseASID maps the string spellings ("flush", "tagged") back to an
+// ASIDMode.
+func ParseASID(s string) (ASIDMode, error) {
+	switch s {
+	case "flush":
+		return ASIDFlush, nil
+	case "tagged":
+		return ASIDTagged, nil
+	}
+	return 0, fmt.Errorf("multiprog: unknown asid mode %q (flush, tagged)", s)
+}
+
+// ASIDShift is the bit position of the interleaver's per-process address
+// tag: process i's references carry (i+1)<<ASIDShift, disambiguating
+// address spaces the way an OS (or an ASID tag match) would. Tagging is
+// unconditional — under ASIDFlush the TLB is emptied at every switch, so
+// the tags are inert there — which keeps the interleaved stream identical
+// across every policy and ASID mode sharing one interleaving pass.
+const ASIDShift = 44
+
+// Split divides a total reference budget across n processes: total/n each,
+// with the remainder spread over the earliest processes, so the shares sum
+// to exactly total.
+func Split(total uint64, n int) []uint64 {
+	if n <= 0 {
+		panic("multiprog: need a positive process count")
+	}
+	per, rem := total/uint64(n), total%uint64(n)
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = per
+		if uint64(i) < rem {
+			out[i]++
 		}
 	}
+	return out
+}
 
-	// Shared pipeline state. For PerProcess each process has its own
-	// prefetcher; the TLB and buffer are shared hardware either way.
-	var prefs []prefetch.Prefetcher
-	switch policy {
-	case PerProcess:
-		for range ws {
-			prefs = append(prefs, mk())
-		}
-	default:
-		prefs = []prefetch.Prefetcher{mk()}
+// Interleaver round-robins materialized per-process reference streams with
+// a fixed context-switch quantum. The schedule is a pure function of the
+// stream lengths and the quantum: process 0 runs first, a process runs
+// until its quantum expires or its stream ends, and exhausted processes
+// drop out of the rotation — when one process remains it simply keeps
+// running (no spurious switches to itself). Next is allocation-free.
+type Interleaver struct {
+	streams [][]trace.Ref
+	quantum uint64
+	pos     []int
+	proc    int    // current process
+	left    uint64 // references left in the current quantum
+	live    int    // processes with references remaining
+}
+
+// NewInterleaver builds an interleaver over the given streams. It panics on
+// a zero quantum or an empty stream list; zero-length streams are allowed
+// (the process just never runs).
+func NewInterleaver(streams [][]trace.Ref, quantum uint64) *Interleaver {
+	if len(streams) == 0 || quantum == 0 {
+		panic("multiprog: need streams and a positive quantum")
 	}
-	sims := make([]*sim.Simulator, len(prefs))
-	for i := range prefs {
-		sims[i] = sim.New(cfg, prefs[i])
+	it := &Interleaver{
+		streams: streams,
+		quantum: quantum,
+		pos:     make([]int, len(streams)),
+		proc:    len(streams) - 1, // first advance lands on process 0
 	}
-
-	var agg Result
-	agg.Policy = policy
-	agg.Quantum = quantum
-	active := 0
-	done := make([]bool, len(ws))
-	remaining := len(ws)
-
-	// Address-space disambiguation: each process's pages are offset into
-	// its own region (the models already use disjoint regions, but a
-	// multiprogrammed OS guarantees it; shift by process id to be safe).
-	const asidShift = 44
-
-	for remaining > 0 {
-		if done[active] {
-			active = (active + 1) % len(ws)
-			continue
+	for _, s := range streams {
+		if len(s) > 0 {
+			it.live++
 		}
-		s := sims[0]
-		if policy == PerProcess {
-			s = sims[active]
-		}
-		// Context switch in: flush the TLB (and buffer), and the tables
-		// under the Flush policy.
-		s.TLB().Reset()
-		s.Buffer().Reset()
-		if policy == Flush {
-			s.Prefetcher().Reset()
-		}
-		var executed uint64
-		for executed < quantum {
-			pc, va, ok := readers[active]()
-			if !ok {
-				done[active] = true
-				remaining--
+	}
+	return it
+}
+
+// Next returns the next scheduled reference and the process it belongs to,
+// with the process's ASID tag already applied to the address. ok is false
+// when every stream is exhausted.
+func (it *Interleaver) Next() (proc int, pc, vaddr uint64, ok bool) {
+	if it.live == 0 {
+		return 0, 0, 0, false
+	}
+	if it.left == 0 {
+		// Quantum expired (or first dispatch): rotate to the next process
+		// with references left — possibly the current one, when it is the
+		// only process still running.
+		for i := 1; i <= len(it.streams); i++ {
+			p := (it.proc + i) % len(it.streams)
+			if it.pos[p] < len(it.streams[p]) {
+				it.proc = p
+				it.left = it.quantum
 				break
 			}
-			s.Ref(pc, va|uint64(active+1)<<asidShift)
-			executed++
 		}
-		active = (active + 1) % len(ws)
+	}
+	p := it.proc
+	ref := it.streams[p][it.pos[p]]
+	it.pos[p]++
+	it.left--
+	if it.pos[p] == len(it.streams[p]) {
+		it.live--
+		it.left = 0
+	}
+	return p, ref.PC, ref.VAddr | uint64(p+1)<<ASIDShift, true
+}
+
+// Exec drives one shared simulator pipeline under one (Policy, ASIDMode)
+// pair, fed by an interleaved stream. It detects context switches from the
+// process ids the Interleaver reports — only a *real* process change
+// triggers switch actions, so a lone remaining process runs undisturbed —
+// and attributes the counters accrued between switches to the process that
+// was running.
+type Exec struct {
+	sim    *sim.Simulator
+	policy Policy
+	asid   ASIDMode
+	tables []prefetch.Prefetcher // per-process tables (PerProcess only)
+	cur    int                   // running process (-1 before first dispatch)
+	prev   sim.Stats             // counter snapshot at the last boundary
+	apps   []sim.Stats
+}
+
+// NewExec builds an executor for nprocs processes. mk builds one
+// prediction-table instance; it is invoked once for Retain/Flush and once
+// per process for PerProcess (nil results mean no prefetching).
+func NewExec(cfg sim.Config, policy Policy, asid ASIDMode, nprocs int, mk func() prefetch.Prefetcher) *Exec {
+	if nprocs <= 0 {
+		panic("multiprog: need a positive process count")
+	}
+	e := &Exec{
+		policy: policy,
+		asid:   asid,
+		cur:    -1,
+		apps:   make([]sim.Stats, nprocs),
+	}
+	if policy == PerProcess {
+		e.tables = make([]prefetch.Prefetcher, nprocs)
+		for i := range e.tables {
+			e.tables[i] = mk()
+		}
+		e.sim = sim.New(cfg, e.tables[0])
+	} else {
+		e.sim = sim.New(cfg, mk())
+	}
+	return e
+}
+
+// Ref feeds one scheduled reference (as produced by Interleaver.Next) into
+// the pipeline, performing switch actions when the process changed.
+func (e *Exec) Ref(proc int, pc, vaddr uint64) {
+	if proc != e.cur {
+		e.contextSwitch(proc)
+	}
+	e.sim.Ref(pc, vaddr)
+}
+
+// contextSwitch attributes the outgoing process's counters and applies the
+// configured switch actions. The first dispatch installs the process
+// without any flushing — nothing ran yet, there is nothing to invalidate.
+func (e *Exec) contextSwitch(next int) {
+	e.attribute()
+	if e.cur >= 0 {
+		if e.asid == ASIDFlush {
+			e.sim.TLB().Reset()
+			e.sim.Buffer().Flush()
+		}
+		if e.policy == Flush {
+			e.sim.Prefetcher().Reset()
+		}
+	}
+	if e.policy == PerProcess {
+		e.sim.SwapPrefetcher(e.tables[next])
+	}
+	e.cur = next
+}
+
+// attribute charges the counters accrued since the last boundary to the
+// process that was running. Only the monotonic counters are attributed:
+// PrefetchesUnused counts buffer-resident entries (which later use can
+// shrink), so it is meaningful for the aggregate snapshot only and stays 0
+// in per-process stats.
+func (e *Exec) attribute() {
+	if e.cur < 0 {
+		return
+	}
+	now := e.sim.Stats()
+	now.PrefetchesUnused = 0
+	a := &e.apps[e.cur]
+	a.Refs += now.Refs - e.prev.Refs
+	a.Misses += now.Misses - e.prev.Misses
+	a.BufferHits += now.BufferHits - e.prev.BufferHits
+	a.DemandFetches += now.DemandFetches - e.prev.DemandFetches
+	a.PrefetchesRequested += now.PrefetchesRequested - e.prev.PrefetchesRequested
+	a.PrefetchesIssued += now.PrefetchesIssued - e.prev.PrefetchesIssued
+	a.PrefetchDuplicates += now.PrefetchDuplicates - e.prev.PrefetchDuplicates
+	a.StateMemOps += now.StateMemOps - e.prev.StateMemOps
+	e.prev = now
+}
+
+// ExecResult is an Exec's outcome: the shared pipeline's aggregate counters
+// plus the per-process attribution.
+type ExecResult struct {
+	// Aggregate is the shared pipeline's counters over the whole run,
+	// including the finalized unused-prefetch count.
+	Aggregate sim.Stats
+	// Apps holds one entry per process: the counters accrued while that
+	// process was running. PrefetchesUnused is always 0 here (see
+	// Exec.attribute).
+	Apps []sim.Stats
+}
+
+// Results attributes the final segment and returns the run's counters. The
+// Exec can continue to be fed afterwards; Results may be called again.
+func (e *Exec) Results() ExecResult {
+	e.attribute()
+	return ExecResult{
+		Aggregate: e.sim.Stats(),
+		Apps:      append([]sim.Stats(nil), e.apps...),
+	}
+}
+
+// Result summarizes one multiprogrammed run.
+type Result struct {
+	Policy  Policy
+	ASID    ASIDMode
+	Quantum uint64 // references per scheduling quantum
+	Refs    uint64
+	Misses  uint64
+	Hits    uint64 // prefetch buffer hits
+	// Coverage is Hits/Misses — the fraction of TLB misses the prefetch
+	// buffer absorbed, the metric the paper calls prediction accuracy.
+	Coverage float64
+	// Accuracy is used/issued — the fraction of issued prefetches that
+	// served a miss before being discarded.
+	Accuracy float64
+	// Apps is the per-process attribution (see ExecResult.Apps).
+	Apps []sim.Stats
+}
+
+// Run interleaves the workloads round-robin with the given quantum,
+// mechanism factory, table policy and ASID mode. refsTotal is split across
+// the processes (see Split). The factory is invoked once for Retain/Flush
+// and once per process for PerProcess.
+func Run(ws []workload.Workload, refsTotal, quantum uint64, policy Policy, asid ASIDMode,
+	mk func() prefetch.Prefetcher, cfg sim.Config) Result {
+
+	if len(ws) == 0 || quantum == 0 || refsTotal == 0 {
+		panic("multiprog: need workloads, references and a positive quantum")
+	}
+	shares := Split(refsTotal, len(ws))
+	streams := make([][]trace.Ref, len(ws))
+	for i, w := range ws {
+		buf := make([]trace.Ref, 0, shares[i])
+		workload.Generate(w, shares[i], func(pc, vaddr uint64) bool {
+			buf = append(buf, trace.Ref{PC: pc, VAddr: vaddr})
+			return true
+		})
+		streams[i] = buf
 	}
 
-	for i := range sims {
-		st := sims[i].Stats()
-		agg.Refs += st.Refs
-		agg.Misses += st.Misses
-		agg.Hits += st.BufferHits
+	it := NewInterleaver(streams, quantum)
+	e := NewExec(cfg, policy, asid, len(ws), mk)
+	for {
+		proc, pc, vaddr, ok := it.Next()
+		if !ok {
+			break
+		}
+		e.Ref(proc, pc, vaddr)
 	}
-	if agg.Misses > 0 {
-		agg.Accuracy = float64(agg.Hits) / float64(agg.Misses)
+
+	res := e.Results()
+	agg := res.Aggregate
+	r := Result{
+		Policy:   policy,
+		ASID:     asid,
+		Quantum:  quantum,
+		Refs:     agg.Refs,
+		Misses:   agg.Misses,
+		Hits:     agg.BufferHits,
+		Coverage: agg.Accuracy(),
+		Apps:     res.Apps,
 	}
-	return agg
+	if agg.PrefetchesIssued > 0 {
+		r.Accuracy = float64(agg.PrefetchesIssued-agg.PrefetchesUnused) / float64(agg.PrefetchesIssued)
+	}
+	return r
 }

@@ -1,12 +1,14 @@
 package multiprog
 
 import (
+	"reflect"
 	"testing"
 
 	"tlbprefetch/internal/core"
 	"tlbprefetch/internal/prefetch"
 	"tlbprefetch/internal/sim"
 	"tlbprefetch/internal/tlb"
+	"tlbprefetch/internal/trace"
 	"tlbprefetch/internal/workload"
 )
 
@@ -25,55 +27,253 @@ func pair() []workload.Workload {
 	return []workload.Workload{a, b}
 }
 
-func TestPolicyString(t *testing.T) {
-	if Retain.String() != "retain" || Flush.String() != "flush" || PerProcess.String() != "per-process" {
-		t.Fatal("policy names")
+func TestPolicyStringRoundTrip(t *testing.T) {
+	for _, p := range []Policy{Retain, Flush, PerProcess} {
+		got, err := ParsePolicy(p.String())
+		if err != nil || got != p {
+			t.Fatalf("ParsePolicy(%q) = %v, %v", p.String(), got, err)
+		}
 	}
 	if Policy(99).String() == "" {
 		t.Fatal("unknown policy renders empty")
 	}
+	if _, err := ParsePolicy("keep"); err == nil {
+		t.Fatal("bad policy parsed")
+	}
+}
+
+func TestASIDStringRoundTrip(t *testing.T) {
+	for _, m := range []ASIDMode{ASIDFlush, ASIDTagged} {
+		got, err := ParseASID(m.String())
+		if err != nil || got != m {
+			t.Fatalf("ParseASID(%q) = %v, %v", m.String(), got, err)
+		}
+	}
+	if _, err := ParseASID("asid"); err == nil {
+		t.Fatal("bad asid mode parsed")
+	}
+}
+
+func TestSplitSumsAndSpreads(t *testing.T) {
+	for _, tc := range []struct {
+		total uint64
+		n     int
+		want  []uint64
+	}{
+		{10, 2, []uint64{5, 5}},
+		{11, 2, []uint64{6, 5}},
+		{7, 3, []uint64{3, 2, 2}},
+		{2, 3, []uint64{1, 1, 0}},
+	} {
+		got := Split(tc.total, tc.n)
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("Split(%d, %d) = %v, want %v", tc.total, tc.n, got, tc.want)
+		}
+	}
+}
+
+// synthetic per-process streams where every address names the process, so
+// the schedule is fully checkable.
+func taggedStreams(lens ...int) [][]trace.Ref {
+	out := make([][]trace.Ref, len(lens))
+	for p, n := range lens {
+		s := make([]trace.Ref, n)
+		for i := range s {
+			s[i] = trace.Ref{PC: uint64(p)<<32 | uint64(i), VAddr: uint64(i) << 12}
+		}
+		out[p] = s
+	}
+	return out
+}
+
+func TestInterleaverSchedule(t *testing.T) {
+	// Quantum 3 over streams of 5 and 4: p0 runs 3, p1 runs 3, p0 runs its
+	// last 2 (stream ends mid-quantum → switch), p1 runs its last 1.
+	it := NewInterleaver(taggedStreams(5, 4), 3)
+	var procs []int
+	for {
+		p, _, _, ok := it.Next()
+		if !ok {
+			break
+		}
+		procs = append(procs, p)
+	}
+	want := []int{0, 0, 0, 1, 1, 1, 0, 0, 1}
+	if !reflect.DeepEqual(procs, want) {
+		t.Fatalf("schedule = %v, want %v", procs, want)
+	}
+}
+
+func TestInterleaverLoneSurvivorKeepsRunning(t *testing.T) {
+	// Once one stream is exhausted the survivor must run uninterrupted:
+	// the process id sequence may not switch away and back.
+	it := NewInterleaver(taggedStreams(2, 10), 2)
+	var procs []int
+	for {
+		p, _, _, ok := it.Next()
+		if !ok {
+			break
+		}
+		procs = append(procs, p)
+	}
+	if len(procs) != 12 {
+		t.Fatalf("total refs = %d, want 12", len(procs))
+	}
+	// Everything after p0's last reference must be p1, uninterrupted.
+	last0 := -1
+	for i, p := range procs {
+		if p == 0 {
+			last0 = i
+		}
+	}
+	for i := last0 + 1; i < len(procs); i++ {
+		if procs[i] != 1 {
+			t.Fatalf("after p0 exhausted, schedule %v switches again", procs)
+		}
+	}
+}
+
+func TestInterleaverAppliesASIDTags(t *testing.T) {
+	it := NewInterleaver(taggedStreams(2, 2), 1)
+	for {
+		p, _, vaddr, ok := it.Next()
+		if !ok {
+			break
+		}
+		if got := vaddr >> ASIDShift; got != uint64(p+1) {
+			t.Fatalf("proc %d address tagged %d", p, got)
+		}
+	}
+}
+
+func TestInterleaverZeroLengthStreamNeverRuns(t *testing.T) {
+	it := NewInterleaver(taggedStreams(0, 3), 2)
+	n := 0
+	for {
+		p, _, _, ok := it.Next()
+		if !ok {
+			break
+		}
+		if p != 1 {
+			t.Fatalf("empty stream's process %d was scheduled", p)
+		}
+		n++
+	}
+	if n != 3 {
+		t.Fatalf("refs = %d, want 3", n)
+	}
+}
+
+// TestNoSpuriousFlushAtQuantumBoundary pins the satellite fix: a lone
+// process hitting quantum boundaries must behave exactly like a
+// single-process run — no flushes of any kind, under any policy/ASID pair.
+func TestNoSpuriousFlushAtQuantumBoundary(t *testing.T) {
+	w := pair()[0]
+	var refs []trace.Ref
+	workload.Generate(w, 50_000, func(pc, vaddr uint64) bool {
+		refs = append(refs, trace.Ref{PC: pc, VAddr: vaddr})
+		return true
+	})
+
+	// Reference: one simulator fed the same tagged stream directly.
+	ref := sim.New(simCfg(), mkDP())
+	for _, r := range refs {
+		ref.Ref(r.PC, r.VAddr|1<<ASIDShift)
+	}
+	want := ref.Stats()
+
+	for _, pol := range []Policy{Retain, Flush, PerProcess} {
+		for _, asid := range []ASIDMode{ASIDFlush, ASIDTagged} {
+			// Tiny quantum: thousands of quantum expiries, zero real
+			// switches (the second "process" has an empty stream).
+			it := NewInterleaver([][]trace.Ref{refs, nil}, 100)
+			e := NewExec(simCfg(), pol, asid, 2, mkDP)
+			for {
+				p, pc, vaddr, ok := it.Next()
+				if !ok {
+					break
+				}
+				e.Ref(p, pc, vaddr)
+			}
+			got := e.Results().Aggregate
+			if got != want {
+				t.Errorf("%v/%v: lone process diverges from single-process run:\n got %+v\nwant %+v",
+					pol, asid, got, want)
+			}
+		}
+	}
 }
 
 func TestRunBasics(t *testing.T) {
-	res := Run(pair(), 200_000, 10_000, Retain, mkDP, simCfg())
+	res := Run(pair(), 200_000, 10_000, Retain, ASIDFlush, mkDP, simCfg())
 	if res.Refs == 0 || res.Misses == 0 {
 		t.Fatalf("empty run: %+v", res)
 	}
-	if res.Refs > 200_000 {
-		t.Fatalf("refs %d exceeds budget", res.Refs)
+	if res.Refs != 200_000 {
+		t.Fatalf("refs %d, want the full budget", res.Refs)
+	}
+	if res.Coverage < 0 || res.Coverage > 1 {
+		t.Fatalf("coverage %v", res.Coverage)
 	}
 	if res.Accuracy < 0 || res.Accuracy > 1 {
 		t.Fatalf("accuracy %v", res.Accuracy)
 	}
-	if res.Policy != Retain || res.Quantum != 10_000 {
+	if res.Policy != Retain || res.ASID != ASIDFlush || res.Quantum != 10_000 {
 		t.Fatalf("metadata lost: %+v", res)
+	}
+	if len(res.Apps) != 2 {
+		t.Fatalf("apps = %d", len(res.Apps))
+	}
+	var appRefs, appMisses uint64
+	for _, a := range res.Apps {
+		appRefs += a.Refs
+		appMisses += a.Misses
+		if a.PrefetchesUnused != 0 {
+			t.Fatalf("per-app unused prefetches attributed: %+v", a)
+		}
+	}
+	if appRefs != res.Refs {
+		t.Fatalf("per-app refs sum %d != aggregate %d", appRefs, res.Refs)
+	}
+	if appMisses != res.Misses {
+		t.Fatalf("per-app misses sum %d != aggregate %d", appMisses, res.Misses)
 	}
 }
 
 func TestFlushNeverBeatsPerProcess(t *testing.T) {
 	for _, q := range []uint64{5_000, 50_000} {
-		flush := Run(pair(), 300_000, q, Flush, mkDP, simCfg())
-		perProc := Run(pair(), 300_000, q, PerProcess, mkDP, simCfg())
-		if flush.Accuracy > perProc.Accuracy+0.02 {
+		flush := Run(pair(), 300_000, q, Flush, ASIDFlush, mkDP, simCfg())
+		perProc := Run(pair(), 300_000, q, PerProcess, ASIDFlush, mkDP, simCfg())
+		if flush.Coverage > perProc.Coverage+0.02 {
 			t.Errorf("quantum %d: flush %.3f beats per-process %.3f",
-				q, flush.Accuracy, perProc.Accuracy)
+				q, flush.Coverage, perProc.Coverage)
 		}
 	}
 }
 
 func TestFlushPenaltyShrinksWithQuantum(t *testing.T) {
-	small := Run(pair(), 300_000, 2_000, Flush, mkDP, simCfg())
-	large := Run(pair(), 300_000, 100_000, Flush, mkDP, simCfg())
-	if small.Accuracy > large.Accuracy {
+	small := Run(pair(), 300_000, 2_000, Flush, ASIDFlush, mkDP, simCfg())
+	large := Run(pair(), 300_000, 100_000, Flush, ASIDFlush, mkDP, simCfg())
+	if small.Coverage > large.Coverage {
 		t.Errorf("flush at small quantum %.3f should not beat large quantum %.3f",
-			small.Accuracy, large.Accuracy)
+			small.Coverage, large.Coverage)
+	}
+}
+
+func TestTaggedNeverLosesToASIDFlush(t *testing.T) {
+	// Keeping translations resident across switches can only help a
+	// round-robin pair (they contend for capacity but lose no state).
+	flush := Run(pair(), 300_000, 5_000, Retain, ASIDFlush, mkDP, simCfg())
+	tagged := Run(pair(), 300_000, 5_000, Retain, ASIDTagged, mkDP, simCfg())
+	if tagged.Misses > flush.Misses {
+		t.Errorf("tagged TLB misses %d exceed flushed %d", tagged.Misses, flush.Misses)
 	}
 }
 
 func TestDeterministic(t *testing.T) {
-	a := Run(pair(), 100_000, 7_000, Retain, mkDP, simCfg())
-	b := Run(pair(), 100_000, 7_000, Retain, mkDP, simCfg())
-	if a != b {
+	a := Run(pair(), 100_000, 7_000, Retain, ASIDTagged, mkDP, simCfg())
+	b := Run(pair(), 100_000, 7_000, Retain, ASIDTagged, mkDP, simCfg())
+	if !reflect.DeepEqual(a, b) {
 		t.Fatalf("multiprogrammed run not deterministic: %+v vs %+v", a, b)
 	}
 }
@@ -84,5 +284,5 @@ func TestPanicsOnBadArgs(t *testing.T) {
 			t.Fatal("no panic on zero quantum")
 		}
 	}()
-	Run(pair(), 1000, 0, Retain, mkDP, simCfg())
+	Run(pair(), 1000, 0, Retain, ASIDFlush, mkDP, simCfg())
 }

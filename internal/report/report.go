@@ -148,7 +148,7 @@ func Build(results []sweep.Result, opts Options) (*Figure, error) {
 			seriesIdx[labels[i]] = si
 			f.Series = append(f.Series, labels[i])
 		}
-		gl := r.Key.Source.Label()
+		gl := r.Key.SourceLabel()
 		gi, ok := groupIdx[gl]
 		if !ok {
 			gi = len(f.Groups)
@@ -195,6 +195,9 @@ type facet struct {
 // field carries a short name= prefix so mixed labels stay readable.
 var seriesFacets = []facet{
 	{"mech", func(k sweep.Key) string { return k.Mech.Label() }},
+	{"policy", mixFacet(func(m sweep.Mix) string { return m.Policy })},
+	{"quantum", mixFacet(func(m sweep.Mix) string { return fmt.Sprintf("q=%d", m.Quantum) })},
+	{"asid", mixFacet(func(m sweep.Mix) string { return "asid=" + m.ASID })},
 	{"tlb", func(k sweep.Key) string { return fmt.Sprintf("tlb=%d", k.TLBEntries) }},
 	{"tlbways", func(k sweep.Key) string {
 		if k.TLBWays == 0 {
@@ -225,6 +228,18 @@ var seriesFacets = []facet{
 		}
 		return "rpskip=off"
 	})},
+}
+
+// mixFacet lifts a Mix renderer into a Key facet that is empty for
+// single-source cells, so the scheduler axes (policy as the paper would
+// legend it, quantum, ASID mode) only label mix figures.
+func mixFacet(render func(sweep.Mix) string) func(sweep.Key) string {
+	return func(k sweep.Key) string {
+		if k.Mix == nil {
+			return ""
+		}
+		return render(*k.Mix)
+	}
 }
 
 // timingFacet lifts a Timing renderer into a Key facet that is empty for

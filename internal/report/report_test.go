@@ -259,3 +259,58 @@ func TestSVGEscapesLabels(t *testing.T) {
 		t.Error("escaped title missing")
 	}
 }
+
+// mixCell builds a functional mix result under the given scheduler point.
+func mixCell(quantum uint64, policy, asid string, hits, misses uint64) sweep.Result {
+	j := sweep.Job{
+		Mix: &sweep.Mix{
+			Sources: []sweep.Source{sweep.WorkloadSource("galgel"), sweep.WorkloadSource("gcc")},
+			Quantum: quantum,
+			Policy:  policy,
+			ASID:    asid,
+		},
+		Mech:   dp,
+		Config: sim.Config{TLB: tlb.Config{Entries: 128}, BufferEntries: 16, PageShift: 12},
+		Refs:   1000,
+	}
+	return sweep.Result{
+		Key:   j.Key(),
+		Stats: sim.Stats{Refs: j.Refs, Misses: misses, BufferHits: hits},
+	}
+}
+
+func TestBuildMixPolicySeries(t *testing.T) {
+	// One mix, one quantum, three policies: policy is the only varying
+	// facet, so it alone labels the series — bare, like a paper legend.
+	results := []sweep.Result{
+		mixCell(20_000, "retain", "flush", 70, 100),
+		mixCell(20_000, "flush", "flush", 55, 100),
+		mixCell(20_000, "per-process", "flush", 80, 100),
+	}
+	f, err := Build(results, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := "retain|flush|per-process"; strings.Join(f.Series, "|") != want {
+		t.Errorf("series = %v, want %s", f.Series, want)
+	}
+	if len(f.Groups) != 1 || f.Groups[0].Label != "galgel+gcc" {
+		t.Errorf("groups = %+v, want one galgel+gcc group", f.Groups)
+	}
+}
+
+func TestBuildMixQuantumAndPolicySeries(t *testing.T) {
+	results := []sweep.Result{
+		mixCell(5_000, "retain", "flush", 60, 100),
+		mixCell(5_000, "flush", "flush", 40, 100),
+		mixCell(20_000, "retain", "flush", 70, 100),
+		mixCell(20_000, "flush", "flush", 55, 100),
+	}
+	f, err := Build(results, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := "retain q=5000|flush q=5000|retain q=20000|flush q=20000"; strings.Join(f.Series, "|") != want {
+		t.Errorf("series = %v, want %s", f.Series, want)
+	}
+}

@@ -181,6 +181,18 @@ func (s *Simulator) miss(pc, vpn uint64, evicted uint64, hasEvicted bool, t *tlb
 	}
 }
 
+// SwapPrefetcher replaces the attached mechanism without touching TLB,
+// buffer or counters — the multiprogramming per-process policy's context
+// switch, where each process's prediction tables are saved and restored
+// around one shared pipeline. A nil mechanism installs the no-prefetching
+// baseline.
+func (s *Simulator) SwapPrefetcher(pf prefetch.Prefetcher) {
+	if pf == nil {
+		pf = prefetch.Nop{}
+	}
+	s.pf = pf
+}
+
 // Run drains a trace reader through the simulator.
 func (s *Simulator) Run(src trace.Reader) error {
 	for {

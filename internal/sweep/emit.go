@@ -11,15 +11,20 @@ import (
 // latency axes the cells were run at) appear only when at least one cell
 // carries timing data.
 func Table(results []Result) *stats.Table {
-	timing := false
+	timing, mixed := false, false
 	for _, r := range results {
 		if r.Timing != nil {
 			timing = true
-			break
+		}
+		if r.Key.Mix != nil {
+			mixed = true
 		}
 	}
 	header := []string{"source", "mech", "tlb", "tlbways", "buffer", "pageshift",
 		"refs", "missrate", "accuracy", "misses", "bufferhits", "issued", "memops"}
+	if mixed {
+		header = append(header, "quantum", "policy", "asid")
+	}
 	if timing {
 		header = append(header, "penalty", "memop", "cycles", "CPI")
 	}
@@ -27,7 +32,7 @@ func Table(results []Result) *stats.Table {
 	for _, r := range results {
 		k := r.Key
 		row := []string{
-			k.Source.Label(),
+			k.SourceLabel(),
 			k.Mech.Label(),
 			fmt.Sprintf("%d", k.TLBEntries),
 			fmt.Sprintf("%d", k.TLBWays),
@@ -40,6 +45,13 @@ func Table(results []Result) *stats.Table {
 			fmt.Sprintf("%d", r.Stats.BufferHits),
 			fmt.Sprintf("%d", r.Stats.PrefetchesIssued),
 			fmt.Sprintf("%d", r.Stats.MemOps()),
+		}
+		if mixed {
+			if k.Mix != nil {
+				row = append(row, fmt.Sprintf("%d", k.Mix.Quantum), k.Mix.Policy, k.Mix.ASID)
+			} else {
+				row = append(row, "-", "-", "-")
+			}
 		}
 		if timing {
 			if r.Timing != nil && k.Timing != nil {

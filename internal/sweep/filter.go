@@ -46,11 +46,37 @@ func checkBool(v string) error {
 
 // filterFields maps each recognized field name to its validator + matcher.
 var filterFields = map[string]filterField{
-	"workload": {anyString, func(k Key, v string) bool { return k.Source.Workload == v }},
-	"trace": {anyString, func(k Key, v string) bool {
-		return k.Source.TraceSHA256 != "" && strings.HasPrefix(k.Source.TraceSHA256, strings.ToLower(v))
+	"workload": {anyString, func(k Key, v string) bool {
+		if k.Mix != nil {
+			for _, s := range k.Mix.Sources {
+				if s.Workload == v {
+					return true
+				}
+			}
+			return false
+		}
+		return k.Source.Workload == v
 	}},
-	"source": {anyString, func(k Key, v string) bool { return k.Source.Label() == v }},
+	"trace": {anyString, func(k Key, v string) bool {
+		want := strings.ToLower(v)
+		if k.Mix != nil {
+			for _, s := range k.Mix.Sources {
+				if s.TraceSHA256 != "" && strings.HasPrefix(s.TraceSHA256, want) {
+					return true
+				}
+			}
+			return false
+		}
+		return k.Source.TraceSHA256 != "" && strings.HasPrefix(k.Source.TraceSHA256, want)
+	}},
+	"source": {anyString, func(k Key, v string) bool { return k.SourceLabel() == v }},
+	"mix": {checkBool, func(k Key, v string) bool {
+		want, _ := strconv.ParseBool(v)
+		return (k.Mix != nil) == want
+	}},
+	"quantum": {checkUint, func(k Key, v string) bool { return k.Mix != nil && matchUint(k.Mix.Quantum, v) }},
+	"policy":  {anyString, func(k Key, v string) bool { return k.Mix != nil && k.Mix.Policy == v }},
+	"asid":    {anyString, func(k Key, v string) bool { return k.Mix != nil && k.Mix.ASID == v }},
 	"mech": {anyString, func(k Key, v string) bool {
 		return strings.EqualFold(k.Mech.Kind, v) || strings.EqualFold(k.Mech.Label(), v)
 	}},
@@ -176,11 +202,12 @@ func (f Filter) Select(s *Store) []Result {
 }
 
 // keyLess orders keys by (source label, mech label, TLB entries, TLB ways,
-// buffer, page shift, refs, warmup, seed) and then by the timing axis
-// (miss penalty, memop latency, issue width) — a stable, human-oriented
-// order that never consults hash values.
+// buffer, page shift, refs, warmup, seed), then by the scheduler axis
+// (quantum, policy, asid — mix cells only) and the timing axis (miss
+// penalty, memop latency, issue width) — a stable, human-oriented order
+// that never consults hash values.
 func keyLess(a, b Key) bool {
-	if x, y := a.Source.Label(), b.Source.Label(); x != y {
+	if x, y := a.SourceLabel(), b.SourceLabel(); x != y {
 		return x < y
 	}
 	if x, y := a.Mech.Label(), b.Mech.Label(); x != y {
@@ -206,6 +233,23 @@ func keyLess(a, b Key) bool {
 	}
 	if a.Seed != b.Seed {
 		return a.Seed < b.Seed
+	}
+	var qa, qb uint64
+	var pa, pb, aa, ab string
+	if a.Mix != nil {
+		qa, pa, aa = a.Mix.Quantum, a.Mix.Policy, a.Mix.ASID
+	}
+	if b.Mix != nil {
+		qb, pb, ab = b.Mix.Quantum, b.Mix.Policy, b.Mix.ASID
+	}
+	if qa != qb {
+		return qa < qb
+	}
+	if pa != pb {
+		return pa < pb
+	}
+	if aa != ab {
+		return aa < ab
 	}
 	var ta, tb, la, lb, wa, wb uint64
 	if a.Timing != nil {

@@ -33,11 +33,13 @@ type resultV1 struct {
 	Timing *sim.TimingStats `json:"timing,omitempty"`
 }
 
-// toV2 re-keys a v1 key under schema 2: the workload name becomes a
-// Source, and a timing cell gains the DefaultTiming axis it implicitly
-// carried (v1 had no other cycle model, so the re-keyed cell names the
-// identical simulation and its stored numbers remain valid).
-func (k keyV1) toV2() Key {
+// toCurrent re-keys a v1 key under the current schema: the workload name
+// becomes a Source, and a timing cell gains the DefaultTiming axis it
+// implicitly carried (v1 had no other cycle model, so the re-keyed cell
+// names the identical simulation and its stored numbers remain valid).
+// The later schema changes are purely additive (v3's mix field is absent
+// from every single-source key), so v1 cells jump straight to current.
+func (k keyV1) toCurrent() Key {
 	v2 := Key{
 		Schema:     KeySchema,
 		Source:     WorkloadSource(k.Workload),
@@ -57,8 +59,8 @@ func (k keyV1) toV2() Key {
 	return v2
 }
 
-// migrateV1 converts a parsed v1 results map into the v2 in-memory form,
-// verifying each entry still hashes to its v1 key first (the same
+// migrateV1 converts a parsed v1 results map into the current in-memory
+// form, verifying each entry still hashes to its v1 key first (the same
 // tamper check OpenStore applies to current-schema stores).
 func migrateV1(path string, raw map[string]json.RawMessage) (map[string]Result, error) {
 	out := make(map[string]Result, len(raw))
@@ -75,8 +77,39 @@ func migrateV1(path string, raw map[string]json.RawMessage) (map[string]Result, 
 			return nil, fmt.Errorf("sweep: store %s v1 entry %s does not hash to its key (%s) — corrupt or hand-edited",
 				path, h, got)
 		}
-		r2 := Result{Key: r1.Key.toV2(), Stats: r1.Stats, Timing: r1.Timing}
+		r2 := Result{Key: r1.Key.toCurrent(), Stats: r1.Stats, Timing: r1.Timing}
 		out[r2.Key.Hash()] = r2
+	}
+	return out, nil
+}
+
+// migrateV2 converts a parsed v2 results map into the current in-memory
+// form. A v2 key parses directly into the current Key struct (the mix
+// field, v3's only addition, is absent) and — because Schema is hashed as
+// a plain field — still hashes to its stored v2 address, so every entry is
+// verified against its old hash and then re-keyed by renumbering alone.
+// The stored numbers name the identical simulation and remain valid.
+func migrateV2(path string, raw map[string]json.RawMessage) (map[string]Result, error) {
+	out := make(map[string]Result, len(raw))
+	for h, rawRes := range raw {
+		var r Result
+		if err := json.Unmarshal(rawRes, &r); err != nil {
+			return nil, fmt.Errorf("sweep: store %s entry %s: %w", path, h, err)
+		}
+		if r.Key.Schema != 2 {
+			return nil, fmt.Errorf("sweep: store %s v2 entry %s declares key schema %d — corrupt or hand-edited",
+				path, h, r.Key.Schema)
+		}
+		if r.Key.Mix != nil {
+			return nil, fmt.Errorf("sweep: store %s v2 entry %s carries a mix, which schema 2 cannot express — corrupt or hand-edited",
+				path, h)
+		}
+		if got := r.Key.Hash(); got != h {
+			return nil, fmt.Errorf("sweep: store %s v2 entry %s does not hash to its key (%s) — corrupt or hand-edited",
+				path, h, got)
+		}
+		r.Key.Schema = KeySchema
+		out[r.Key.Hash()] = r
 	}
 	return out, nil
 }

@@ -28,9 +28,9 @@ func fixtureGrids() []Grid {
 	}
 }
 
-func copyFixture(t *testing.T) string {
+func copyFixtureFile(t *testing.T, name string) string {
 	t.Helper()
-	data, err := os.ReadFile("testdata/store_v1.json")
+	data, err := os.ReadFile(filepath.Join("testdata", name))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,18 +41,28 @@ func copyFixture(t *testing.T) string {
 	return path
 }
 
-// TestV1MigrationRoundTrip pins the migration contract: a schema-1 store
-// opens with every cell re-keyed, those cells satisfy the same grids from
-// cache (no recompute), the cached values equal a fresh simulation, and
-// the saved file is a stable schema-2 store.
-func TestV1MigrationRoundTrip(t *testing.T) {
-	path := copyFixture(t)
+func copyFixture(t *testing.T) string {
+	t.Helper()
+	return copyFixtureFile(t, "store_v1.json")
+}
+
+// migrationRoundTrip pins the migration contract for one fixture store: it
+// opens with every cell re-keyed (Migrated/MigratedFrom report the count
+// and old schema), those cells satisfy the same grids from cache (no
+// recompute), the cached values equal a fresh simulation, and the saved
+// file is a stable current-schema store.
+func migrationRoundTrip(t *testing.T, fixture string, fromSchema int) {
+	t.Helper()
+	path := copyFixtureFile(t, fixture)
 	st, err := OpenStore(path)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if st.Migrated() != 18 {
 		t.Fatalf("migrated %d cells, want 18", st.Migrated())
+	}
+	if st.MigratedFrom() != fromSchema {
+		t.Fatalf("migrated from schema %d, want %d", st.MigratedFrom(), fromSchema)
 	}
 	if st.Len() != 18 {
 		t.Fatalf("store has %d cells, want 18", st.Len())
@@ -70,7 +80,8 @@ func TestV1MigrationRoundTrip(t *testing.T) {
 		if sum.Ran != 0 || sum.Cached != len(jobs) {
 			t.Fatalf("migrated store did not satisfy the grid from cache: %+v", sum)
 		}
-		// The v1 numbers must be exactly what the v2 simulator computes.
+		// The old numbers must be exactly what the current simulator
+		// computes.
 		fresh, _, err := (&Runner{}).Run(jobs)
 		if err != nil {
 			t.Fatal(err)
@@ -90,8 +101,8 @@ func TestV1MigrationRoundTrip(t *testing.T) {
 		}
 	}
 
-	// Save rewrites the file as schema 2; reopening is a clean (migration-
-	// free) load with identical contents.
+	// Save rewrites the file under the current schema; reopening is a clean
+	// (migration-free) load with identical contents.
 	if err := st.Save(); err != nil {
 		t.Fatal(err)
 	}
@@ -106,6 +117,40 @@ func TestV1MigrationRoundTrip(t *testing.T) {
 	b2, _ := re.Bytes()
 	if !bytes.Equal(b1, b2) {
 		t.Fatal("migrated store changed across save/load")
+	}
+}
+
+// TestV1MigrationRoundTrip pins the v1 → current contract against the
+// fixture the schema-1 binary wrote.
+func TestV1MigrationRoundTrip(t *testing.T) {
+	migrationRoundTrip(t, "store_v1.json", 1)
+}
+
+// TestV2MigrationRoundTrip pins the v2 → current contract against the
+// fixture the schema-2 binary wrote: the same 18 cells, reopened with zero
+// recomputes under schema 3 (a v2 key parses straight into the v3 layout —
+// the mix field is absent — so migration is verification + renumbering).
+func TestV2MigrationRoundTrip(t *testing.T) {
+	migrationRoundTrip(t, "store_v2.json", 2)
+}
+
+// TestV2MigrationRejectsTampering keeps the hash check alive through the
+// v2 migration path.
+func TestV2MigrationRejectsTampering(t *testing.T) {
+	path := copyFixtureFile(t, "store_v2.json")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := bytes.Replace(data, []byte(`"refs": 20000`), []byte(`"refs": 99999`), 1)
+	if bytes.Equal(data, tampered) {
+		t.Fatal("tamper target not found")
+	}
+	if err := os.WriteFile(path, tampered, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenStore(path); err == nil {
+		t.Fatal("tampered v2 store migrated without error")
 	}
 }
 

@@ -6,6 +6,8 @@ import (
 	"runtime"
 	"sync"
 
+	"tlbprefetch/internal/multiprog"
+	"tlbprefetch/internal/prefetch"
 	"tlbprefetch/internal/sim"
 	"tlbprefetch/internal/tlb"
 	"tlbprefetch/internal/trace"
@@ -56,9 +58,13 @@ type Runner struct {
 // functional cells) one sim.Group: same stream (source, seed, length) and
 // same TLB-frontend geometry. Buffer size, mechanism — and for timing
 // shards the cycle-model constants — may differ within a shard; they live
-// in the per-member back half.
+// in the per-member back half. Mix cells key on the interleaved stream's
+// fingerprint (member sources + quantum) instead of a single source; the
+// switch policy and ASID mode live in the back half because the tagged
+// stream they consume is identical (see Mix.streamFingerprint).
 type shardKey struct {
-	source    Source // canonical: workload name or trace digest
+	source    Source // canonical: workload name or trace digest (single-source cells)
+	mix       string // Mix.streamFingerprint ("" for single-source cells)
 	tlbCfg    tlb.Config
 	pageShift uint
 	refs      uint64
@@ -69,9 +75,12 @@ type shardKey struct {
 
 // shard is one worker unit: the indices (into the caller's job slice) of
 // the cells it settles, plus the local path when the stream is a trace.
+// Mix shards keep the first member job's Mix, whose sources carry the
+// local trace paths the stream materializes from.
 type shard struct {
 	key       shardKey
 	tracePath string
+	mix       *Mix
 	indices   []int
 }
 
@@ -86,7 +95,11 @@ func (r *Runner) Run(jobs []Job) ([]Result, Summary, error) {
 	hashes := make([]string, len(jobs))
 	for i, j := range jobs {
 		if err := j.Validate(); err != nil {
-			return nil, sum, fmt.Errorf("job %d (%s/%s): %w", i, j.Source.Label(), j.Mech.Label(), err)
+			label := j.Source.Label()
+			if j.Mix != nil {
+				label = j.Mix.Label()
+			}
+			return nil, sum, fmt.Errorf("job %d (%s/%s): %w", i, label, j.Mech.Label(), err)
 		}
 		hashes[i] = j.Key().Hash()
 	}
@@ -112,6 +125,31 @@ func (r *Runner) Run(jobs []Job) ([]Result, Summary, error) {
 				}
 				continue
 			}
+		}
+		if j.Mix != nil {
+			for mi, src := range j.Mix.Sources {
+				if src.IsTrace() {
+					if err := r.verifyTrace(src, verified); err != nil {
+						return nil, sum, fmt.Errorf("job %d mix member %d: %w", i, mi, err)
+					}
+				} else if _, ok := resolve(src.Workload); !ok {
+					return nil, sum, fmt.Errorf("job %d mix member %d: unknown workload %q", i, mi, src.Workload)
+				}
+			}
+			k := shardKey{
+				mix:       j.Mix.streamFingerprint(),
+				tlbCfg:    tlb.Config{Entries: j.Config.TLB.Entries, Ways: canonicalTLBWays(j.Config.TLB)},
+				pageShift: j.Config.PageShift,
+				refs:      j.Refs,
+			}
+			si, ok := byKey[k]
+			if !ok {
+				si = len(shards)
+				byKey[k] = si
+				shards = append(shards, &shard{key: k, mix: j.Mix})
+			}
+			shards[si].indices = append(shards[si].indices, i)
+			continue
 		}
 		if j.Source.IsTrace() {
 			if err := r.verifyTrace(j.Source, verified); err != nil {
@@ -270,6 +308,9 @@ func (r *Runner) stream(sh *shard, resolve func(string) (workload.Workload, bool
 // runShard simulates one shard: one generation pass over the reference
 // stream feeding every member cell.
 func (r *Runner) runShard(sh *shard, jobs []Job, resolve func(string) (workload.Workload, bool), settle func(int, Result)) error {
+	if sh.mix != nil {
+		return r.runMixShard(sh, jobs, resolve, settle)
+	}
 	if sh.key.timing {
 		return r.runTimingShard(sh, jobs, resolve, settle)
 	}
@@ -299,6 +340,100 @@ func (r *Runner) runShard(sh *shard, jobs []Job, resolve func(string) (workload.
 	for mi, s := range g.Members() {
 		idx := sh.indices[mi]
 		settle(idx, Result{Key: jobs[idx].Key(), Stats: s.Stats()})
+	}
+	return nil
+}
+
+// materializeStream produces the first n references of one mix member as a
+// slice the interleaver can rotate over. Synthetic members regenerate from
+// the workload model at its registry seed (mix cells carry no seed axis);
+// trace members replay the recording and fail if it ends early.
+func (r *Runner) materializeStream(src Source, n uint64, resolve func(string) (workload.Workload, bool)) ([]trace.Ref, error) {
+	refs := make([]trace.Ref, 0, n)
+	if !src.IsTrace() {
+		w, _ := resolve(src.Workload) // presence checked during sharding
+		workload.Generate(w, n, func(pc, vaddr uint64) bool {
+			refs = append(refs, trace.Ref{PC: pc, VAddr: vaddr})
+			return true
+		})
+		return refs, nil
+	}
+	open := r.OpenTrace
+	if open == nil {
+		open = func(src Source) (trace.Reader, io.Closer, error) {
+			return trace.OpenFile(src.TracePath)
+		}
+	}
+	tr, closer, err := open(src)
+	if err != nil {
+		return nil, err
+	}
+	if closer != nil {
+		defer closer.Close()
+	}
+	for uint64(len(refs)) < n {
+		ref, err := tr.Read()
+		if err == io.EOF {
+			return nil, fmt.Errorf("sweep: trace %s ends after %d of the %d references its mix share needs",
+				src.Label(), len(refs), n)
+		}
+		if err != nil {
+			return nil, err
+		}
+		refs = append(refs, ref)
+	}
+	return refs, nil
+}
+
+// runMixShard simulates one mix shard: the cell's reference budget is split
+// across the member sources, each member stream is materialized once, and a
+// single round-robin interleaving pass feeds every member cell's Exec. The
+// interleaver tags addresses unconditionally, so cells differing in switch
+// policy, ASID mode, mechanism or buffer size consume the identical stream
+// — exactly what the shard key promises.
+func (r *Runner) runMixShard(sh *shard, jobs []Job, resolve func(string) (workload.Workload, bool), settle func(int, Result)) error {
+	canon := sh.mix.Canonical()
+	shares := multiprog.Split(sh.key.refs, len(sh.mix.Sources))
+	streams := make([][]trace.Ref, len(sh.mix.Sources))
+	for i, src := range sh.mix.Sources {
+		s, err := r.materializeStream(src, shares[i], resolve)
+		if err != nil {
+			return err
+		}
+		streams[i] = s
+	}
+
+	execs := make([]*multiprog.Exec, len(sh.indices))
+	for mi, idx := range sh.indices {
+		j := jobs[idx]
+		m := j.Mix.Canonical()
+		pol, err := multiprog.ParsePolicy(m.Policy)
+		if err != nil {
+			return err
+		}
+		asid, err := multiprog.ParseASID(m.ASID)
+		if err != nil {
+			return err
+		}
+		mech := j.Mech
+		execs[mi] = multiprog.NewExec(j.Config, pol, asid, len(streams), func() prefetch.Prefetcher {
+			return mech.Build()
+		})
+	}
+
+	it := multiprog.NewInterleaver(streams, canon.Quantum)
+	for {
+		proc, pc, vaddr, ok := it.Next()
+		if !ok {
+			break
+		}
+		for _, e := range execs {
+			e.Ref(proc, pc, vaddr)
+		}
+	}
+	for mi, idx := range sh.indices {
+		res := execs[mi].Results()
+		settle(idx, Result{Key: jobs[idx].Key(), Stats: res.Aggregate, Apps: res.Apps})
 	}
 	return nil
 }

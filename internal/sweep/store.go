@@ -15,10 +15,12 @@ import (
 )
 
 // Result is one completed cell: its identity plus the measured counters.
-// Timing is set only for cycle-model cells.
+// Timing is set only for cycle-model cells; Apps only for mix cells (one
+// per-process attribution entry per mix member, scheduling order).
 type Result struct {
 	Key    Key              `json:"key"`
 	Stats  sim.Stats        `json:"stats"`
+	Apps   []sim.Stats      `json:"apps,omitempty"`
 	Timing *sim.TimingStats `json:"timing,omitempty"`
 }
 
@@ -56,11 +58,12 @@ func binaryVersion() string {
 // for concurrent use by the Runner's workers. A Store may be purely
 // in-memory (NewStore) or bound to a JSON file (OpenStore + Save).
 type Store struct {
-	mu       sync.Mutex
-	saveMu   sync.Mutex // serializes Saves: a checkpoint and a final save must not reorder
-	path     string
-	results  map[string]Result
-	migrated int // cells re-keyed from an older schema at open time
+	mu         sync.Mutex
+	saveMu     sync.Mutex // serializes Saves: a checkpoint and a final save must not reorder
+	path       string
+	results    map[string]Result
+	migrated   int // cells re-keyed from an older schema at open time
+	fromSchema int // the schema those cells were stored under (0 when none)
 }
 
 // NewStore returns an empty in-memory store.
@@ -70,12 +73,14 @@ func NewStore() *Store {
 
 // OpenStore binds a store to a JSON file, loading its contents when the
 // file exists (a missing file is an empty store, not an error). Schema-1
-// stores migrate transparently: every cell is verified against its v1
-// hash, re-keyed under schema 2 (see keyV1.toV2), and reported via
-// Migrated; the file itself is rewritten as v2 on the next Save. Unseeded
-// grids then satisfy every migrated cell from cache; grids with a nonzero
-// base seed derive their per-cell streams from the key layout and
-// therefore name fresh cells across the schema change (see DeriveSeed).
+// and schema-2 stores migrate transparently: every cell is verified
+// against its stored hash under its old schema, re-keyed under the current
+// one (see keyV1.toCurrent and migrateV2), and reported via Migrated /
+// MigratedFrom; the file itself is rewritten under the current schema on
+// the next Save. Unseeded grids then satisfy every migrated cell from
+// cache; grids with a nonzero base seed derive their per-cell streams from
+// the key layout and therefore name fresh cells across a schema change
+// that reshapes the layout (v3 does not — see DeriveSeed).
 func OpenStore(path string) (*Store, error) {
 	s := NewStore()
 	s.path = path
@@ -121,6 +126,15 @@ func OpenStore(path string) (*Store, error) {
 		}
 		s.results = migrated
 		s.migrated = len(migrated)
+		s.fromSchema = 1
+	case 2:
+		migrated, err := migrateV2(path, f.Results)
+		if err != nil {
+			return nil, err
+		}
+		s.results = migrated
+		s.migrated = len(migrated)
+		s.fromSchema = 2
 	default:
 		return nil, fmt.Errorf("sweep: store %s has schema %d, this binary speaks %d (delete or migrate it)",
 			path, f.Schema, KeySchema)
@@ -134,6 +148,10 @@ func (s *Store) Path() string { return s.path }
 // Migrated returns how many cells were re-keyed from an older schema when
 // the store was opened (0 for current-schema and in-memory stores).
 func (s *Store) Migrated() int { return s.migrated }
+
+// MigratedFrom returns the schema the migrated cells were stored under (0
+// when the store opened without migrating).
+func (s *Store) MigratedFrom() int { return s.fromSchema }
 
 // Len returns the number of stored results.
 func (s *Store) Len() int {

@@ -48,7 +48,13 @@ import (
 //	    and the cycle model's constants are key axes (see Timing).
 //	    v1 stores migrate transparently on open — v1 timing cells re-key
 //	    to the default Timing axis they always meant.
-const KeySchema = 2
+//	v3: multiprogrammed mixes are first-class sources (see Mix): a Key
+//	    carries either a single Source or a Mix (member sources +
+//	    context-switch quantum + table policy + ASID mode). v1 and v2
+//	    stores migrate transparently on open; a v2 key encodes
+//	    identically under v3 (the mix field is absent), so every v2 cell
+//	    re-keys with only its schema number changing.
+const KeySchema = 3
 
 // Mech names one prefetching-mechanism configuration, fully resolved (no
 // harness-level defaulting left). The zero parameters of kinds that ignore
@@ -175,8 +181,13 @@ func (m Mech) Build() prefetch.Prefetcher {
 type Job struct {
 	// Source is the reference stream: a synthetic workload (resolved via
 	// workload.ByName unless the Runner is given a custom resolver) or a
-	// recorded trace file.
+	// recorded trace file. Exactly one of Source and Mix is set.
 	Source Source
+	// Mix, when non-nil, makes the cell multiprogrammed: the mix's member
+	// sources are interleaved round-robin under its scheduler parameters
+	// and Source stays zero. Mix cells run the functional simulator and
+	// carry no Warmup, Seed or Timing.
+	Mix *Mix
 	// Mech is the prefetching mechanism (fully resolved; see Mech).
 	Mech Mech
 	// Config is the simulator configuration (TLB geometry, buffer size,
@@ -204,8 +215,13 @@ type Job struct {
 // contribute their digest (not their local path), and timing cells
 // contribute the full constant set of their cycle model.
 type Key struct {
-	Schema     int     `json:"schema"`
-	Source     Source  `json:"source"`
+	Schema int    `json:"schema"`
+	Source Source `json:"source"`
+	// Mix is set for multiprogrammed cells (canonical form) and absent
+	// otherwise. Absence keeps a single-source key's canonical JSON — and
+	// therefore its hash — identical to its schema-2 encoding, which is
+	// what lets v2 stores migrate by re-numbering alone.
+	Mix        *Mix    `json:"mix,omitempty"`
 	Mech       Mech    `json:"mech"`
 	TLBEntries int     `json:"tlb_entries"`
 	TLBWays    int     `json:"tlb_ways"`
@@ -244,11 +260,25 @@ func (j Job) Key() Key {
 		Warmup:     j.Warmup,
 		Seed:       j.Seed,
 	}
+	if j.Mix != nil {
+		m := j.Mix.Canonical()
+		k.Mix = &m
+	}
 	if j.Timing != nil {
 		t := j.Timing.Normalize()
 		k.Timing = &t
 	}
 	return k
+}
+
+// SourceLabel renders the cell's stream for tables, progress lines and
+// figure groups: the mix label ("galgel+gcc") for multiprogrammed cells,
+// the source label otherwise.
+func (k Key) SourceLabel() string {
+	if k.Mix != nil {
+		return k.Mix.Label()
+	}
+	return k.Source.Label()
 }
 
 // Hash returns the key's content address: the hex SHA-256 of its canonical
@@ -263,7 +293,26 @@ func (k Key) Hash() string {
 
 // Validate reports whether the job can run.
 func (j Job) Validate() error {
-	if err := j.Source.Validate(); err != nil {
+	if j.Mix != nil {
+		if j.Source.Workload != "" || j.Source.TraceSHA256 != "" {
+			return fmt.Errorf("sweep: a cell carries either a source or a mix, not both")
+		}
+		if err := j.Mix.Validate(); err != nil {
+			return err
+		}
+		// Mix cells are deliberately narrow: the members' own calibrated
+		// streams (no derived seeds), the functional simulator, and no
+		// statistics fast-forward.
+		if j.Seed != 0 {
+			return fmt.Errorf("sweep: mix cells replay the members' own streams and cannot carry a stream seed")
+		}
+		if j.Warmup != 0 {
+			return fmt.Errorf("sweep: mix cells do not support warmup")
+		}
+		if j.Timing != nil {
+			return fmt.Errorf("sweep: mix cells run the functional simulator, not the cycle model")
+		}
+	} else if err := j.Source.Validate(); err != nil {
 		return err
 	}
 	if j.Source.IsTrace() && j.Seed != 0 {
@@ -336,8 +385,19 @@ type Grid struct {
 	// Workloads are synthetic-registry names; Traces are recorded trace
 	// sources (see TraceSource). Both contribute to the source axis,
 	// workloads first.
-	Workloads  []string
-	Traces     []Source
+	Workloads []string
+	Traces    []Source
+	// Mixes are multiprogrammed sources, enumerated after the single
+	// sources. Each mix is crossed with the scheduler axes: Quanta
+	// (context-switch quanta in refs), Policies (table policies) and
+	// ASIDs (ASID modes). An empty scheduler axis falls back to the mix's
+	// own field, then to the default (DefaultQuantum / "retain" /
+	// "flush"). Mix cells ignore Seed and are incompatible with Warmup
+	// and the timing axes.
+	Mixes      []Mix
+	Quanta     []uint64
+	Policies   []string
+	ASIDs      []string
 	Mechs      []Mech
 	TLBEntries []int
 	TLBWays    []int // 0 = fully associative
@@ -367,11 +427,19 @@ func (g Grid) Jobs() ([]Job, error) {
 		sources = append(sources, WorkloadSource(w))
 	}
 	sources = append(sources, g.Traces...)
-	if len(sources) == 0 {
-		return nil, fmt.Errorf("sweep: grid needs at least one workload or trace source")
+	if len(sources) == 0 && len(g.Mixes) == 0 {
+		return nil, fmt.Errorf("sweep: grid needs at least one workload, trace or mix source")
 	}
 	if len(g.Mechs) == 0 {
 		return nil, fmt.Errorf("sweep: grid needs at least one mechanism")
+	}
+	if len(g.Mixes) > 0 {
+		if g.Warmup != 0 {
+			return nil, fmt.Errorf("sweep: mix cells do not support warmup — split warmup grids and mix grids")
+		}
+		if len(g.Timings) > 0 || !g.TimingAxes.Empty() || g.Timing {
+			return nil, fmt.Errorf("sweep: mix cells run the functional simulator — a grid cannot cross mixes with timing axes")
+		}
 	}
 	timings := make([]*Timing, 0, 1)
 	switch {
@@ -418,6 +486,17 @@ func (g Grid) Jobs() ([]Job, error) {
 
 	seen := make(map[string]bool)
 	var jobs []Job
+	add := func(j Job) error {
+		if err := j.Validate(); err != nil {
+			return err
+		}
+		h := j.Key().Hash()
+		if !seen[h] {
+			seen[h] = true
+			jobs = append(jobs, j)
+		}
+		return nil
+	}
 	for _, src := range sources {
 		for _, m := range g.Mechs {
 			for _, e := range entries {
@@ -440,15 +519,61 @@ func (g Grid) Jobs() ([]Job, error) {
 								if !src.IsTrace() {
 									j.Seed = DeriveSeed(g.Seed, j.Key())
 								}
-								if err := j.Validate(); err != nil {
+								if err := add(j); err != nil {
 									return nil, err
 								}
-								h := j.Key().Hash()
-								if seen[h] {
-									continue
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	for _, mix := range g.Mixes {
+		quanta := g.Quanta
+		if len(quanta) == 0 {
+			q := mix.Quantum
+			if q == 0 {
+				q = DefaultQuantum
+			}
+			quanta = []uint64{q}
+		}
+		policies := g.Policies
+		if len(policies) == 0 {
+			policies = []string{mix.Canonical().Policy}
+		}
+		asids := g.ASIDs
+		if len(asids) == 0 {
+			asids = []string{mix.Canonical().ASID}
+		}
+		for _, m := range g.Mechs {
+			for _, e := range entries {
+				for _, tw := range ways {
+					for _, b := range buffers {
+						for _, ps := range shifts {
+							for _, q := range quanta {
+								for _, pol := range policies {
+									for _, as := range asids {
+										j := Job{
+											Mix: &Mix{
+												Sources: mix.Sources,
+												Quantum: q,
+												Policy:  pol,
+												ASID:    as,
+											},
+											Mech: m.Normalize(),
+											Config: sim.Config{
+												TLB:           tlb.Config{Entries: e, Ways: tw},
+												BufferEntries: b,
+												PageShift:     ps,
+											},
+											Refs: refs,
+										}
+										if err := add(j); err != nil {
+											return nil, err
+										}
+									}
 								}
-								seen[h] = true
-								jobs = append(jobs, j)
 							}
 						}
 					}

@@ -175,7 +175,7 @@ func TestStoreRejectsUnknownSchemaCells(t *testing.T) {
 	if err == nil {
 		t.Fatal("store with an unknown-schema cell opened without error")
 	}
-	for _, want := range []string{"schema 3", "speaks 2"} {
+	for _, want := range []string{"schema 4", "speaks 3"} {
 		if !strings.Contains(err.Error(), want) {
 			t.Errorf("error %q does not name the schemas (want %q)", err, want)
 		}

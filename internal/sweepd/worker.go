@@ -359,6 +359,30 @@ func (f *feed) NextBatch() ([]sweep.Job, error) {
 				}
 				j.Source.TracePath = path
 			}
+			if j.Mix != nil {
+				// j is a copy, but its Mix is a shared pointer — deep-copy
+				// before filling in local trace paths, or every lease of
+				// the same mix would alias one mutated Sources slice.
+				m := *j.Mix
+				m.Sources = append([]sweep.Source(nil), j.Mix.Sources...)
+				var failed error
+				for i := range m.Sources {
+					if !m.Sources[i].IsTrace() {
+						continue
+					}
+					path, err := f.resolveTrace(m.Sources[i].TraceSHA256)
+					if err != nil {
+						failed = err
+						break
+					}
+					m.Sources[i].TracePath = path
+				}
+				if failed != nil {
+					f.prefailed = append(f.prefailed, CellFailure{Hash: h, Err: failed.Error()})
+					continue
+				}
+				j.Mix = &m
+			}
 			runnable = append(runnable, j)
 		}
 		f.w.logf("sweepd: %s: leased %d cells (%s)", f.w.id(), len(rep.Jobs), rep.LeaseID)

@@ -126,6 +126,20 @@ func (p *PrefetchBuffer) UnusedInEpoch() uint64 {
 	return n
 }
 
+// Flush empties the buffer the way a context switch does: every resident
+// entry is a prefetch that never served a miss, so each counts as evicted
+// unused (lifetime and current-epoch) before the storage clears. Counters
+// and the statistics epoch survive — use Reset to also forget statistics.
+func (p *PrefetchBuffer) Flush() {
+	for sl := p.s.Head(0); sl >= 0; sl = p.s.Next(sl) {
+		p.evicted++
+		if p.s.Val(sl).epoch == p.epoch {
+			p.evictedEpoch++
+		}
+	}
+	p.s.Reset()
+}
+
 // Reset empties the buffer and clears statistics.
 func (p *PrefetchBuffer) Reset() {
 	p.s.Reset()
