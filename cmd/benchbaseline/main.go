@@ -81,6 +81,118 @@ func measure(name, wname string, refs []trace.Ref, passes int, ref func(pc, vadd
 	}
 }
 
+// writeTrace records refs to dir in the given binary encoding and returns
+// the file path.
+func writeTrace(dir, format string, refs []trace.Ref) string {
+	path := dir + "/bench-" + format + ".trc"
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchbaseline:", err)
+		os.Exit(1)
+	}
+	var (
+		tw     trace.Writer
+		finish func() error
+	)
+	if format == "v1" {
+		x, werr := trace.NewBinaryWriter(f)
+		if werr != nil {
+			err = werr
+		} else {
+			tw, finish = x, func() error { return x.FinishCount(f) }
+		}
+	} else {
+		x, werr := trace.NewBlockWriter(f)
+		if werr != nil {
+			err = werr
+		} else {
+			tw, finish = x, func() error { return x.FinishCount(f) }
+		}
+	}
+	if err == nil {
+		for _, r := range refs {
+			if err = tw.Write(r); err != nil {
+				break
+			}
+		}
+	}
+	if err == nil {
+		err = finish()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchbaseline:", err)
+		os.Exit(1)
+	}
+	return path
+}
+
+// measureTrace times full passes over a trace file: batched or per-ref
+// decode, optionally feeding the baseline (no-prefetcher) simulator.
+func measureTrace(name, wname, path string, passes int, batched, sim bool) Measurement {
+	var total uint64
+	var sink uint64
+	start := time.Now()
+	for p := 0; p < passes; p++ {
+		r, closer, err := trace.OpenFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchbaseline:", err)
+			os.Exit(1)
+		}
+		var s *tlbprefetch.Simulator
+		if sim {
+			s = tlbprefetch.NewSimulator(tlbprefetch.DefaultConfig(), nil)
+		}
+		switch {
+		case batched && sim:
+			if err := s.RunBatch(trace.AsBatch(r)); err != nil {
+				fmt.Fprintln(os.Stderr, "benchbaseline:", err)
+				os.Exit(1)
+			}
+			total += s.Stats().Refs
+		case batched:
+			src := trace.AsBatch(r)
+			var buf [4096]trace.Ref
+			for {
+				k, err := src.ReadBatch(buf[:])
+				if err != nil {
+					break
+				}
+				for i := 0; i < k; i++ {
+					sink ^= buf[i].VAddr
+				}
+				total += uint64(k)
+			}
+		default:
+			for {
+				ref, err := r.Read()
+				if err != nil {
+					break
+				}
+				if sim {
+					s.Ref(ref.PC, ref.VAddr)
+				} else {
+					sink ^= ref.VAddr
+				}
+				total++
+			}
+		}
+		closer.Close()
+	}
+	el := time.Since(start)
+	_ = sink
+	ns := float64(el.Nanoseconds()) / float64(total)
+	return Measurement{
+		Name:       name,
+		Workload:   wname,
+		Refs:       total,
+		NsPerRef:   ns,
+		RefsPerSec: 1e9 / ns,
+	}
+}
+
 func main() {
 	out := flag.String("out", "BENCH_baseline.json", "output file ('-' for stdout only)")
 	nrefs := flag.Float64("refs", 2e6, "trace length per measurement")
@@ -177,6 +289,40 @@ func main() {
 		}))
 	for _, m := range base.Measurements[len(base.Measurements)-2:] {
 		fmt.Fprintf(os.Stderr, "%-24s %-10s %8.2f ns/ref  %12.0f refs/s\n",
+			m.Name, m.Workload, m.NsPerRef, m.RefsPerSec)
+	}
+
+	// Trace decode and file-backed replay: the per-reference v1 read loop
+	// every consumer paid before batching, against batched decode of both
+	// binary encodings, then end-to-end replay (decode + baseline
+	// simulator) per path.
+	mcf := materialize("mcf", n)
+	dir, err := os.MkdirTemp("", "benchtrace")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchbaseline:", err)
+		os.Exit(1)
+	}
+	defer os.RemoveAll(dir)
+	tracePaths := map[string]string{
+		"v1": writeTrace(dir, "v1", mcf),
+		"v2": writeTrace(dir, "v2", mcf),
+	}
+	tr := []struct {
+		name    string
+		path    string
+		batched bool
+		sim     bool
+	}{
+		{"trace/decode-v1-perref", tracePaths["v1"], false, false},
+		{"trace/decode-v1", tracePaths["v1"], true, false},
+		{"trace/decode-v2", tracePaths["v2"], true, false},
+		{"trace/replay-v1-perref", tracePaths["v1"], false, true},
+		{"trace/replay-v2-batched", tracePaths["v2"], true, true},
+	}
+	for _, t := range tr {
+		m := measureTrace(t.name, "mcf", t.path, *passes, t.batched, t.sim)
+		base.Measurements = append(base.Measurements, m)
+		fmt.Fprintf(os.Stderr, "%-24s %-6s %8.2f ns/ref  %12.0f refs/s\n",
 			m.Name, m.Workload, m.NsPerRef, m.RefsPerSec)
 	}
 

@@ -159,21 +159,24 @@ func buildMechanism(kind string, rows, ways, slots int) (tlbprefetch.Prefetcher,
 
 func runTrace(cfg tlbprefetch.Config, timingConfig func() tlbprefetch.TimingConfig,
 	pf tlbprefetch.Prefetcher, path string, text, timing bool) error {
-	f, err := os.Open(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-
 	var r tlbprefetch.TraceReader
 	if text {
-		r = tlbprefetch.NewTextTraceReader(f)
-	} else {
-		br, err := tlbprefetch.NewBinaryTraceReader(f)
+		// Forced text mode, for text traces whose first bytes happen to
+		// collide with the binary magic.
+		f, err := os.Open(path)
 		if err != nil {
 			return err
 		}
-		r = br
+		defer f.Close()
+		r = tlbprefetch.NewTextTraceReader(f)
+	} else {
+		// Auto-detect text, v1 and v2 binary from the leading bytes.
+		or, closer, err := tlbprefetch.OpenTraceFile(path)
+		if err != nil {
+			return err
+		}
+		defer closer.Close()
+		r = or
 	}
 	if timing {
 		s := tlbprefetch.NewTimingSimulator(timingConfig(), pf)

@@ -1,21 +1,27 @@
 // Command tracegen writes a workload model's reference stream to a trace
-// file (binary by default, text with -text), for driving tlbsim, tlbsweep's
-// trace-source axis, or external tools. It prints the SHA-256 digest of the
-// written file — the identity trace-backed sweep keys embed — and refuses
-// to overwrite an existing file unless -force is given, so a digest a grid
-// already references cannot be clobbered by accident.
+// file, or converts an existing trace between encodings. Three encodings
+// are supported: the block-structured delta-encoded v2 binary (the
+// default — typically 2-6 bytes per record, batched decode), the
+// fixed-width v1 binary (16 bytes per record) and the human-readable text
+// format. It prints the SHA-256 digest of the written file — the identity
+// trace-backed sweep keys embed — and refuses to overwrite an existing
+// file unless -force is given, so a digest a grid already references
+// cannot be clobbered by accident.
+//
+// Conversion is lossless and deterministic: the record stream round-trips
+// exactly, and converting the same input twice yields byte-identical
+// output (a stable digest).
 //
 // Examples:
 //
 //	tracegen -workload swim -refs 5000000 -o swim.trc
-//	tracegen -workload gsm-enc -refs 100000 -text -o gsm.txt
-//	tracegen -workload mcf -refs 1000000 -o mcf.trc -force
+//	tracegen -workload gsm-enc -refs 100000 -format text -o gsm.txt
+//	tracegen -workload mcf -refs 1000000 -format v1 -o mcf.trc -force
+//	tracegen -convert mcf-v1.trc -o mcf.trc            # to v2 (default)
+//	tracegen -convert mcf.trc -format text -o mcf.txt  # back out to text
 package main
 
 import (
-	"bufio"
-	"crypto/sha256"
-	"encoding/hex"
 	"flag"
 	"fmt"
 	"io"
@@ -24,32 +30,86 @@ import (
 	"tlbprefetch"
 )
 
+// finisher is the writer-side completion hook: text traces only need a
+// buffer flush, binary traces patch the record count into the header.
+type finisher func(f *os.File) error
+
+// newWriter builds the output-format writer over f.
+func newWriter(format string, f *os.File) (tlbprefetch.TraceWriter, finisher, error) {
+	switch format {
+	case "text":
+		tw := tlbprefetch.NewTextTraceWriter(f)
+		return tw, func(*os.File) error { return tw.Flush() }, nil
+	case "v1":
+		tw, err := tlbprefetch.NewBinaryTraceWriter(f)
+		if err != nil {
+			return nil, nil, err
+		}
+		return tw, func(f *os.File) error { return tw.FinishCount(f) }, nil
+	case "v2":
+		tw, err := tlbprefetch.NewBlockTraceWriter(f)
+		if err != nil {
+			return nil, nil, err
+		}
+		return tw, func(f *os.File) error { return tw.FinishCount(f) }, nil
+	}
+	return nil, nil, fmt.Errorf("unknown -format %q (text, v1, v2)", format)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}
+
 func main() {
 	var (
 		workloadName = flag.String("workload", "", "workload model to emit (see tlbsim -list)")
+		convert      = flag.String("convert", "", "input trace to re-encode instead of generating (format auto-detected)")
 		refs         = flag.Uint64("refs", 1_000_000, "references to generate")
 		out          = flag.String("o", "", "output file (default: <workload>.trc or .txt)")
-		text         = flag.Bool("text", false, "write the human-readable text format")
+		format       = flag.String("format", "v2", "output encoding: v2 (block binary), v1 (fixed binary), text")
+		text         = flag.Bool("text", false, "write the text format (alias for -format text)")
 		force        = flag.Bool("force", false, "overwrite the output file if it already exists")
 	)
 	flag.Parse()
 
-	if *workloadName == "" {
-		fmt.Fprintln(os.Stderr, "tracegen: need -workload")
+	if *text {
+		*format = "text"
+	}
+	if (*workloadName == "") == (*convert == "") {
+		fmt.Fprintln(os.Stderr, "tracegen: need exactly one of -workload or -convert")
 		os.Exit(2)
 	}
-	w, ok := tlbprefetch.WorkloadByName(*workloadName)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "tracegen: unknown workload %q\n", *workloadName)
-		os.Exit(1)
+
+	var (
+		src   tlbprefetch.TraceBatchReader
+		srcC  io.Closer
+		label string
+	)
+	if *convert != "" {
+		r, closer, err := tlbprefetch.OpenTraceFile(*convert)
+		if err != nil {
+			fatal(err)
+		}
+		src, srcC, label = tlbprefetch.AsBatchTraceReader(r), closer, *convert
+	} else {
+		w, ok := tlbprefetch.WorkloadByName(*workloadName)
+		if !ok {
+			fatal(fmt.Errorf("unknown workload %q", *workloadName))
+		}
+		label = w.Name
 	}
 
 	path := *out
 	if path == "" {
-		if *text {
-			path = w.Name + ".txt"
+		if *convert != "" {
+			fmt.Fprintln(os.Stderr, "tracegen: -convert needs an explicit -o (refusing to guess a name next to the input)")
+			os.Exit(2)
+		}
+		if *format == "text" {
+			path = *workloadName + ".txt"
 		} else {
-			path = w.Name + ".trc"
+			path = *workloadName + ".trc"
 		}
 	}
 	flags := os.O_WRONLY | os.O_CREATE | os.O_TRUNC
@@ -64,45 +124,44 @@ func main() {
 			fmt.Fprintf(os.Stderr, "tracegen: %s already exists (its digest may be referenced by sweep grids); use -force to overwrite\n", path)
 			os.Exit(1)
 		}
-		fmt.Fprintln(os.Stderr, "tracegen:", err)
-		os.Exit(1)
+		fatal(err)
 	}
-	// Hash the exact bytes written so the printed digest matches what
-	// sweep.TraceSource will compute when a grid references the file.
-	hash := sha256.New()
-	bw := bufio.NewWriterSize(io.MultiWriter(f, hash), 1<<20)
 
+	tw, finish, err := newWriter(*format, f)
+	if err != nil {
+		f.Close()
+		fatal(err)
+	}
 	var n uint64
-	if *text {
-		tw := tlbprefetch.NewTextTraceWriter(bw)
-		n, err = tlbprefetch.GenerateWorkload(w, *refs, tw)
-		if err == nil {
-			err = tw.Flush()
+	if *convert != "" {
+		n, err = tlbprefetch.CopyTrace(tw, src)
+		if cerr := srcC.Close(); err == nil {
+			err = cerr
 		}
 	} else {
-		var tw interface {
-			Write(tlbprefetch.Ref) error
-			Flush() error
-		}
-		tw, err = tlbprefetch.NewBinaryTraceWriter(bw)
-		if err == nil {
-			n, err = tlbprefetch.GenerateWorkload(w, *refs, tw.(tlbprefetch.TraceWriter))
-		}
-		if err == nil {
-			err = tw.Flush()
-		}
+		w, _ := tlbprefetch.WorkloadByName(*workloadName)
+		n, err = tlbprefetch.GenerateWorkload(w, *refs, tw)
 	}
 	if err == nil {
-		err = bw.Flush()
+		// The binary finishers patch the record count into the header, so
+		// the digest must be taken from the finished file, not hashed
+		// inline while streaming.
+		err = finish(f)
 	}
 	if cerr := f.Close(); err == nil {
 		err = cerr
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "tracegen:", err)
-		os.Exit(1)
+		fatal(err)
 	}
-	digest := hex.EncodeToString(hash.Sum(nil))
-	fmt.Printf("wrote %d references of %s to %s\n", n, w.Name, path)
+	digest, err := tlbprefetch.DigestTraceFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	if *convert != "" {
+		fmt.Printf("converted %d references from %s to %s (%s)\n", n, label, path, *format)
+	} else {
+		fmt.Printf("wrote %d references of %s to %s\n", n, label, path)
+	}
 	fmt.Printf("sha256 %s\n", digest)
 }

@@ -1,0 +1,109 @@
+package multiprog
+
+import (
+	"io"
+
+	"tlbprefetch/internal/trace"
+)
+
+// streamBuf is the per-process buffer a StreamInterleaver keeps: one batch
+// refill per 4096 references makes the refill cost invisible next to the
+// simulation work the scheduled stream feeds.
+const streamBuf = 4096
+
+// StreamInterleaver is Interleaver over streaming sources: it round-robins
+// trace.BatchReaders instead of materialized slices, holding only one
+// buffered chunk per process. The schedule — and therefore the interleaved
+// reference stream — is bit-identical to an Interleaver over the fully
+// materialized streams (pinned by TestStreamInterleaverMatchesSlice): same
+// rotation rule, same quantum accounting, and a process drops out of the
+// rotation the moment its last reference is consumed, because the buffer is
+// refilled eagerly right then.
+//
+// A source error stops the schedule: Next returns ok=false and Err reports
+// the error. Callers must check Err after draining.
+type StreamInterleaver struct {
+	srcs    []trace.BatchReader
+	bufs    [][]trace.Ref // current chunk per process (refs at pos[p]:)
+	pos     []int
+	quantum uint64
+	proc    int    // current process
+	left    uint64 // references left in the current quantum
+	live    int    // processes with references remaining
+	err     error
+}
+
+// NewStreamInterleaver builds an interleaver over the given sources. It
+// panics on a zero quantum or an empty source list; sources that are
+// exhausted from the start are allowed (the process just never runs).
+func NewStreamInterleaver(srcs []trace.BatchReader, quantum uint64) *StreamInterleaver {
+	if len(srcs) == 0 || quantum == 0 {
+		panic("multiprog: need streams and a positive quantum")
+	}
+	it := &StreamInterleaver{
+		srcs:    srcs,
+		bufs:    make([][]trace.Ref, len(srcs)),
+		pos:     make([]int, len(srcs)),
+		quantum: quantum,
+		proc:    len(srcs) - 1, // first advance lands on process 0
+	}
+	for p := range srcs {
+		it.bufs[p] = make([]trace.Ref, 0, streamBuf)
+		it.refill(p)
+		if len(it.bufs[p]) > 0 {
+			it.live++
+		}
+	}
+	return it
+}
+
+// refill replaces process p's buffer with the source's next chunk. An
+// exhausted source leaves the buffer empty; a source error is recorded
+// (first one wins) and stops the schedule.
+func (it *StreamInterleaver) refill(p int) {
+	buf := it.bufs[p][:cap(it.bufs[p])]
+	n, err := it.srcs[p].ReadBatch(buf)
+	it.bufs[p] = buf[:n]
+	it.pos[p] = 0
+	if err != nil && err != io.EOF && it.err == nil {
+		it.err = err
+	}
+}
+
+// Err returns the first source error, if any. The schedule stops at the
+// error; references delivered before it are valid.
+func (it *StreamInterleaver) Err() error { return it.err }
+
+// Next returns the next scheduled reference and the process it belongs to,
+// with the process's ASID tag already applied to the address. ok is false
+// when every stream is exhausted or a source failed.
+func (it *StreamInterleaver) Next() (proc int, pc, vaddr uint64, ok bool) {
+	if it.live == 0 || it.err != nil {
+		return 0, 0, 0, false
+	}
+	if it.left == 0 {
+		for i := 1; i <= len(it.srcs); i++ {
+			p := (it.proc + i) % len(it.srcs)
+			if it.pos[p] < len(it.bufs[p]) {
+				it.proc = p
+				it.left = it.quantum
+				break
+			}
+		}
+	}
+	p := it.proc
+	ref := it.bufs[p][it.pos[p]]
+	it.pos[p]++
+	it.left--
+	if it.pos[p] == len(it.bufs[p]) {
+		// Eager refill: the rotation must know *now* whether this process
+		// still has references, exactly like the slice interleaver's
+		// pos==len check.
+		it.refill(p)
+		if len(it.bufs[p]) == 0 {
+			it.live--
+			it.left = 0
+		}
+	}
+	return p, ref.PC, ref.VAddr | uint64(p+1)<<ASIDShift, true
+}

@@ -1,0 +1,113 @@
+package sim
+
+import (
+	"testing"
+
+	"tlbprefetch/internal/tlb"
+	"tlbprefetch/internal/trace"
+	"tlbprefetch/internal/workload"
+)
+
+func batchTestStream(t *testing.T, wname string, n int) []trace.Ref {
+	t.Helper()
+	w, ok := workload.ByName(wname)
+	if !ok {
+		t.Fatalf("workload %s missing", wname)
+	}
+	refs := make([]trace.Ref, 0, n)
+	workload.Generate(w, uint64(n), func(pc, vaddr uint64) bool {
+		refs = append(refs, trace.Ref{PC: pc, VAddr: vaddr})
+		return true
+	})
+	return refs
+}
+
+// TestSimulatorBatchEquivalence is the differential contract of the batched
+// entry points: RefBatch over any chunking of a stream must produce Stats
+// byte-identical to per-reference Ref calls, for every mechanism family.
+func TestSimulatorBatchEquivalence(t *testing.T) {
+	cfg := Config{TLB: tlb.Config{Entries: 32}, BufferEntries: 8, PageShift: 12}
+	refs := batchTestStream(t, "mcf", 60_000)
+	for i, pf := range equivMechs() {
+		perRef := New(cfg, pf)
+		for _, r := range refs {
+			perRef.Ref(r.PC, r.VAddr)
+		}
+		batched := New(cfg, equivMechs()[i])
+		// Deliberately ragged chunk sizes, including empty chunks.
+		for pos, k := 0, 0; pos < len(refs); k++ {
+			sz := []int{1, 0, 7, 4096, 333, 65_536}[k%6]
+			if sz > len(refs)-pos {
+				sz = len(refs) - pos
+			}
+			batched.RefBatch(refs[pos : pos+sz])
+			pos += sz
+		}
+		got, want := batched.Stats(), perRef.Stats()
+		if got != want {
+			t.Errorf("mechanism %d (%s): batched %+v != per-ref %+v",
+				i, perRef.Prefetcher().Name(), got, want)
+		}
+	}
+}
+
+// TestSimulatorRunUsesBatchPath pins that Run over a batch-capable reader
+// equals the historical per-Read loop.
+func TestSimulatorRunUsesBatchPath(t *testing.T) {
+	cfg := Config{TLB: tlb.Config{Entries: 32}, BufferEntries: 8, PageShift: 12}
+	refs := batchTestStream(t, "gzip", 50_000)
+	for i, pf := range equivMechs() {
+		viaRun := New(cfg, pf)
+		if err := viaRun.Run(trace.NewSliceReader(refs)); err != nil {
+			t.Fatal(err)
+		}
+		perRef := New(cfg, equivMechs()[i])
+		for _, r := range refs {
+			perRef.Ref(r.PC, r.VAddr)
+		}
+		if got, want := viaRun.Stats(), perRef.Stats(); got != want {
+			t.Errorf("mechanism %d: Run %+v != per-ref %+v", i, got, want)
+		}
+	}
+}
+
+// TestGroupBatchEquivalence extends the shared-frontend differential
+// contract to RunBatch: a chunk-fed group (both shared and heterogeneous
+// fan-out) must match the per-Ref group exactly.
+func TestGroupBatchEquivalence(t *testing.T) {
+	refs := batchTestStream(t, "swim", 60_000)
+	homo := Config{TLB: tlb.Config{Entries: 32}, BufferEntries: 8, PageShift: 12}
+	hetero := Config{TLB: tlb.Config{Entries: 64, Ways: 4}, BufferEntries: 8, PageShift: 12}
+
+	for _, shared := range []bool{true, false} {
+		mkGroup := func() *Group {
+			g := NewGroup()
+			for i, pf := range equivMechs() {
+				cfg := homo
+				if !shared && i == 0 {
+					cfg = hetero
+				}
+				g.Add(New(cfg, pf))
+			}
+			return g
+		}
+		perRef := mkGroup()
+		if perRef.SharedFrontend() != shared {
+			t.Fatalf("shared=%v: unexpected frontend strategy", shared)
+		}
+		for _, r := range refs {
+			perRef.Ref(r.PC, r.VAddr)
+		}
+		batched := mkGroup()
+		if err := batched.RunBatch(trace.NewSliceReader(refs)); err != nil {
+			t.Fatal(err)
+		}
+		for i := range perRef.Members() {
+			got := batched.Members()[i].Stats()
+			want := perRef.Members()[i].Stats()
+			if got != want {
+				t.Errorf("shared=%v member %d: batched %+v != per-ref %+v", shared, i, got, want)
+			}
+		}
+	}
+}

@@ -112,16 +112,60 @@ func (g *Group) Ref(pc, vaddr uint64) {
 	}
 }
 
-// Run drains a trace reader through the group.
+// RefBatch delivers a chunk of references to every member — exactly
+// len(refs) calls to Ref with the strategy decision and canonical-TLB
+// loads hoisted out of the loop.
+func (g *Group) RefBatch(refs []trace.Ref) {
+	if len(refs) == 0 {
+		return
+	}
+	if !g.prepared {
+		g.prepare()
+	}
+	g.started = true
+	if !g.shared {
+		for _, m := range g.members {
+			m.RefBatch(refs)
+		}
+		return
+	}
+	front := g.members[0]
+	shift := front.cfg.PageShift
+	t := front.tlb
+	for i := range refs {
+		vpn := refs[i].VAddr >> shift
+		if t.Access(vpn) {
+			for _, m := range g.members {
+				m.stat.Refs++
+			}
+			continue
+		}
+		evicted, hasEvicted := t.Insert(vpn)
+		for _, m := range g.members {
+			m.stat.Refs++
+			m.miss(refs[i].PC, vpn, evicted, hasEvicted, t)
+		}
+	}
+}
+
+// Run drains a trace reader through the group. Readers with a native batch
+// decode path are consumed in chunks automatically.
 func (g *Group) Run(src trace.Reader) error {
+	return g.RunBatch(trace.AsBatch(src))
+}
+
+// RunBatch drains a batch reader through the group in cache-sized chunks.
+// The simulated stream is identical to Run over the same records.
+func (g *Group) RunBatch(src trace.BatchReader) error {
+	var buf [runBatchChunk]trace.Ref
 	for {
-		ref, err := src.Read()
+		n, err := src.ReadBatch(buf[:])
 		if err == io.EOF {
 			return nil
 		}
 		if err != nil {
 			return err
 		}
-		g.Ref(ref.PC, ref.VAddr)
+		g.RefBatch(buf[:n])
 	}
 }

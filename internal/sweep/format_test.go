@@ -1,0 +1,114 @@
+package sweep
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tlbprefetch/internal/sim"
+	"tlbprefetch/internal/trace"
+	"tlbprefetch/internal/workload"
+)
+
+// recordTraceFormat records a workload in one of the three trace encodings.
+func recordTraceFormat(t *testing.T, path, workloadName, format string, refs uint64) Source {
+	t.Helper()
+	w, ok := workload.ByName(workloadName)
+	if !ok {
+		t.Fatalf("unknown workload %q", workloadName)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var (
+		tw     trace.Writer
+		finish func() error
+	)
+	switch format {
+	case "text":
+		x := trace.NewTextWriter(f)
+		tw, finish = x, x.Flush
+	case "v1":
+		x, err := trace.NewBinaryWriter(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tw, finish = x, func() error { return x.FinishCount(f) }
+	case "v2":
+		x, err := trace.NewBlockWriter(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tw, finish = x, func() error { return x.FinishCount(f) }
+	default:
+		t.Fatalf("unknown format %q", format)
+	}
+	if _, err := workload.GenerateTo(w, refs, tw); err != nil {
+		t.Fatal(err)
+	}
+	if err := finish(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	src, err := TraceSource(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return src
+}
+
+// TestTraceFormatsStatsIdentical is the cross-encoding differential
+// contract: one recording stored as text, v1 and v2 must produce
+// bit-identical cell statistics (the keys differ only by content digest),
+// for functional, warmup, timing and mix cells alike.
+func TestTraceFormatsStatsIdentical(t *testing.T) {
+	dir := t.TempDir()
+	formats := []string{"text", "v1", "v2"}
+	srcs := make(map[string]Source)
+	mixSrcs := make(map[string]Source)
+	for _, fm := range formats {
+		srcs[fm] = recordTraceFormat(t, filepath.Join(dir, "a-"+fm+".trc"), "gap", fm, 30_000)
+		mixSrcs[fm] = recordTraceFormat(t, filepath.Join(dir, "b-"+fm+".trc"), "swim", fm, 30_000)
+	}
+	// All three encodings carry the same records but different bytes, so
+	// their content digests — and cell keys — must differ.
+	if srcs["text"].TraceSHA256 == srcs["v1"].TraceSHA256 || srcs["v1"].TraceSHA256 == srcs["v2"].TraceSHA256 {
+		t.Fatal("different encodings hashed identically")
+	}
+
+	timing := DefaultTiming()
+	jobs := func(src, mixMate Source) []Job {
+		mech := Mech{Kind: "DP", Rows: 256, Ways: 1, Slots: 2}
+		return []Job{
+			{Source: src, Mech: mech, Config: sim.Default(), Refs: 20_000, Warmup: 5_000},
+			{Source: src, Mech: mech, Config: sim.Default(), Refs: 20_000, Timing: &timing},
+			{Mix: &Mix{Sources: []Source{src, mixMate}, Quantum: 500, Policy: "retain", ASID: "tagged"},
+				Mech: mech, Config: sim.Default(), Refs: 20_000},
+		}
+	}
+	var base []Result
+	for _, fm := range formats {
+		res, _, err := (&Runner{}).Run(jobs(srcs[fm], mixSrcs[fm]))
+		if err != nil {
+			t.Fatalf("%s: %v", fm, err)
+		}
+		if base == nil {
+			base = res
+			continue
+		}
+		for i := range res {
+			if res[i].Stats != base[i].Stats {
+				t.Errorf("%s job %d: stats %+v != %s baseline %+v", fm, i, res[i].Stats, formats[0], base[i].Stats)
+			}
+			if res[i].Timing != nil && *res[i].Timing != *base[i].Timing {
+				t.Errorf("%s job %d: timing stats diverge", fm, i)
+			}
+			if res[i].Key.Hash() == base[i].Key.Hash() {
+				t.Errorf("%s job %d: key identical to the %s cell — digest not in the key?", fm, i, formats[0])
+			}
+		}
+	}
+}

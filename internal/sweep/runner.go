@@ -258,40 +258,66 @@ func (r *Runner) verifyTrace(src Source, verified map[string]string) error {
 	return nil
 }
 
+// streamChunk is the chunk size the runner streams references in: the
+// decode (or generation) cost of a chunk amortizes over 4096 references
+// while the chunk itself stays cache-resident for the simulators walking
+// it.
+const streamChunk = 4096
+
+// openTrace resolves the trace-opening hook.
+func (r *Runner) openTrace() func(src Source) (trace.Reader, io.Closer, error) {
+	if r.OpenTrace != nil {
+		return r.OpenTrace
+	}
+	return func(src Source) (trace.Reader, io.Closer, error) {
+		return trace.OpenFile(src.TracePath)
+	}
+}
+
 // stream drives one generation pass over the shard's reference stream:
-// perRef is called for every reference, warmup included. Synthetic streams
-// regenerate from the workload model; trace streams replay the recording
-// and fail if it ends before the cells' reference budget.
-func (r *Runner) stream(sh *shard, resolve func(string) (workload.Workload, bool), total uint64, perRef func(pc, vaddr uint64)) error {
+// perBatch is called with successive chunks whose lengths sum to exactly
+// total, warmup included. Synthetic streams regenerate from the workload
+// model; trace streams replay the recording in batched decode chunks and
+// fail if it ends before the cells' reference budget.
+func (r *Runner) stream(sh *shard, resolve func(string) (workload.Workload, bool), total uint64, perBatch func(refs []trace.Ref)) error {
+	var buf [streamChunk]trace.Ref
 	if !sh.key.source.IsTrace() {
 		w, _ := resolve(sh.key.source.Workload) // presence checked during sharding
 		if sh.key.seed != 0 {
 			w.Seed = sh.key.seed
 		}
+		n := 0
 		workload.Generate(w, total, func(pc, vaddr uint64) bool {
-			perRef(pc, vaddr)
+			buf[n] = trace.Ref{PC: pc, VAddr: vaddr}
+			n++
+			if n == streamChunk {
+				perBatch(buf[:])
+				n = 0
+			}
 			return true
 		})
-		return nil
-	}
-	open := r.OpenTrace
-	if open == nil {
-		open = func(src Source) (trace.Reader, io.Closer, error) {
-			return trace.OpenFile(src.TracePath)
+		if n > 0 {
+			perBatch(buf[:n])
 		}
+		return nil
 	}
 	src := sh.key.source
 	src.TracePath = sh.tracePath
-	tr, closer, err := open(src)
+	tr, closer, err := r.openTrace()(src)
 	if err != nil {
 		return err
 	}
 	if closer != nil {
 		defer closer.Close()
 	}
+	b := trace.AsBatch(tr)
 	var n uint64
 	for n < total {
-		ref, err := tr.Read()
+		want := uint64(streamChunk)
+		if rem := total - n; rem < want {
+			want = rem
+		}
+		k, err := b.ReadBatch(buf[:want])
 		if err == io.EOF {
 			return fmt.Errorf("sweep: trace %s ends after %d of the %d references the cells need",
 				src.Label(), n, total)
@@ -299,8 +325,8 @@ func (r *Runner) stream(sh *shard, resolve func(string) (workload.Workload, bool
 		if err != nil {
 			return err
 		}
-		perRef(ref.PC, ref.VAddr)
-		n++
+		perBatch(buf[:k])
+		n += uint64(k)
 	}
 	return nil
 }
@@ -325,14 +351,22 @@ func (r *Runner) runShard(sh *shard, jobs []Job, resolve func(string) (workload.
 	}
 	total := sh.key.warmup + sh.key.refs
 	var seen uint64
-	err := r.stream(sh, resolve, total, func(pc, vaddr uint64) {
-		g.Ref(pc, vaddr)
-		seen++
-		if seen == sh.key.warmup {
+	err := r.stream(sh, resolve, total, func(refs []trace.Ref) {
+		warm := sh.key.warmup
+		if seen < warm && seen+uint64(len(refs)) >= warm {
+			// The warmup boundary falls inside this chunk: split there so
+			// the counters reset after exactly warm references, as the
+			// per-reference path did.
+			k := warm - seen
+			g.RefBatch(refs[:k])
 			for _, s := range g.Members() {
 				s.ResetStats()
 			}
+			g.RefBatch(refs[k:])
+		} else {
+			g.RefBatch(refs)
 		}
+		seen += uint64(len(refs))
 	})
 	if err != nil {
 		return err
@@ -344,62 +378,79 @@ func (r *Runner) runShard(sh *shard, jobs []Job, resolve func(string) (workload.
 	return nil
 }
 
-// materializeStream produces the first n references of one mix member as a
-// slice the interleaver can rotate over. Synthetic members regenerate from
-// the workload model at its registry seed (mix cells carry no seed axis);
-// trace members replay the recording and fail if it ends early.
-func (r *Runner) materializeStream(src Source, n uint64, resolve func(string) (workload.Workload, bool)) ([]trace.Ref, error) {
-	refs := make([]trace.Ref, 0, n)
+// boundedTrace clips a trace member's stream to its mix share: it delivers
+// exactly total references, reports EOF after them, and turns a premature
+// end of the recording into the share-shortfall error.
+type boundedTrace struct {
+	src   trace.BatchReader
+	label string
+	got   uint64
+	total uint64
+}
+
+// ReadBatch implements trace.BatchReader.
+func (b *boundedTrace) ReadBatch(dst []trace.Ref) (int, error) {
+	if len(dst) == 0 {
+		return 0, nil
+	}
+	if b.got == b.total {
+		return 0, io.EOF
+	}
+	if rem := b.total - b.got; uint64(len(dst)) > rem {
+		dst = dst[:rem]
+	}
+	n, err := b.src.ReadBatch(dst)
+	if err == io.EOF {
+		return 0, fmt.Errorf("sweep: trace %s ends after %d of the %d references its mix share needs",
+			b.label, b.got, b.total)
+	}
+	if err != nil {
+		return 0, err
+	}
+	b.got += uint64(n)
+	return n, nil
+}
+
+// memberStream opens one mix member's reference stream, clipped to its n-
+// reference share, as a batch reader the interleaver can rotate over
+// without materializing it. Synthetic members regenerate from the workload
+// model at its registry seed (mix cells carry no seed axis) through a
+// chunked pull adapter; trace members replay the recording and fail if it
+// ends early. The returned closer (never nil) must be closed even when the
+// stream is abandoned mid-way.
+func (r *Runner) memberStream(src Source, n uint64, resolve func(string) (workload.Workload, bool)) (trace.BatchReader, io.Closer, error) {
 	if !src.IsTrace() {
 		w, _ := resolve(src.Workload) // presence checked during sharding
-		workload.Generate(w, n, func(pc, vaddr uint64) bool {
-			refs = append(refs, trace.Ref{PC: pc, VAddr: vaddr})
-			return true
-		})
-		return refs, nil
+		cr := workload.NewChunkedReader(w, n)
+		return cr, cr, nil
 	}
-	open := r.OpenTrace
-	if open == nil {
-		open = func(src Source) (trace.Reader, io.Closer, error) {
-			return trace.OpenFile(src.TracePath)
-		}
-	}
-	tr, closer, err := open(src)
+	tr, closer, err := r.openTrace()(src)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	if closer != nil {
-		defer closer.Close()
+	if closer == nil {
+		closer = io.NopCloser(nil)
 	}
-	for uint64(len(refs)) < n {
-		ref, err := tr.Read()
-		if err == io.EOF {
-			return nil, fmt.Errorf("sweep: trace %s ends after %d of the %d references its mix share needs",
-				src.Label(), len(refs), n)
-		}
-		if err != nil {
-			return nil, err
-		}
-		refs = append(refs, ref)
-	}
-	return refs, nil
+	return &boundedTrace{src: trace.AsBatch(tr), label: src.Label(), total: n}, closer, nil
 }
 
 // runMixShard simulates one mix shard: the cell's reference budget is split
-// across the member sources, each member stream is materialized once, and a
-// single round-robin interleaving pass feeds every member cell's Exec. The
+// across the member sources, each member stream is opened as a bounded
+// batch reader, and a single streaming round-robin interleaving pass feeds
+// every member cell's Exec — no member stream is ever materialized. The
 // interleaver tags addresses unconditionally, so cells differing in switch
 // policy, ASID mode, mechanism or buffer size consume the identical stream
 // — exactly what the shard key promises.
 func (r *Runner) runMixShard(sh *shard, jobs []Job, resolve func(string) (workload.Workload, bool), settle func(int, Result)) error {
 	canon := sh.mix.Canonical()
 	shares := multiprog.Split(sh.key.refs, len(sh.mix.Sources))
-	streams := make([][]trace.Ref, len(sh.mix.Sources))
+	streams := make([]trace.BatchReader, len(sh.mix.Sources))
 	for i, src := range sh.mix.Sources {
-		s, err := r.materializeStream(src, shares[i], resolve)
+		s, closer, err := r.memberStream(src, shares[i], resolve)
 		if err != nil {
 			return err
 		}
+		defer closer.Close()
 		streams[i] = s
 	}
 
@@ -421,7 +472,7 @@ func (r *Runner) runMixShard(sh *shard, jobs []Job, resolve func(string) (worklo
 		})
 	}
 
-	it := multiprog.NewInterleaver(streams, canon.Quantum)
+	it := multiprog.NewStreamInterleaver(streams, canon.Quantum)
 	for {
 		proc, pc, vaddr, ok := it.Next()
 		if !ok {
@@ -430,6 +481,9 @@ func (r *Runner) runMixShard(sh *shard, jobs []Job, resolve func(string) (worklo
 		for _, e := range execs {
 			e.Ref(proc, pc, vaddr)
 		}
+	}
+	if err := it.Err(); err != nil {
+		return err
 	}
 	for mi, idx := range sh.indices {
 		res := execs[mi].Results()
@@ -447,9 +501,15 @@ func (r *Runner) runTimingShard(sh *shard, jobs []Job, resolve func(string) (wor
 		j := jobs[idx]
 		sims[mi] = sim.NewTiming(j.Timing.Config(j.Config), j.Mech.Build())
 	}
-	err := r.stream(sh, resolve, sh.key.refs, func(pc, vaddr uint64) {
+	// Sim-outer over each chunk: every TimingSimulator owns its clock and
+	// shares no state with the others, so walking the chunk once per sim is
+	// bit-identical to the ref-outer order while touching each sim's state
+	// in long cache-friendly runs.
+	err := r.stream(sh, resolve, sh.key.refs, func(refs []trace.Ref) {
 		for _, s := range sims {
-			s.Ref(pc, vaddr)
+			for i := range refs {
+				s.Ref(refs[i].PC, refs[i].VAddr)
+			}
 		}
 	})
 	if err != nil {

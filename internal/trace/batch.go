@@ -1,0 +1,114 @@
+package trace
+
+import "io"
+
+// BatchReader yields references in caller-owned chunks, amortizing the
+// per-reference interface dispatch the Reader contract pays. The contract
+// is deliberately simpler than io.Reader's:
+//
+//   - ReadBatch fills dst with up to len(dst) references and returns how
+//     many it wrote. A successful call returns n > 0 with a nil error.
+//   - The end of the stream is reported as (0, io.EOF) on its own call —
+//     never alongside data. Likewise a decode error surfaces on the call
+//     after the last good references were delivered, so dst[:n] is always
+//     fully valid when n > 0.
+//   - ReadBatch with an empty dst returns (0, nil).
+//
+// Callers therefore loop:
+//
+//	for {
+//		n, err := src.ReadBatch(buf)
+//		if err == io.EOF {
+//			break
+//		}
+//		if err != nil {
+//			return err
+//		}
+//		process(buf[:n])
+//	}
+type BatchReader interface {
+	ReadBatch(dst []Ref) (int, error)
+}
+
+// AsBatch returns r itself when it implements BatchReader natively, and
+// otherwise wraps it in an adapter that batches per-reference Reads. Either
+// way the resulting stream is bit-identical to draining r one Read at a
+// time.
+func AsBatch(r Reader) BatchReader {
+	if br, ok := r.(BatchReader); ok {
+		return br
+	}
+	return &batchAdapter{r: r}
+}
+
+// batchAdapter lifts a per-reference Reader to the BatchReader contract,
+// holding back a mid-batch error until the references before it have been
+// delivered.
+type batchAdapter struct {
+	r       Reader
+	pending error
+}
+
+// ReadBatch implements BatchReader.
+func (a *batchAdapter) ReadBatch(dst []Ref) (int, error) {
+	if len(dst) == 0 {
+		return 0, nil
+	}
+	if a.pending != nil {
+		err := a.pending
+		a.pending = nil
+		return 0, err
+	}
+	n := 0
+	for n < len(dst) {
+		ref, err := a.r.Read()
+		if err != nil {
+			if n > 0 {
+				a.pending = err
+				return n, nil
+			}
+			return 0, err
+		}
+		dst[n] = ref
+		n++
+	}
+	return n, nil
+}
+
+// ReadBatch implements BatchReader natively for in-memory slices.
+func (r *SliceReader) ReadBatch(dst []Ref) (int, error) {
+	if len(dst) == 0 {
+		return 0, nil
+	}
+	if r.pos >= len(r.refs) {
+		return 0, io.EOF
+	}
+	n := copy(dst, r.refs[r.pos:])
+	r.pos += n
+	return n, nil
+}
+
+// CopyBatch pumps src into dst in chunks until EOF, returning the number
+// of records copied. It is the bulk counterpart of Copy for writers that
+// are cheap per call; the record stream is identical.
+func CopyBatch(dst Writer, src BatchReader) (uint64, error) {
+	var (
+		n   uint64
+		buf [4096]Ref
+	)
+	for {
+		k, err := src.ReadBatch(buf[:])
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+		for i := 0; i < k; i++ {
+			if err := dst.Write(buf[i]); err != nil {
+				return n, err
+			}
+			n++
+		}
+	}
+}

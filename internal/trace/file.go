@@ -27,24 +27,35 @@ func DigestFile(path string) (string, error) {
 }
 
 // OpenFile opens a trace file, auto-detecting the format from its leading
-// bytes (the binary magic "TLBT", otherwise the text format). The caller
-// must Close the returned closer when done reading.
+// bytes: the binary magic "TLBT" followed by the version byte selects the
+// v1 fixed-width or v2 block reader, anything else is the text format. The
+// caller must Close the returned closer when done reading. The returned
+// Reader always supports batched decode too (wrap with AsBatch, which is a
+// no-op for the binary readers).
 func OpenFile(path string) (Reader, io.Closer, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, nil, err
 	}
 	br := bufio.NewReaderSize(f, 1<<16)
-	head, err := br.Peek(len(binMagic))
+	head, err := br.Peek(len(binMagic) + 1)
 	if err != nil && err != io.EOF {
 		f.Close()
 		return nil, nil, fmt.Errorf("trace: reading %s: %w", path, err)
 	}
-	if string(head) == binMagic {
-		r, err := NewBinaryReader(br)
-		if err != nil {
+	if len(head) >= len(binMagic) && string(head[:len(binMagic)]) == binMagic {
+		var (
+			r    Reader
+			rerr error
+		)
+		if len(head) > len(binMagic) && head[len(binMagic)] == blockVersion {
+			r, rerr = NewBlockReader(br)
+		} else {
+			r, rerr = NewBinaryReader(br)
+		}
+		if rerr != nil {
 			f.Close()
-			return nil, nil, fmt.Errorf("trace: %s: %w", path, err)
+			return nil, nil, fmt.Errorf("trace: %s: %w", path, rerr)
 		}
 		return r, f, nil
 	}

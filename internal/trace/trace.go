@@ -74,11 +74,12 @@ type FuncReader func() (Ref, error)
 // Read implements Reader.
 func (f FuncReader) Read() (Ref, error) { return f() }
 
-// --- Binary format -------------------------------------------------------
+// --- Binary format v1 -----------------------------------------------------
 //
 // Header: magic "TLBT" (4 bytes), version byte (1), 3 reserved zero bytes,
 // then little-endian uint64 record count. Records: PC and VAddr as
-// little-endian uint64 (16 bytes each record).
+// little-endian uint64 (16 bytes each record). Version 2 of the format
+// (block-structured, delta-encoded) lives in block.go.
 
 const (
 	binMagic   = "TLBT"
@@ -88,18 +89,24 @@ const (
 // ErrBadFormat reports a malformed binary trace.
 var ErrBadFormat = errors.New("trace: malformed binary trace")
 
-// BinaryWriter writes the binary trace format. Close (or Flush) must be
-// called to finalize the header's record count via the returned offset —
-// since we write to a streaming io.Writer, the count is written up front by
-// WriteBinary instead; BinaryWriter itself writes a count of 0 and is meant
-// for pipes where the reader tolerates EOF-terminated streams.
+// BinaryWriter writes the v1 binary trace format.
+//
+// The header's record count is written as 0 up front, which by contract
+// means "read until EOF". That is the pipe mode: a BinaryWriter draining
+// into a non-seekable sink (a pipe, a socket, a compressor) simply ends the
+// stream at EOF, and BinaryReader accepts that as a clean end as long as
+// the final record is complete. When the destination is seekable — a plain
+// file — call FinishCount after the last record instead of Flush: it
+// patches the true count into the header, so readers detect truncated
+// files instead of silently accepting them.
 type BinaryWriter struct {
 	w     *bufio.Writer
 	count uint64
 }
 
 // NewBinaryWriter emits a header with record count 0 (meaning "read until
-// EOF") and returns a streaming writer.
+// EOF" — the pipe mode described on BinaryWriter) and returns a streaming
+// writer.
 func NewBinaryWriter(w io.Writer) (*BinaryWriter, error) {
 	bw := &BinaryWriter{w: bufio.NewWriterSize(w, 1<<16)}
 	if _, err := bw.w.WriteString(binMagic); err != nil {
@@ -130,11 +137,28 @@ func (b *BinaryWriter) Count() uint64 { return b.count }
 // Flush flushes buffered records to the underlying writer.
 func (b *BinaryWriter) Flush() error { return b.w.Flush() }
 
+// FinishCount flushes buffered records and then patches the header's
+// record count in place through at, which must address the start of the
+// trace (the header at offset 0) — an *os.File opened for writing
+// qualifies. Use it when the output is seekable; for pipes, stick with
+// Flush and the EOF-terminated contract documented on BinaryWriter.
+func (b *BinaryWriter) FinishCount(at io.WriterAt) error {
+	if err := b.Flush(); err != nil {
+		return err
+	}
+	var cnt [8]byte
+	binary.LittleEndian.PutUint64(cnt[:], b.count)
+	_, err := at.WriteAt(cnt[:], countOffset)
+	return err
+}
+
 // BinaryReader reads the binary trace format.
 type BinaryReader struct {
 	r         *bufio.Reader
 	remaining uint64
-	counted   bool // header carried a nonzero count
+	counted   bool   // header carried a nonzero count
+	scratch   []byte // bulk-read buffer for ReadBatch
+	pending   error  // error held back until buffered records drain
 }
 
 // NewBinaryReader validates the header and returns a streaming reader.
@@ -178,6 +202,73 @@ func (b *BinaryReader) Read() (Ref, error) {
 		PC:    binary.LittleEndian.Uint64(rec[0:8]),
 		VAddr: binary.LittleEndian.Uint64(rec[8:16]),
 	}, nil
+}
+
+// ReadBatch implements BatchReader natively: one bulk read decodes up to
+// len(dst) records without a per-record interface call. The record stream
+// and the error semantics are identical to repeated Reads.
+func (b *BinaryReader) ReadBatch(dst []Ref) (int, error) {
+	if len(dst) == 0 {
+		return 0, nil
+	}
+	if b.pending != nil {
+		err := b.pending
+		if err == io.EOF {
+			b.pending = nil
+		}
+		return 0, err
+	}
+	want := len(dst)
+	if b.counted {
+		if b.remaining == 0 {
+			return 0, io.EOF
+		}
+		if uint64(want) > b.remaining {
+			want = int(b.remaining)
+		}
+	}
+	if cap(b.scratch) < want*16 {
+		b.scratch = make([]byte, want*16)
+	}
+	nb, err := io.ReadFull(b.r, b.scratch[:want*16])
+	full := nb / 16
+	for i := 0; i < full; i++ {
+		rec := b.scratch[i*16 : i*16+16]
+		dst[i] = Ref{
+			PC:    binary.LittleEndian.Uint64(rec[0:8]),
+			VAddr: binary.LittleEndian.Uint64(rec[8:16]),
+		}
+	}
+	if b.counted {
+		b.remaining -= uint64(full)
+	}
+	switch err {
+	case nil:
+		return full, nil
+	case io.EOF, io.ErrUnexpectedEOF:
+		trunc := fmt.Errorf("%w: truncated record", ErrBadFormat)
+		if nb%16 != 0 || b.counted {
+			// A partial record, or fewer records than the counted header
+			// promised.
+			if full > 0 {
+				b.pending = trunc
+				return full, nil
+			}
+			return 0, trunc
+		}
+		// Uncounted stream ending at a record boundary: clean EOF.
+		if full > 0 {
+			b.pending = io.EOF
+			return full, nil
+		}
+		return 0, io.EOF
+	default:
+		if full > 0 {
+			b.pending = err
+			return full, nil
+		}
+		return 0, err
+	}
 }
 
 // --- Text format ----------------------------------------------------------

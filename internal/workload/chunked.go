@@ -1,0 +1,119 @@
+package workload
+
+import (
+	"io"
+
+	"tlbprefetch/internal/trace"
+)
+
+// chunkedBuf is the chunk size ChunkedReader hands between its generator
+// goroutine and the consumer: big enough to amortize the channel handoff
+// (one per 4096 references), small enough to stay cache-resident.
+const chunkedBuf = 4096
+
+// ChunkedReader lifts the push-based Generate to the pull-based
+// trace.BatchReader contract, so a workload model can feed consumers that
+// interleave multiple streams (the sweep runner's mix shards) without
+// materializing the whole stream first. A generator goroutine fills chunks
+// that the consumer drains; two buffers recycle between them, bounding the
+// adapter to O(chunk) memory regardless of stream length. The reference
+// stream is exactly Generate's, in order.
+//
+// Callers that stop reading before EOF must call Close to release the
+// goroutine; Close is idempotent and safe after EOF too.
+type ChunkedReader struct {
+	ch   chan []trace.Ref // filled chunks, in stream order
+	free chan []trace.Ref // drained chunks recycling back to the generator
+	stop chan struct{}
+	cur  []trace.Ref
+	pos  int
+	done bool
+}
+
+// NewChunkedReader starts generating refs references of w in the
+// background and returns the pull side.
+func NewChunkedReader(w Workload, refs uint64) *ChunkedReader {
+	c := &ChunkedReader{
+		ch:   make(chan []trace.Ref, 1),
+		free: make(chan []trace.Ref, 2),
+		stop: make(chan struct{}),
+	}
+	c.free <- make([]trace.Ref, 0, chunkedBuf)
+	c.free <- make([]trace.Ref, 0, chunkedBuf)
+	go c.generate(w, refs)
+	return c
+}
+
+// generate is the producer goroutine: it fills recycled buffers from
+// Generate's callback and hands them off, bailing out whenever the
+// consumer closes stop.
+func (c *ChunkedReader) generate(w Workload, refs uint64) {
+	defer close(c.ch)
+	var buf []trace.Ref
+	take := func() bool {
+		select {
+		case buf = <-c.free:
+			buf = buf[:0]
+			return true
+		case <-c.stop:
+			return false
+		}
+	}
+	send := func() bool {
+		select {
+		case c.ch <- buf:
+			return true
+		case <-c.stop:
+			return false
+		}
+	}
+	if !take() {
+		return
+	}
+	Generate(w, refs, func(pc, vaddr uint64) bool {
+		buf = append(buf, trace.Ref{PC: pc, VAddr: vaddr})
+		if len(buf) == chunkedBuf {
+			if !send() || !take() {
+				return false
+			}
+		}
+		return true
+	})
+	if len(buf) > 0 {
+		send()
+	}
+}
+
+// ReadBatch implements trace.BatchReader.
+func (c *ChunkedReader) ReadBatch(dst []trace.Ref) (int, error) {
+	if len(dst) == 0 {
+		return 0, nil
+	}
+	if c.pos >= len(c.cur) {
+		if c.cur != nil {
+			c.free <- c.cur // cap 2: never blocks
+			c.cur = nil
+		}
+		chunk, ok := <-c.ch
+		if !ok {
+			return 0, io.EOF
+		}
+		c.cur, c.pos = chunk, 0
+	}
+	n := copy(dst, c.cur[c.pos:])
+	c.pos += n
+	return n, nil
+}
+
+// Close releases the generator goroutine. It must be called when the
+// consumer abandons the stream early; after a clean EOF it is a no-op.
+func (c *ChunkedReader) Close() error {
+	if !c.done {
+		c.done = true
+		close(c.stop)
+		for range c.ch {
+			// Drain so a generator blocked on a full channel can exit.
+		}
+	}
+	return nil
+}

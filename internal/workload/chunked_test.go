@@ -1,0 +1,70 @@
+package workload
+
+import (
+	"io"
+	"testing"
+
+	"tlbprefetch/internal/trace"
+)
+
+// TestChunkedReaderMatchesGenerate pins the adapter contract: the pulled
+// stream is exactly Generate's, for lengths around the chunk boundary.
+func TestChunkedReaderMatchesGenerate(t *testing.T) {
+	w, ok := ByName("mcf")
+	if !ok {
+		t.Fatal("workload mcf missing")
+	}
+	for _, n := range []uint64{0, 1, chunkedBuf - 1, chunkedBuf, chunkedBuf + 1, 3*chunkedBuf + 17} {
+		want := make([]trace.Ref, 0, n)
+		Generate(w, n, func(pc, vaddr uint64) bool {
+			want = append(want, trace.Ref{PC: pc, VAddr: vaddr})
+			return true
+		})
+		cr := NewChunkedReader(w, n)
+		got := make([]trace.Ref, 0, n)
+		buf := make([]trace.Ref, 700) // not aligned with the chunk size
+		for {
+			k, err := cr.ReadBatch(buf)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, buf[:k]...)
+		}
+		cr.Close()
+		if len(got) != len(want) {
+			t.Fatalf("n=%d: pulled %d refs, want %d", n, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d: ref %d = %+v, want %+v", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestChunkedReaderEarlyClose releases the generator goroutine mid-stream.
+// Run with -race this also checks the handoff is properly synchronized.
+func TestChunkedReaderEarlyClose(t *testing.T) {
+	w, _ := ByName("swim")
+	for _, readFirst := range []int{0, 1, chunkedBuf + 5} {
+		cr := NewChunkedReader(w, 1<<20)
+		buf := make([]trace.Ref, 512)
+		for read := 0; read < readFirst; {
+			k, err := cr.ReadBatch(buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			read += k
+		}
+		if err := cr.Close(); err != nil {
+			t.Fatal(err)
+		}
+		// Idempotent.
+		if err := cr.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

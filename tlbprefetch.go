@@ -49,6 +49,11 @@ type TraceReader = trace.Reader
 // TraceWriter consumes a stream of references.
 type TraceWriter = trace.Writer
 
+// TraceBatchReader yields references in caller-owned chunks; see
+// trace.BatchReader for the contract. AsBatchTraceReader lifts any
+// TraceReader to it.
+type TraceBatchReader = trace.BatchReader
+
 // Prefetcher is a TLB prefetching mechanism: it observes the TLB miss
 // stream and proposes pages to load into the prefetch buffer.
 type Prefetcher = prefetch.Prefetcher
@@ -206,11 +211,24 @@ func RunWorkloadTimed(cfg TimingConfig, pf Prefetcher, w Workload, refs uint64) 
 	return s.Stats()
 }
 
-// NewBinaryTraceWriter / NewBinaryTraceReader expose the compact trace file
-// format (16 bytes per record after a 16-byte header).
+// NewBinaryTraceWriter / NewBinaryTraceReader expose the fixed-width v1
+// trace file format (16 bytes per record after a 16-byte header);
+// NewBlockTraceWriter / NewBlockTraceReader expose the v2 block format
+// (delta + varint encoded, typically 2-6 bytes per record, batched
+// decode). OpenTraceFile auto-detects text, v1 and v2 from the file's
+// leading bytes; AsBatchTraceReader lifts any reader to the chunked
+// BatchReader contract (a no-op for readers that batch natively).
 var (
 	NewBinaryTraceWriter = trace.NewBinaryWriter
 	NewBinaryTraceReader = trace.NewBinaryReader
+	NewBlockTraceWriter  = trace.NewBlockWriter
+	NewBlockTraceReader  = trace.NewBlockReader
 	NewTextTraceWriter   = trace.NewTextWriter
 	NewTextTraceReader   = trace.NewTextReader
+	OpenTraceFile        = trace.OpenFile
+	AsBatchTraceReader   = trace.AsBatch
+	DigestTraceFile      = trace.DigestFile
+	// CopyTrace pumps a batch reader into a writer until EOF, returning the
+	// number of records copied — the lossless conversion primitive.
+	CopyTrace = trace.CopyBatch
 )
