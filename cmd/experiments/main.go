@@ -86,6 +86,9 @@ func main() {
 		if n := store.Migrated(); n > 0 {
 			fmt.Fprintf(os.Stderr, "experiments: migrated %d cells from store schema %d to %d\n", n, store.MigratedFrom(), sweep.KeySchema)
 		}
+		if store.Converted() {
+			fmt.Fprintf(os.Stderr, "experiments: converting monolithic store (%d cells) to the sharded segment+index layout on next save\n", store.Len())
+		}
 		opts.Store = store
 		defer func() {
 			if err := store.Save(); err != nil {

@@ -127,7 +127,11 @@ func runServe(cfg sweepConfig, jobs []sweep.Job, store *sweep.Store) (int, error
 	// sweep of the same grid would.
 	results := make([]sweep.Result, 0, len(jobs))
 	for _, j := range jobs {
-		if r, ok := store.Get(j.Key().Hash()); ok {
+		r, ok, err := store.Get(j.Key().Hash())
+		if err != nil {
+			return 1, err
+		}
+		if ok {
 			results = append(results, r)
 		}
 	}

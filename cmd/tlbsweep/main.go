@@ -244,6 +244,9 @@ func run(cfg sweepConfig) (int, error) {
 		if n := store.Migrated(); n > 0 {
 			fmt.Fprintf(os.Stderr, "tlbsweep: migrated %d cells from store schema %d to %d\n", n, store.MigratedFrom(), sweep.KeySchema)
 		}
+		if store.Converted() {
+			fmt.Fprintf(os.Stderr, "tlbsweep: converting monolithic store (%d cells) to the sharded segment+index layout on next save\n", store.Len())
+		}
 	}
 
 	switch {
@@ -276,7 +279,10 @@ func run(cfg sweepConfig) (int, error) {
 		for _, j := range jobs {
 			keep[j.Key().Hash()] = true
 		}
-		dropped := store.GC(keep)
+		dropped, err := store.GC(keep)
+		if err != nil {
+			return 1, err
+		}
 		if err := store.Save(); err != nil {
 			return 1, err
 		}
@@ -325,7 +331,10 @@ func runWhere(store *sweep.Store, spec, format string) (int, error) {
 	if err != nil {
 		return 1, err
 	}
-	results := f.Select(store)
+	results, err := f.Select(store)
+	if err != nil {
+		return 1, err
+	}
 	fmt.Fprintf(os.Stderr, "tlbsweep: %d of %d store cells match %q\n", len(results), store.Len(), spec)
 	if len(results) == 0 {
 		diagnoseEmptyMatch(store, f)
@@ -345,7 +354,10 @@ func runFigure(store *sweep.Store, metric, spec, format string) (int, error) {
 	if err != nil {
 		return 1, err
 	}
-	results := f.Select(store)
+	results, err := f.Select(store)
+	if err != nil {
+		return 1, err
+	}
 	fmt.Fprintf(os.Stderr, "tlbsweep: rendering %d of %d store cells as a figure of %s\n",
 		len(results), store.Len(), m.Name)
 	if len(results) == 0 {
@@ -384,11 +396,9 @@ func diagnoseEmptyMatch(store *sweep.Store, f sweep.Filter) {
 	if f.Empty() {
 		return // store.Len()>0 and an empty filter cannot select nothing
 	}
-	results := store.Results()
-	keys := make([]sweep.Key, len(results))
-	for i, r := range results {
-		keys[i] = r.Key
-	}
+	// The index alone carries every key — no segment is read to explain an
+	// empty match.
+	keys := store.IndexKeys()
 	var unmatched []string
 	for _, cm := range f.ClauseMatches(keys) {
 		fmt.Fprintf(os.Stderr, "tlbsweep:   %s alone matches %d cells\n", cm.Clause, cm.Matches)

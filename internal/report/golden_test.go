@@ -57,7 +57,11 @@ func goldenRender(t *testing.T, store *sweep.Store) map[string]string {
 		if err != nil {
 			t.Fatal(err)
 		}
-		fig, err := report.Build(f.Select(store), report.Options{Metric: metric})
+		rs, err := f.Select(store)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fig, err := report.Build(rs, report.Options{Metric: metric})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -2,6 +2,7 @@ package sweep
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"tlbprefetch/internal/stats"
@@ -59,12 +60,29 @@ func (d StoreDiff) Summary() string {
 
 // DiffStores compares two stores cell-by-cell by key hash. Payloads are
 // compared on their canonical encoding, so any divergence — functional
-// counters or timing counters — registers as changed.
+// counters or timing counters — registers as changed. Whole segments the
+// two stores' indexes address by the same content digest are skipped
+// without reading either side (identical digest, identical cells), so
+// diffing two mostly-equal sharded stores reads only the segments that
+// actually differ.
 func DiffStores(a, b *Store) (StoreDiff, error) {
+	skip := sharedCleanSegments(a, b)
 	var d StoreDiff
-	for _, ra := range a.Results() {
-		h := ra.Key.Hash()
-		rb, ok := b.Get(h)
+	for _, h := range a.indexHashes() {
+		if skip[segPrefix(h)] {
+			continue
+		}
+		ra, ok, err := a.Get(h)
+		if err != nil {
+			return d, err
+		}
+		if !ok {
+			continue
+		}
+		rb, ok, err := b.Get(h)
+		if err != nil {
+			return d, err
+		}
 		if !ok {
 			d.OnlyA = append(d.OnlyA, ra)
 			continue
@@ -81,10 +99,64 @@ func DiffStores(a, b *Store) (StoreDiff, error) {
 			d.Changed = append(d.Changed, [2]Result{ra, rb})
 		}
 	}
-	for _, rb := range b.Results() {
-		if _, ok := a.Get(rb.Key.Hash()); !ok {
+	for _, h := range b.indexHashes() {
+		if skip[segPrefix(h)] || a.Has(h) {
+			continue
+		}
+		rb, ok, err := b.Get(h)
+		if err != nil {
+			return d, err
+		}
+		if ok {
 			d.OnlyB = append(d.OnlyB, rb)
 		}
 	}
 	return d, nil
+}
+
+// sharedCleanSegments returns the prefixes whose on-disk segments carry
+// the same content digest in both stores with no unsaved changes on either
+// side — cell-for-cell identical by construction, safe to skip wholesale.
+func sharedCleanSegments(a, b *Store) map[string]bool {
+	da, oka := a.cleanSegmentDigests()
+	db, okb := b.cleanSegmentDigests()
+	if !oka || !okb {
+		return nil
+	}
+	skip := make(map[string]bool)
+	for p, dig := range da {
+		if db[p] == dig {
+			skip[p] = true
+		}
+	}
+	return skip
+}
+
+// cleanSegmentDigests returns the store's per-prefix segment digests when
+// they are authoritative: file-bound, nothing dirty. A store with unsaved
+// changes (or no file at all) reports ok=false and diffs cell-by-cell.
+func (s *Store) cleanSegmentDigests() (map[string]string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.path == "" || len(s.dirty) > 0 {
+		return nil, false
+	}
+	out := make(map[string]string, len(s.segs))
+	for p, dig := range s.segs {
+		out[p] = dig
+	}
+	return out, true
+}
+
+// indexHashes returns every cell hash in sorted order, from the index
+// alone.
+func (s *Store) indexHashes() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.keys))
+	for h := range s.keys {
+		out = append(out, h)
+	}
+	sort.Strings(out)
+	return out
 }

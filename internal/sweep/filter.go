@@ -187,18 +187,35 @@ func (f Filter) ClauseMatches(keys []Key) []ClauseMatch {
 
 // Select returns the store cells matching the filter, sorted by key fields
 // (source, mechanism, geometry, timing) — a stable, human-oriented order
-// that does not depend on hash values.
-func (f Filter) Select(s *Store) []Result {
-	var out []Result
-	for _, r := range s.Results() {
-		if f.Match(r.Key) {
+// that does not depend on hash values. Matching runs against the store's
+// index; only the segments holding matched cells are read, so a narrow
+// filter over a large sharded store costs O(matched segments), not
+// O(store).
+func (f Filter) Select(s *Store) ([]Result, error) {
+	s.mu.Lock()
+	var hashes []string
+	for h, k := range s.keys {
+		if f.Match(k) {
+			hashes = append(hashes, h)
+		}
+	}
+	sort.Strings(hashes)
+	out := make([]Result, 0, len(hashes))
+	for _, h := range hashes {
+		r, ok, err := s.getLocked(h)
+		if err != nil {
+			s.mu.Unlock()
+			return nil, err
+		}
+		if ok {
 			out = append(out, r)
 		}
 	}
+	s.mu.Unlock()
 	sort.SliceStable(out, func(i, j int) bool {
 		return keyLess(out[i].Key, out[j].Key)
 	})
-	return out
+	return out, nil
 }
 
 // keyLess orders keys by (source label, mech label, TLB entries, TLB ways,

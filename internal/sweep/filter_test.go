@@ -79,7 +79,10 @@ func TestFilterSelect(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", c.spec, err)
 		}
-		got := f.Select(st)
+		got, err := f.Select(st)
+		if err != nil {
+			t.Fatalf("%s: %v", c.spec, err)
+		}
 		if len(got) != c.want {
 			t.Errorf("%s: selected %d cells, want %d", c.spec, len(got), c.want)
 		}
@@ -92,7 +95,10 @@ func TestFilterSelect(t *testing.T) {
 
 	// Selection order is deterministic and hash-free: sorted by key fields.
 	f, _ := ParseFilter("workload=swim,timing=false")
-	got := f.Select(st)
+	got, err := f.Select(st)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := 1; i < len(got); i++ {
 		if keyLess(got[i].Key, got[i-1].Key) {
 			t.Fatal("selection not sorted by key fields")
@@ -112,10 +118,14 @@ func TestDiffStores(t *testing.T) {
 	}
 
 	// Remove one cell from b, corrupt another.
-	rs := b.Results()
+	rs, err := b.Results()
+	if err != nil {
+		t.Fatal(err)
+	}
 	victim := rs[0].Key.Hash()
 	b.mu.Lock()
 	delete(b.results, victim)
+	delete(b.keys, victim)
 	mutated := rs[1]
 	mutated.Stats.Misses++
 	b.results[rs[1].Key.Hash()] = mutated
@@ -154,7 +164,10 @@ func TestStoreGC(t *testing.T) {
 	for _, j := range jobs {
 		keep[j.Key().Hash()] = true
 	}
-	dropped := st.GC(keep)
+	dropped, err := st.GC(keep)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if dropped != total-len(jobs) || st.Len() != len(jobs) {
 		t.Fatalf("gc dropped %d of %d, kept %d; want to keep exactly %d", dropped, total, st.Len(), len(jobs))
 	}

@@ -285,7 +285,11 @@ func TestMixFilterFields(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", tc.spec, err)
 		}
-		if got := len(f.Select(st)); got != tc.want {
+		sel, err := f.Select(st)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.spec, err)
+		}
+		if got := len(sel); got != tc.want {
 			t.Errorf("filter %q selected %d cells, want %d", tc.spec, got, tc.want)
 		}
 	}
@@ -307,7 +311,11 @@ func TestMixStoreRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, r := range st.Results() {
+	rs, err := st.Results()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rs {
 		if len(r.Apps) != 2 {
 			t.Fatalf("mix cell stored %d app entries", len(r.Apps))
 		}

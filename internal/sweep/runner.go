@@ -116,7 +116,11 @@ func (r *Runner) Run(jobs []Job) ([]Result, Summary, error) {
 	var shards []*shard
 	for i, j := range jobs {
 		if r.Store != nil {
-			if res, ok := r.Store.Get(hashes[i]); ok {
+			res, ok, err := r.Store.Get(hashes[i])
+			if err != nil {
+				return nil, sum, err
+			}
+			if ok {
 				out[i] = res
 				sum.Cached++
 				done++

@@ -5,9 +5,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
-	"path/filepath"
 	"runtime/debug"
 	"sort"
+	"strings"
 	"sync"
 
 	"tlbprefetch/internal/sim"
@@ -24,11 +24,11 @@ type Result struct {
 	Timing *sim.TimingStats `json:"timing,omitempty"`
 }
 
-// storeFile is the on-disk layout: schema and provenance metadata in the
-// header plus the hash → result map. encoding/json sorts map keys, so the
-// serialized form is a canonical function of the store's contents (the
-// binary stamp is a pure function of the producing binary, keeping
-// repeated saves byte-identical).
+// storeFile is the legacy monolithic on-disk layout: schema and provenance
+// metadata in the header plus the full hash → result map. Stores in this
+// shape (any schema) still open — and convert to the sharded layout on the
+// next Save — but are no longer written. encoding/json sorts map keys, so
+// the serialized form is a canonical function of the store's contents.
 type storeFile struct {
 	Schema  int               `json:"schema"`
 	Binary  string            `json:"binary,omitempty"`
@@ -56,48 +56,121 @@ func binaryVersion() string {
 
 // Store is a content-addressed result cache: key hash → Result. It is safe
 // for concurrent use by the Runner's workers. A Store may be purely
-// in-memory (NewStore) or bound to a JSON file (OpenStore + Save).
+// in-memory (NewStore) or bound to a file (OpenStore + Save).
+//
+// A file-bound store is sharded on disk: the bound path holds the cell
+// index (every key, plus the digest of each segment), and the payloads
+// live in per-prefix segment files under "<path>.d/". The index alone is
+// read at open; a segment is read only when a cell in its prefix is
+// actually needed, so Get, Merge, GC, filtering and diffing are O(touched
+// cells), not O(store).
 type Store struct {
-	mu         sync.Mutex
-	saveMu     sync.Mutex // serializes Saves: a checkpoint and a final save must not reorder
-	path       string
-	results    map[string]Result
-	migrated   int // cells re-keyed from an older schema at open time
-	fromSchema int // the schema those cells were stored under (0 when none)
+	mu     sync.Mutex
+	saveMu sync.Mutex // serializes Saves: a checkpoint and a final save must not reorder
+	path   string
+
+	keys    map[string]Key    // the index: every cell's key, resident from open
+	results map[string]Result // resident payloads (loaded segments + fresh Puts)
+	loaded  map[string]bool   // prefix → its on-disk segment is fully resident
+	dirty   map[string]bool   // prefix → differs from its on-disk segment
+	segs    map[string]string // prefix → digest of its on-disk segment
+
+	segReads  int // segment files read since open (instrumentation, see SegmentReads)
+	segWrites int // segment files written since open (instrumentation, see SegmentWrites)
+
+	migrated   int  // cells re-keyed from an older schema at open time
+	fromSchema int  // the schema those cells were stored under (0 when none)
+	converted  bool // opened from a monolithic file; the next Save writes the sharded layout
 }
 
 // NewStore returns an empty in-memory store.
 func NewStore() *Store {
-	return &Store{results: make(map[string]Result)}
+	return &Store{
+		keys:    make(map[string]Key),
+		results: make(map[string]Result),
+		loaded:  make(map[string]bool),
+		dirty:   make(map[string]bool),
+		segs:    make(map[string]string),
+	}
 }
 
-// OpenStore binds a store to a JSON file, loading its contents when the
-// file exists (a missing file is an empty store, not an error). Schema-1
-// and schema-2 stores migrate transparently: every cell is verified
-// against its stored hash under its old schema, re-keyed under the current
-// one (see keyV1.toCurrent and migrateV2), and reported via Migrated /
-// MigratedFrom; the file itself is rewritten under the current schema on
-// the next Save. Unseeded grids then satisfy every migrated cell from
-// cache; grids with a nonzero base seed derive their per-cell streams from
-// the key layout and therefore name fresh cells across a schema change
-// that reshapes the layout (v3 does not — see DeriveSeed).
+// OpenStore binds a store to a file, loading its cell index when the file
+// exists (a missing file is an empty store, not an error). Sharded stores
+// load the index alone — O(cells) of key metadata, no payloads; each
+// segment is read, digest-verified and hash-checked only when one of its
+// cells is first touched.
+//
+// Legacy monolithic files still open transparently. A current-schema
+// monolithic store loads with every cell verified against its stored hash
+// and converts to the sharded layout on the next Save (Converted reports
+// this). Schema-1 and schema-2 stores additionally migrate: every cell is
+// verified under its old schema, re-keyed under the current one (see
+// keyV1.toCurrent and migrateV2), and reported via Migrated/MigratedFrom.
+// Unseeded grids then satisfy every migrated cell from cache; grids with a
+// nonzero base seed derive their per-cell streams from the key layout and
+// therefore name fresh cells across a schema change that reshapes the
+// layout (v3 does not — see DeriveSeed).
 func OpenStore(path string) (*Store, error) {
 	s := NewStore()
 	s.path = path
 	data, err := os.ReadFile(path)
-	if os.IsNotExist(err) {
-		return s, nil
-	}
 	if err != nil {
+		if os.IsNotExist(err) {
+			return s, nil
+		}
 		return nil, fmt.Errorf("sweep: reading store: %w", err)
 	}
 	var f struct {
-		Schema  int                        `json:"schema"`
-		Results map[string]json.RawMessage `json:"results"`
+		Schema   int                        `json:"schema"`
+		Layout   string                     `json:"layout"`
+		Segments map[string]string          `json:"segments"`
+		Keys     map[string]Key             `json:"keys"`
+		Results  map[string]json.RawMessage `json:"results"`
 	}
 	if err := json.Unmarshal(data, &f); err != nil {
 		return nil, fmt.Errorf("sweep: parsing store %s: %w", path, err)
 	}
+	if f.Layout != "" {
+		if f.Layout != storeLayout {
+			return nil, fmt.Errorf("sweep: store %s has layout %q, this binary speaks %q (delete or migrate it)",
+				path, f.Layout, storeLayout)
+		}
+		if f.Schema != KeySchema {
+			return nil, fmt.Errorf("sweep: store %s has schema %d, this binary speaks %d (delete or migrate it)",
+				path, f.Schema, KeySchema)
+		}
+		for p := range f.Segments {
+			if len(p) != segPrefixLen {
+				return nil, fmt.Errorf("sweep: store %s index names malformed segment prefix %q", path, p)
+			}
+		}
+		for h, k := range f.Keys {
+			if len(h) < segPrefixLen {
+				return nil, fmt.Errorf("sweep: store %s index entry %q is not a key hash", path, h)
+			}
+			// A self-consistent cell from another schema hashes correctly
+			// (the schema is part of the key), so check it explicitly: it
+			// must be named as a schema problem, not surface later as a
+			// baffling cell mismatch in -diff or a cache miss in a sweep.
+			if k.Schema != KeySchema {
+				return nil, fmt.Errorf("sweep: store %s entry %s declares key schema %d, this binary speaks %d (delete or migrate it)",
+					path, h, k.Schema, KeySchema)
+			}
+			if _, ok := f.Segments[segPrefix(h)]; !ok {
+				return nil, fmt.Errorf("sweep: store %s index names cell %s but no segment covers prefix %s — corrupt or hand-edited",
+					path, h, segPrefix(h))
+			}
+			s.keys[h] = k
+		}
+		for p, dig := range f.Segments {
+			s.segs[p] = dig
+		}
+		return s, nil
+	}
+
+	// Monolithic file: the pre-sharding layout. Load it whole (its payloads
+	// are inline) and mark every prefix dirty so the next Save rewrites the
+	// store sharded.
 	switch f.Schema {
 	case KeySchema:
 		for h, raw := range f.Results {
@@ -105,10 +178,6 @@ func OpenStore(path string) (*Store, error) {
 			if err := json.Unmarshal(raw, &r); err != nil {
 				return nil, fmt.Errorf("sweep: store %s entry %s: %w", path, h, err)
 			}
-			// A self-consistent cell from another schema hashes correctly
-			// (the schema is part of the key), so check it explicitly: it
-			// must be named as a schema problem, not surface later as a
-			// baffling cell mismatch in -diff or a cache miss in a sweep.
 			if r.Key.Schema != KeySchema {
 				return nil, fmt.Errorf("sweep: store %s entry %s declares key schema %d, this binary speaks %d (delete or migrate it)",
 					path, h, r.Key.Schema, KeySchema)
@@ -139,6 +208,13 @@ func OpenStore(path string) (*Store, error) {
 		return nil, fmt.Errorf("sweep: store %s has schema %d, this binary speaks %d (delete or migrate it)",
 			path, f.Schema, KeySchema)
 	}
+	s.converted = true
+	for h, r := range s.results {
+		s.keys[h] = r.Key
+		p := segPrefix(h)
+		s.loaded[p] = true
+		s.dirty[p] = true
+	}
 	return s, nil
 }
 
@@ -153,26 +229,96 @@ func (s *Store) Migrated() int { return s.migrated }
 // when the store opened without migrating).
 func (s *Store) MigratedFrom() int { return s.fromSchema }
 
-// Len returns the number of stored results.
+// Converted reports whether the store was opened from a legacy monolithic
+// file — its cells are all resident and the next Save rewrites it under
+// the sharded segment+index layout.
+func (s *Store) Converted() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.converted
+}
+
+// Len returns the number of stored results, from the index alone.
 func (s *Store) Len() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return len(s.results)
+	return len(s.keys)
 }
 
-// Get looks a result up by key hash.
-func (s *Store) Get(hash string) (Result, bool) {
+// Has reports whether a cell is present, from the index alone — no
+// segment is read.
+func (s *Store) Has(hash string) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	_, ok := s.keys[hash]
+	return ok
+}
+
+// Get looks a result up by key hash. A miss is decided from the index
+// without touching the disk; a hit reads (at most) the one segment file
+// the hash's prefix names.
+func (s *Store) Get(hash string) (Result, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.getLocked(hash)
+}
+
+func (s *Store) getLocked(hash string) (Result, bool, error) {
+	if r, ok := s.results[hash]; ok {
+		return r, true, nil
+	}
+	if _, ok := s.keys[hash]; !ok {
+		return Result{}, false, nil
+	}
+	if err := s.loadSegmentLocked(segPrefix(hash)); err != nil {
+		return Result{}, false, err
+	}
 	r, ok := s.results[hash]
-	return r, ok
+	if !ok {
+		return Result{}, false, fmt.Errorf("sweep: store %s index names cell %s but its segment lacks it — corrupt or hand-edited",
+			s.path, hash)
+	}
+	return r, true, nil
 }
 
 // Put records a result under its key's hash, replacing any previous value.
 func (s *Store) Put(r Result) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.results[r.Key.Hash()] = r
+	h := r.Key.Hash()
+	s.results[h] = r
+	s.keys[h] = r.Key
+	s.dirty[segPrefix(h)] = true
+}
+
+// mergeConflictShown caps how many conflicting hashes a MergeConflictError
+// renders (all of them are carried in Hashes).
+const mergeConflictShown = 8
+
+// MergeConflictError reports every cell in a merged batch whose payload
+// diverged from the value already stored — two honest runs of one
+// content-addressed cell can never disagree, so each one is evidence of
+// simulator behaviour changing without a schema bump. Hashes holds every
+// conflicting hash in batch order; Error renders the count plus the first
+// mergeConflictShown of them.
+type MergeConflictError struct {
+	Hashes []string
+}
+
+// Error implements error.
+func (e *MergeConflictError) Error() string {
+	shown := e.Hashes
+	more := ""
+	if len(shown) > mergeConflictShown {
+		more = fmt.Sprintf(" +%d more", len(shown)-mergeConflictShown)
+		shown = shown[:mergeConflictShown]
+	}
+	short := make([]string, len(shown))
+	for i, h := range shown {
+		short[i] = fmt.Sprintf("%.12s…", h)
+	}
+	return fmt.Sprintf("sweep: merge conflict on %d cell(s) [%s%s]: a different payload is already stored (simulator behaviour changed without a schema bump?)",
+		len(e.Hashes), strings.Join(short, " "), more)
 }
 
 // Merge records a batch of results under one lock acquisition — the
@@ -180,59 +326,98 @@ func (s *Store) Put(r Result) {
 // store. A cell already present with an identical payload is skipped
 // (idempotent re-delivery after a lease expiry); a cell already present
 // with a *different* payload is a conflict — Merge keeps the first-accepted
-// value, merges the rest of the batch, and reports the conflict, since two
-// honest runs of one content-addressed cell can never disagree.
+// value, merges the rest of the batch, and reports every conflicting cell
+// in one *MergeConflictError, so a divergent worker is diagnosable in a
+// single pass. Only the segments the batch's prefixes name are read.
 func (s *Store) Merge(rs []Result) (added int, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	var conflicts []string
 	for _, r := range rs {
 		h := r.Key.Hash()
-		old, ok := s.results[h]
+		old, ok, gerr := s.getLocked(h)
+		if gerr != nil {
+			return added, gerr
+		}
 		if !ok {
 			s.results[h] = r
+			s.keys[h] = r.Key
+			s.dirty[segPrefix(h)] = true
 			added++
 			continue
 		}
 		co, errO := stats.Canonical(old)
 		cn, errN := stats.Canonical(r)
-		if errO != nil || errN != nil || string(co) != string(cn) {
-			if err == nil {
-				err = fmt.Errorf("sweep: merge conflict on cell %.12s…: a different payload is already stored (simulator behaviour changed without a schema bump?)", h)
-			}
+		if errO != nil || errN != nil || !bytes.Equal(co, cn) {
+			conflicts = append(conflicts, h)
 		}
+	}
+	if len(conflicts) > 0 {
+		err = &MergeConflictError{Hashes: conflicts}
 	}
 	return added, err
 }
 
-// Results returns every stored result sorted by key hash — the same
-// deterministic order the serialized form uses.
-func (s *Store) Results() []Result {
+// IndexKeys returns every stored cell's key, sorted by key hash, from the
+// index alone — no segment is read. This is the O(index) way to match
+// filters or diagnose them without paying for payloads.
+func (s *Store) IndexKeys() []Key {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	hashes := make([]string, 0, len(s.results))
-	for h := range s.results {
+	hashes := make([]string, 0, len(s.keys))
+	for h := range s.keys {
+		hashes = append(hashes, h)
+	}
+	sort.Strings(hashes)
+	out := make([]Key, 0, len(hashes))
+	for _, h := range hashes {
+		out = append(out, s.keys[h])
+	}
+	return out
+}
+
+// Results returns every stored result sorted by key hash — the same
+// deterministic order the serialized form uses. Every segment is loaded;
+// prefer IndexKeys or a Filter when the payloads are not all needed.
+func (s *Store) Results() ([]Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.loadAllLocked(); err != nil {
+		return nil, err
+	}
+	hashes := make([]string, 0, len(s.keys))
+	for h := range s.keys {
 		hashes = append(hashes, h)
 	}
 	sort.Strings(hashes)
 	out := make([]Result, 0, len(hashes))
 	for _, h := range hashes {
-		out = append(out, s.results[h])
+		r, ok := s.results[h]
+		if !ok {
+			return nil, fmt.Errorf("sweep: store %s index names cell %s but its segment lacks it — corrupt or hand-edited",
+				s.path, h)
+		}
+		out = append(out, r)
 	}
-	return out
+	return out, nil
 }
 
-// Bytes serializes the store. The output is a pure function of the
-// contents: same results → identical bytes, regardless of insertion order
-// or how many workers produced them.
+// Bytes serializes the store's full contents in the canonical monolithic
+// form: a pure function of the cells — same results → identical bytes,
+// regardless of insertion order or how many workers produced them. It is
+// the store-equality currency for tests and tooling; Save does not write
+// it (the sharded layout is the on-disk form).
 func (s *Store) Bytes() ([]byte, error) {
 	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.loadAllLocked(); err != nil {
+		return nil, err
+	}
 	f := storeFile{Schema: KeySchema, Binary: binaryVersion(), Results: s.results}
 	var buf bytes.Buffer
 	enc := json.NewEncoder(&buf)
 	enc.SetIndent("", "  ")
-	err := enc.Encode(f)
-	s.mu.Unlock()
-	if err != nil {
+	if err := enc.Encode(f); err != nil {
 		return nil, err
 	}
 	return buf.Bytes(), nil
@@ -240,86 +425,66 @@ func (s *Store) Bytes() ([]byte, error) {
 
 // GC drops every cell whose key hash is not in keep, returning how many
 // were removed. Pair it with Grid.Jobs to shrink a store down to exactly
-// the cells a current grid references.
-func (s *Store) GC(keep map[string]bool) int {
+// the cells a current grid references. Only segments losing a strict
+// subset of their cells are read; a fully dropped segment is unlinked at
+// the next Save without ever being loaded.
+func (s *Store) GC(keep map[string]bool) (int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	dropped := 0
-	for h := range s.results {
+	byPrefix := make(map[string][]string)
+	for h := range s.keys {
 		if !keep[h] {
+			p := segPrefix(h)
+			byPrefix[p] = append(byPrefix[p], h)
+		}
+	}
+	kept := make(map[string]int)
+	for h := range s.keys {
+		if keep[h] {
+			kept[segPrefix(h)]++
+		}
+	}
+	dropped := 0
+	for p, drop := range byPrefix {
+		if kept[p] > 0 {
+			// Mixed segment: its survivors must be resident so Save can
+			// rewrite it in full.
+			if err := s.loadSegmentLocked(p); err != nil {
+				return dropped, err
+			}
+		}
+		for _, h := range drop {
+			delete(s.keys, h)
 			delete(s.results, h)
 			dropped++
 		}
+		s.dirty[p] = true
 	}
-	return dropped
+	return dropped, nil
 }
 
-// Save writes the store to its bound file atomically and durably: the
-// serialized bytes land in a temp file which is fsynced before the rename,
-// and the parent directory is fsynced after, so a crash at any point leaves
-// either the old complete store or the new complete store — never a torn
-// file, and never a rename the filesystem forgot. Saves are serialized
-// against each other (a periodic checkpoint racing a final save must not
-// let older bytes land last), and the snapshot itself is taken under the
-// results lock, so a concurrent Merge is either fully in or fully out.
-// Saving an in-memory store is a no-op.
-func (s *Store) Save() error {
-	if s.path == "" {
-		return nil
-	}
-	s.saveMu.Lock()
-	defer s.saveMu.Unlock()
-	data, err := s.Bytes()
-	if err != nil {
-		return err
-	}
-	dir := filepath.Dir(s.path)
-	tmp, err := os.CreateTemp(dir, ".sweep-store-*")
-	if err != nil {
-		return fmt.Errorf("sweep: saving store: %w", err)
-	}
-	tmpName := tmp.Name()
-	// CreateTemp makes the file 0600; keep the existing store's mode (or a
-	// conventional 0644) so the rename does not silently tighten it.
-	mode := os.FileMode(0o644)
-	if fi, err := os.Stat(s.path); err == nil {
-		mode = fi.Mode().Perm()
-	}
-	if err := tmp.Chmod(mode); err != nil {
-		tmp.Close()
-		os.Remove(tmpName)
-		return fmt.Errorf("sweep: saving store: %w", err)
-	}
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		os.Remove(tmpName)
-		return fmt.Errorf("sweep: saving store: %w", err)
-	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		os.Remove(tmpName)
-		return fmt.Errorf("sweep: saving store: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmpName)
-		return fmt.Errorf("sweep: saving store: %w", err)
-	}
-	if err := os.Rename(tmpName, s.path); err != nil {
-		os.Remove(tmpName)
-		return fmt.Errorf("sweep: saving store: %w", err)
-	}
-	return syncDir(dir)
+// SegmentReads returns how many segment files were read since the store
+// was opened — the instrumentation behind the O(touched segments) pins on
+// filtering and single-cell lookups.
+func (s *Store) SegmentReads() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.segReads
 }
 
-// syncDir fsyncs a directory so a just-renamed file's directory entry is
-// durable. Filesystems that refuse to fsync directories are tolerated: the
-// rename itself already happened, only its crash-durability is weaker.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return nil
-	}
-	defer d.Close()
-	d.Sync()
-	return nil
+// SegmentWrites returns how many segment files were written since the
+// store was opened — the instrumentation behind the dirty-segments-only
+// checkpoint pin.
+func (s *Store) SegmentWrites() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.segWrites
+}
+
+// Segments returns how many on-disk segments the store currently
+// references (0 for in-memory and never-saved stores).
+func (s *Store) Segments() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.segs)
 }

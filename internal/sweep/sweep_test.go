@@ -163,7 +163,10 @@ func TestSingleCellRerunMatchesSweep(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		stored, ok := st.Get(jobs[pick].Key().Hash())
+		stored, ok, err := st.Get(jobs[pick].Key().Hash())
+		if err != nil {
+			t.Fatal(err)
+		}
 		if !ok {
 			t.Fatalf("cell %d missing from store", pick)
 		}
@@ -281,6 +284,7 @@ func TestDirtyCellRecomputed(t *testing.T) {
 	dirty := jobs[5].Key().Hash()
 	st.mu.Lock()
 	delete(st.results, dirty)
+	delete(st.keys, dirty)
 	st.mu.Unlock()
 	second, sum, err := r.Run(jobs)
 	if err != nil {
@@ -326,34 +330,71 @@ func TestStoreRoundTrip(t *testing.T) {
 
 func TestStoreRejectsTamperedEntries(t *testing.T) {
 	dir := t.TempDir()
-	path := filepath.Join(dir, "store.json")
-	st, _ := OpenStore(path)
 	jobs, _ := Grid{Workloads: []string{"swim"}, Mechs: []Mech{{Kind: "SP"}}, Refs: 10_000}.Jobs()
-	if _, _, err := (&Runner{Store: st}).Run(jobs); err != nil {
+	results, _, err := (&Runner{}).Run(jobs)
+	if err != nil {
 		t.Fatal(err)
 	}
+
+	// Monolithic layout: a hand-edited key no longer hashes to its address.
+	mono := storeFile{Schema: KeySchema, Results: map[string]Result{results[0].Key.Hash(): results[0]}}
+	raw, err := json.Marshal(mono)
+	if err != nil {
+		t.Fatal(err)
+	}
+	monoPath := filepath.Join(dir, "mono.json")
+	tampered := bytes.Replace(raw, []byte(`"refs":10000`), []byte(`"refs":99999`), 1)
+	if bytes.Equal(raw, tampered) {
+		t.Fatal("tamper target not found")
+	}
+	if err := os.WriteFile(monoPath, tampered, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenStore(monoPath); err == nil {
+		t.Fatal("tampered monolithic store loaded without error")
+	}
+
+	// Unknown header schema is named as such.
+	mono.Schema = KeySchema + 1
+	raw, _ = json.Marshal(mono)
+	os.WriteFile(monoPath, raw, 0o644)
+	if _, err := OpenStore(monoPath); err == nil {
+		t.Fatal("wrong-schema store loaded without error")
+	}
+
+	// Sharded layout: a tampered segment no longer matches the digest its
+	// index committed, and fails the lookup that first reads it.
+	shardPath := filepath.Join(dir, "shard.json")
+	st, err := OpenStore(shardPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Put(results[0])
 	if err := st.Save(); err != nil {
 		t.Fatal(err)
 	}
-	data, _ := os.ReadFile(path)
-	tampered := bytes.Replace(data, []byte(`"refs": 10000`), []byte(`"refs": 99999`), 1)
-	if bytes.Equal(data, tampered) {
-		t.Fatal("tamper target not found")
+	ents, err := os.ReadDir(shardPath + ".d")
+	if err != nil || len(ents) != 1 {
+		t.Fatalf("segment dir entries = %d (err=%v), want 1", len(ents), err)
 	}
-	if err := os.WriteFile(path, tampered, 0o644); err != nil {
+	segPath := filepath.Join(shardPath+".d", ents[0].Name())
+	data, err := os.ReadFile(segPath)
+	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := OpenStore(path); err == nil {
-		t.Fatal("tampered store loaded without error")
+	tampered = bytes.Replace(data, []byte(`"refs": 10000`), []byte(`"refs": 99999`), 1)
+	if bytes.Equal(data, tampered) {
+		t.Fatal("segment tamper target not found")
 	}
-
-	var f storeFile
-	json.Unmarshal(data, &f)
-	f.Schema = KeySchema + 1
-	raw, _ := json.Marshal(f)
-	os.WriteFile(path, raw, 0o644)
-	if _, err := OpenStore(path); err == nil {
-		t.Fatal("wrong-schema store loaded without error")
+	if err := os.WriteFile(segPath, tampered, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	re, err := OpenStore(shardPath)
+	if err != nil {
+		t.Fatal(err) // the index alone is untouched
+	}
+	if _, _, err := re.Get(results[0].Key.Hash()); err == nil {
+		t.Fatal("tampered segment satisfied a lookup")
 	}
 }
 

@@ -140,7 +140,10 @@ func New(cfg Config) (*Coordinator, error) {
 		if _, dup := c.cells[h]; dup {
 			continue // grids dedupe already; tolerate hand-built slices
 		}
-		if _, ok := cfg.Store.Get(h); ok {
+		// Membership alone settles a cached cell — the index answers it
+		// without reading any segment, so resuming a huge sharded store
+		// costs O(index), not O(store).
+		if cfg.Store.Has(h) {
 			c.cached++
 			continue
 		}

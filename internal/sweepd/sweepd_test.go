@@ -312,10 +312,10 @@ func TestCorruptedUploadRejected(t *testing.T) {
 	if rep.Status.Done != 1 || rep.Status.Pending != len(jobs)-1 {
 		t.Fatalf("status after corrupt upload: %+v", rep.Status)
 	}
-	if _, ok := st.Get(results[0].Key.Hash()); ok {
+	if _, ok, _ := st.Get(results[0].Key.Hash()); ok {
 		t.Fatal("corrupted cell reached the store")
 	}
-	if _, ok := st.Get(alien.Key.Hash()); ok {
+	if _, ok, _ := st.Get(alien.Key.Hash()); ok {
 		t.Fatal("alien cell reached the store")
 	}
 
@@ -626,7 +626,7 @@ func TestMergeConflictFailsTheRun(t *testing.T) {
 		t.Fatalf("divergent upload not surfaced: %v", err)
 	}
 	// The first-accepted value stays in the store.
-	got, ok := coord.Store().Get(results[0].Key.Hash())
+	got, ok, _ := coord.Store().Get(results[0].Key.Hash())
 	if !ok || got.Stats != results[0].Stats {
 		t.Fatal("conflict replaced the first-accepted value")
 	}

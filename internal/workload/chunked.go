@@ -2,6 +2,7 @@ package workload
 
 import (
 	"io"
+	"sync"
 
 	"tlbprefetch/internal/trace"
 )
@@ -22,12 +23,12 @@ const chunkedBuf = 4096
 // Callers that stop reading before EOF must call Close to release the
 // goroutine; Close is idempotent and safe after EOF too.
 type ChunkedReader struct {
-	ch   chan []trace.Ref // filled chunks, in stream order
-	free chan []trace.Ref // drained chunks recycling back to the generator
-	stop chan struct{}
-	cur  []trace.Ref
-	pos  int
-	done bool
+	ch        chan []trace.Ref // filled chunks, in stream order
+	free      chan []trace.Ref // drained chunks recycling back to the generator
+	stop      chan struct{}
+	cur       []trace.Ref
+	pos       int
+	closeOnce sync.Once
 }
 
 // NewChunkedReader starts generating refs references of w in the
@@ -56,6 +57,10 @@ func (c *ChunkedReader) generate(w Workload, refs uint64) {
 			buf = buf[:0]
 			return true
 		case <-c.stop:
+			// Drop the reference: buf may be the chunk a send just
+			// delivered, and the tail flush below must not send it twice
+			// (a doubled buffer overfills free and wedges the consumer).
+			buf = nil
 			return false
 		}
 	}
@@ -107,13 +112,16 @@ func (c *ChunkedReader) ReadBatch(dst []trace.Ref) (int, error) {
 
 // Close releases the generator goroutine. It must be called when the
 // consumer abandons the stream early; after a clean EOF it is a no-op.
+// Close is idempotent and safe to call from any goroutine, concurrently
+// with ReadBatch and with other Close calls — the runner's error paths
+// close abandoned mix members via defers that may race a consumer still
+// draining.
 func (c *ChunkedReader) Close() error {
-	if !c.done {
-		c.done = true
+	c.closeOnce.Do(func() {
 		close(c.stop)
 		for range c.ch {
 			// Drain so a generator blocked on a full channel can exit.
 		}
-	}
+	})
 	return nil
 }

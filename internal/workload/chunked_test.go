@@ -2,6 +2,7 @@ package workload
 
 import (
 	"io"
+	"sync"
 	"testing"
 
 	"tlbprefetch/internal/trace"
@@ -41,6 +42,42 @@ func TestChunkedReaderMatchesGenerate(t *testing.T) {
 			if got[i] != want[i] {
 				t.Fatalf("n=%d: ref %d = %+v, want %+v", n, i, got[i], want[i])
 			}
+		}
+	}
+}
+
+// TestChunkedReaderConcurrentClose races Close against an in-flight
+// ReadBatch consumer and against a second Close — the shape the sweep
+// runner's deferred member-stream cleanup produces when a shard errors
+// while another goroutine is still draining. Under -race this pins the
+// sync.Once fix: the old unsynchronized done flag was a data race here.
+func TestChunkedReaderConcurrentClose(t *testing.T) {
+	w, _ := ByName("swim")
+	for i := 0; i < 20; i++ {
+		cr := NewChunkedReader(w, 1<<18)
+		var wg sync.WaitGroup
+		wg.Add(3)
+		go func() {
+			defer wg.Done()
+			buf := make([]trace.Ref, 512)
+			for {
+				if _, err := cr.ReadBatch(buf); err == io.EOF {
+					return
+				}
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			cr.Close()
+		}()
+		go func() {
+			defer wg.Done()
+			cr.Close()
+		}()
+		wg.Wait()
+		// The reader is settled after Close: further calls see EOF.
+		if _, err := cr.ReadBatch(make([]trace.Ref, 8)); err != io.EOF {
+			t.Fatalf("read after close: err=%v, want EOF", err)
 		}
 	}
 }
