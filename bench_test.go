@@ -338,16 +338,24 @@ func benchTrace(b *testing.B, name string, n uint64) []tlbprefetch.Ref {
 	return refs
 }
 
-// throughputMechs are the per-mechanism sub-benchmark targets: the five
-// families of the paper at their figure operating points.
+// throughputMechs are the per-mechanism sub-benchmark targets at their
+// figure operating points: every kind in the sweep registry has a row here
+// (the AST gate in internal/sweep/coverage_test.go enforces it).
 func throughputMechs() map[string]func() tlbprefetch.Prefetcher {
 	return map[string]func() tlbprefetch.Prefetcher{
-		"none": func() tlbprefetch.Prefetcher { return nil },
-		"SP":   func() tlbprefetch.Prefetcher { return tlbprefetch.NewSequential(true) },
-		"ASP":  func() tlbprefetch.Prefetcher { return tlbprefetch.NewASP(256, 1) },
-		"MP":   func() tlbprefetch.Prefetcher { return tlbprefetch.NewMarkov(256, 1, 2) },
-		"RP":   func() tlbprefetch.Prefetcher { return tlbprefetch.NewRecency() },
-		"DP":   func() tlbprefetch.Prefetcher { return tlbprefetch.NewDistance(256, 1, 2) },
+		"none":  func() tlbprefetch.Prefetcher { return nil },
+		"SP":    func() tlbprefetch.Prefetcher { return tlbprefetch.NewSequential(true) },
+		"SP-A":  func() tlbprefetch.Prefetcher { return tlbprefetch.NewAdaptiveSequential() },
+		"ASP":   func() tlbprefetch.Prefetcher { return tlbprefetch.NewASP(256, 1) },
+		"MP":    func() tlbprefetch.Prefetcher { return tlbprefetch.NewMarkov(256, 1, 2) },
+		"RP":    func() tlbprefetch.Prefetcher { return tlbprefetch.NewRecency() },
+		"RP3":   func() tlbprefetch.Prefetcher { return tlbprefetch.NewRecencyDegree(3) },
+		"DP":    func() tlbprefetch.Prefetcher { return tlbprefetch.NewDistance(256, 1, 2) },
+		"DP-PC": func() tlbprefetch.Prefetcher { return tlbprefetch.NewDistancePC(256, 1, 2) },
+		"DP2":   func() tlbprefetch.Prefetcher { return tlbprefetch.NewDistance2(256, 1, 2) },
+		"STMS":  func() tlbprefetch.Prefetcher { return tlbprefetch.NewSTMS(16384, 1, 2) },
+		"MASP":  func() tlbprefetch.Prefetcher { return tlbprefetch.NewMASP(256, 1, 2) },
+		"SBFP":  func() tlbprefetch.Prefetcher { return tlbprefetch.NewSBFP() },
 	}
 }
 
@@ -361,7 +369,7 @@ func throughputMechs() map[string]func() tlbprefetch.Prefetcher {
 // O(1) structures pay off most.
 func BenchmarkSimulatorThroughput(b *testing.B) {
 	refs := benchTrace(b, "swim", 4_000_000)
-	for _, name := range []string{"none", "SP", "ASP", "MP", "RP", "DP"} {
+	for _, name := range []string{"none", "SP", "ASP", "MP", "RP", "DP", "STMS", "MASP", "SBFP"} {
 		mk := throughputMechs()[name]
 		b.Run(name, func(b *testing.B) {
 			s := tlbprefetch.NewSimulator(tlbprefetch.DefaultConfig(), mk())

@@ -220,6 +220,11 @@ func main() {
 		{"MP", func() tlbprefetch.Prefetcher { return tlbprefetch.NewMarkov(256, 1, 2) }},
 		{"RP", func() tlbprefetch.Prefetcher { return tlbprefetch.NewRecency() }},
 		{"DP", func() tlbprefetch.Prefetcher { return tlbprefetch.NewDistance(256, 1, 2) }},
+		// The modern mechanisms. STMS gets the deep history it needs to be
+		// representative (its GHB is architecturally off-chip).
+		{"STMS", func() tlbprefetch.Prefetcher { return tlbprefetch.NewSTMS(16384, 1, 2) }},
+		{"MASP", func() tlbprefetch.Prefetcher { return tlbprefetch.NewMASP(256, 1, 2) }},
+		{"SBFP", func() tlbprefetch.Prefetcher { return tlbprefetch.NewSBFP() }},
 	}
 	for _, wname := range []string{"swim", "mcf"} {
 		refs := materialize(wname, n)

@@ -8,12 +8,13 @@
 //	experiments [flags] <experiment>
 //
 // Experiments: table1, table2, table3, table3-lat, table3-space, fig7,
-// fig8, fig9, ext-dpvariants, ext-cache, ext-multiprog, ext-pagesize, all.
+// fig8, fig9, ext-dpvariants, ext-cache, ext-multiprog, ext-pagesize,
+// ext-modern, all.
 //
-// The figure experiments (fig7, fig8, fig9, table3-space) can also render
-// as paper-style grouped-bar figures: -figure text|csv|svg switches the
-// output to internal/report's renderers (fig9's four panels stack into one
-// SVG document).
+// The figure experiments (fig7, fig8, fig9, table3-space, ext-modern) can
+// also render as paper-style grouped-bar figures: -figure text|csv|svg
+// switches the output to internal/report's renderers (fig9's four panels
+// stack into one SVG document).
 package main
 
 import (
@@ -36,11 +37,11 @@ func main() {
 	slots := flag.Int("slots", 2, "prediction slots per row (s)")
 	warmup := flag.Uint64("warmup", 0, "references to simulate before counting (statistics fast-forward)")
 	storePath := flag.String("store", "", "sweep result store (JSON): cells found there are not re-simulated, fresh cells are merged back")
-	figFmt := flag.String("figure", "", "render fig7/fig8/fig9/table3-space as a grouped-bar report figure: text, csv or svg")
+	figFmt := flag.String("figure", "", "render fig7/fig8/fig9/table3-space/ext-modern as a grouped-bar report figure: text, csv or svg")
 	quiet := flag.Bool("q", false, "suppress timing banner")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: experiments [flags] <experiment>\n")
-		fmt.Fprintf(os.Stderr, "experiments: table1 table2 table3 table3-lat table3-space fig7 fig8 fig9 ext-dpvariants ext-cache ext-multiprog ext-pagesize ext-tlbassoc all\n")
+		fmt.Fprintf(os.Stderr, "experiments: table1 table2 table3 table3-lat table3-space fig7 fig8 fig9 ext-dpvariants ext-cache ext-multiprog ext-pagesize ext-tlbassoc ext-modern all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -62,7 +63,7 @@ func main() {
 		os.Exit(2)
 	}
 	if *figFmt != "" && !figureCapable(flag.Arg(0)) {
-		fmt.Fprintf(os.Stderr, "-figure applies to a single figure experiment (fig7, fig8, fig9, table3-space), not %q\n", flag.Arg(0))
+		fmt.Fprintf(os.Stderr, "-figure applies to a single figure experiment (fig7, fig8, fig9, table3-space, ext-modern), not %q\n", flag.Arg(0))
 		os.Exit(2)
 	}
 
@@ -181,6 +182,14 @@ func main() {
 		case "ext-tlbassoc":
 			fmt.Println("Extension E: TLB-associativity sensitivity of DP")
 			fmt.Print(experiments.FormatExtTLBAssoc(experiments.ExtTLBAssoc(opts)))
+		case "ext-modern":
+			res := experiments.ExtModern(opts)
+			if *figFmt != "" {
+				renderFigures(*figFmt, experiments.ExtModernFigure(res))
+				break
+			}
+			fmt.Println("Extension F: 2002 mechanisms vs modern successors (STMS, MASP, SBFP)")
+			fmt.Print(experiments.FormatExtModern(res))
 		}
 		if !*quiet {
 			fmt.Printf("\n[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
@@ -205,14 +214,14 @@ func main() {
 var allExperiments = []string{
 	"table1", "fig7", "fig8", "table2", "table3", "fig9",
 	"ext-dpvariants", "ext-cache", "ext-multiprog", "ext-pagesize",
-	"ext-tlbassoc",
+	"ext-tlbassoc", "ext-modern",
 }
 
 // figureCapable reports whether -figure can render the experiment (the
 // per-application accuracy panels and the design-space study).
 func figureCapable(name string) bool {
 	switch name {
-	case "fig7", "fig8", "fig9", "table3-space":
+	case "fig7", "fig8", "fig9", "table3-space", "ext-modern":
 		return true
 	}
 	return false

@@ -25,7 +25,7 @@ func main() {
 		workloadName = flag.String("workload", "", "workload model to run (see -list)")
 		traceFile    = flag.String("trace", "", "binary or text trace file to run instead of a workload")
 		traceText    = flag.Bool("text", false, "treat -trace as the text format")
-		mech         = flag.String("mech", "DP", "mechanism: DP, DP-PC, DP2, RP, RP3, MP, ASP, SP, SP-A, none")
+		mech         = flag.String("mech", "DP", "mechanism: DP, DP-PC, DP2, RP, RP3, MP, ASP, SP, SP-A, STMS, MASP, SBFP, none")
 		rows         = flag.Int("rows", 256, "prediction table rows r (DP/MP/ASP)")
 		ways         = flag.Int("ways", 1, "prediction table associativity (DP/MP/ASP)")
 		slots        = flag.Int("slots", 2, "prediction slots per row s (DP/MP)")
@@ -151,6 +151,12 @@ func buildMechanism(kind string, rows, ways, slots int) (tlbprefetch.Prefetcher,
 		return tlbprefetch.NewSequential(true), nil
 	case "SP-A":
 		return tlbprefetch.NewAdaptiveSequential(), nil
+	case "STMS":
+		return tlbprefetch.NewSTMS(rows, ways, slots), nil
+	case "MASP":
+		return tlbprefetch.NewMASP(rows, ways, slots), nil
+	case "SBFP":
+		return tlbprefetch.NewSBFP(), nil
 	case "NONE":
 		return nil, nil
 	}

@@ -24,6 +24,7 @@
 //
 //	tlbsweep -workloads swim,mcf -mechs DP,RP,ASP -entries 64,128,256 -buffer 8,16,32
 //	tlbsweep -workloads SPEC -mechs DP -rows 32,64,128,256,512,1024 -store dp-table.json
+//	tlbsweep -workloads mcf,vpr -mechs SP,DP,STMS,MASP,SBFP -store modern.json
 //	tlbsweep -mix galgel+gcc -mechs DP -quantum 5000,20000 -policy retain,flush,per-process -store mix.json
 //	tlbsweep -store mix.json -figure accuracy -where quantum=20000 -format svg > policies.svg
 //	tlbsweep -trace app.trc -mechs none,RP,DP -miss-penalty 50,100,200 -store lat.json
@@ -60,7 +61,7 @@ func main() {
 		quanta      = flag.String("quantum", "", "mix context-switch quantum axis in references (default 20000)")
 		policies    = flag.String("policy", "", "mix prediction-table policy axis: retain, flush, per-process (default retain)")
 		asids       = flag.String("asid", "", "mix translation treatment axis: flush (TLB+buffer emptied per switch) or tagged (default flush)")
-		mechs       = flag.String("mechs", "DP", "comma-separated mechanism kinds: DP, DP-PC, DP2, RP, RP3, MP, ASP, SP, SP-A, none")
+		mechs       = flag.String("mechs", "DP", "comma-separated mechanism kinds: DP, DP-PC, DP2, RP, RP3, MP, ASP, SP, SP-A, STMS, MASP, SBFP, none")
 		rows        = flag.String("rows", "256", "prediction-table rows axis (table mechanisms)")
 		ways        = flag.String("ways", "1", "prediction-table associativity axis (table mechanisms)")
 		slots       = flag.String("slots", "2", "prediction slots per row axis (DP/MP families)")

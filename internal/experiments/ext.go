@@ -6,6 +6,7 @@ import (
 	"tlbprefetch/internal/cachesim"
 	"tlbprefetch/internal/multiprog"
 	"tlbprefetch/internal/prefetch"
+	"tlbprefetch/internal/report"
 	"tlbprefetch/internal/stats"
 	"tlbprefetch/internal/sweep"
 	"tlbprefetch/internal/workload"
@@ -285,4 +286,45 @@ func FormatExtPageSize(rows []ExtPageSizeRow) string {
 		t.AddRow(r.App, stats.F(r.Acc4K), stats.F(r.Acc8K), stats.F(r.Acc16K))
 	}
 	return t.String()
+}
+
+// --- Extension F: 2002 vs modern mechanisms ---------------------------------
+
+// extModernMechs is the head-to-head lineup: the paper's five mechanisms at
+// their recommended operating points against three published successors —
+// temporal memory streaming (STMS, after Wenisch et al., HPCA 2009),
+// multi-stride ASP (MASP) and sampling-based free prefetching (SBFP, both
+// after Vavouliotis et al., ISCA 2021) — at matching table budgets.
+func extModernMechs() []MechConfig {
+	return []MechConfig{
+		{Kind: "SP"},
+		{Kind: "ASP", Rows: 256, Ways: 1},
+		{Kind: "MP", Rows: 256, Ways: 1},
+		{Kind: "RP"},
+		{Kind: "DP", Rows: 256, Ways: 1},
+		// STMS keeps its history off-chip, so its GHB is orders of
+		// magnitude larger than the on-chip tables: at 256 entries every
+		// index hit is stale (miss-stream recurrence distances exceed the
+		// ring) and it predicts nothing.
+		{Kind: "STMS", Rows: 16384, Ways: 1},
+		{Kind: "MASP", Rows: 256, Ways: 1},
+		{Kind: "SBFP"},
+	}
+}
+
+// ExtModern runs the 2002-vs-modern comparison on the eight
+// high-miss-rate applications of Figure 9.
+func ExtModern(opts Options) []AppResult {
+	return RunSuite(fig9Workloads(), opts, extModernMechs())
+}
+
+// FormatExtModern renders the comparison as the standard accuracy panel.
+func FormatExtModern(results []AppResult) string {
+	return FormatFigure(results)
+}
+
+// ExtModernFigure arranges the comparison as a grouped-bar report figure
+// (one group per application, one series per mechanism).
+func ExtModernFigure(results []AppResult) *report.Figure {
+	return FigureFromApps("Extension F: 2002 mechanisms vs modern successors", results)
 }

@@ -1,0 +1,167 @@
+package prefetch
+
+import "testing"
+
+// Table-driven eviction-order tests for the two mechanisms whose behaviour
+// hinges on replacement order: MP's LRU slot lists and rows (markov.go) and
+// RP's page-table LRU stack (recency.go). Each case replays a miss sequence
+// step by step and pins the exact predictions (MRU-first) — and, for RP, the
+// exact stack layout — after every step, so a replacement-policy regression
+// fails on the first divergent step, not as a downstream accuracy drift.
+
+// markovStep is one miss and the predictions it must produce.
+type markovStep struct {
+	vpn  uint64
+	want []uint64
+}
+
+func TestMarkovEvictionOrder(t *testing.T) {
+	cases := []struct {
+		name                 string
+		entries, ways, slots int
+		steps                []markovStep
+	}{
+		{
+			// Row 1 accumulates successors 2, 3, 4 with only two slots:
+			// recording 4 must evict the LRU successor (2), and predictions
+			// come out MRU-first.
+			name:    "slot list evicts LRU successor",
+			entries: 8, ways: 1, slots: 2,
+			steps: []markovStep{
+				{vpn: 1},                    // allocate row 1
+				{vpn: 2},                    // record 1 -> 2
+				{vpn: 1, want: []uint64{2}}, // predict; record 2 -> 1
+				{vpn: 3},                    // record 1 -> 3
+				{vpn: 1, want: []uint64{3, 2}},
+				{vpn: 4}, // record 1 -> 4: slot LRU (2) evicted
+				{vpn: 1, want: []uint64{4, 3}},
+			},
+		},
+		{
+			// Re-recording an already-present successor must promote it to
+			// MRU instead of duplicating or evicting.
+			name:    "slot list promotes repeated successor",
+			entries: 8, ways: 1, slots: 2,
+			steps: []markovStep{
+				{vpn: 1},
+				{vpn: 2},                    // record 1 -> 2
+				{vpn: 1, want: []uint64{2}}, // record 2 -> 1
+				{vpn: 3},                    // record 1 -> 3
+				{vpn: 1, want: []uint64{3, 2}},
+				{vpn: 2, want: []uint64{1}}, // record 1 -> 2: promote 2 to MRU
+				{vpn: 1, want: []uint64{2, 3}},
+			},
+		},
+		{
+			// A 2-entry fully-associative table: allocating a third row
+			// evicts the set-LRU row, so its history is gone on return;
+			// the record step re-allocates the previous page's row.
+			name:    "table evicts LRU row",
+			entries: 2, ways: 2, slots: 2,
+			steps: []markovStep{
+				{vpn: 10},
+				{vpn: 20},                     // set MRU order [10, 20] (record promoted 10)
+				{vpn: 30},                     // row 20 evicted; record re-allocates it, evicting 10
+				{vpn: 10},                     // history lost: no prediction; re-allocated, evicting 30
+				{vpn: 30, want: []uint64{10}}, // record at step 4 rebuilt row 30
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := NewMarkov(tc.entries, tc.ways, tc.slots)
+			scratch := make([]uint64, 0, 8)
+			for i, step := range tc.steps {
+				act := m.OnMiss(ev(step.vpn), scratch[:0])
+				if !equalU64(act.Prefetches, step.want) {
+					t.Fatalf("step %d (miss %d): predictions = %v, want %v",
+						i, step.vpn, act.Prefetches, step.want)
+				}
+			}
+		})
+	}
+}
+
+// recencyStep is one miss event and the predictions plus the exact LRU stack
+// (top to bottom) it must leave behind.
+type recencyStep struct {
+	vpn        uint64
+	evicted    uint64
+	hasEvicted bool
+	want       []uint64
+	wantStack  []uint64
+}
+
+func TestRecencyStackOrder(t *testing.T) {
+	cases := []struct {
+		name   string
+		degree int
+		steps  []recencyStep
+	}{
+		{
+			name:   "degree 2 walks one neighbour per side",
+			degree: 2,
+			steps: []recencyStep{
+				{vpn: 1, wantStack: nil},
+				{vpn: 2, evicted: 1, hasEvicted: true, wantStack: []uint64{1}},
+				{vpn: 3, evicted: 2, hasEvicted: true, wantStack: []uint64{2, 1}},
+				{vpn: 4, evicted: 3, hasEvicted: true, wantStack: []uint64{3, 2, 1}},
+				// Mid-stack miss: prev (toward top) first, then next.
+				{vpn: 2, evicted: 4, hasEvicted: true, want: []uint64{3, 1}, wantStack: []uint64{4, 3, 1}},
+				// Top-of-stack miss: only a next neighbour exists.
+				{vpn: 4, evicted: 2, hasEvicted: true, want: []uint64{3}, wantStack: []uint64{2, 3, 1}},
+				// Bottom-of-stack miss: only a prev neighbour (3) exists.
+				{vpn: 1, evicted: 4, hasEvicted: true, want: []uint64{3}, wantStack: []uint64{4, 2, 3}},
+				// Miss outside the stack predicts nothing but still pushes.
+				{vpn: 5, evicted: 1, hasEvicted: true, wantStack: []uint64{1, 4, 2, 3}},
+				// Pushing a page already linked unlinks it first (defensive
+				// re-push) instead of corrupting the list.
+				{vpn: 6, evicted: 2, hasEvicted: true, wantStack: []uint64{2, 1, 4, 3}},
+			},
+		},
+		{
+			name:   "degree 3 walks two up, one down",
+			degree: 3,
+			steps: []recencyStep{
+				{vpn: 1, wantStack: nil},
+				{vpn: 2, evicted: 1, hasEvicted: true, wantStack: []uint64{1}},
+				{vpn: 3, evicted: 2, hasEvicted: true, wantStack: []uint64{2, 1}},
+				{vpn: 4, evicted: 3, hasEvicted: true, wantStack: []uint64{3, 2, 1}},
+				{vpn: 5, evicted: 4, hasEvicted: true, wantStack: []uint64{4, 3, 2, 1}},
+				// Alternating walk from 2 in [4,3,2,1]: up 3, down 1, up 4.
+				{vpn: 2, evicted: 5, hasEvicted: true, want: []uint64{3, 1, 4}, wantStack: []uint64{5, 4, 3, 1}},
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := NewRecencyDegree(tc.degree)
+			scratch := make([]uint64, 0, 8)
+			for i, step := range tc.steps {
+				e := ev(step.vpn)
+				e.EvictedVPN, e.HasEvicted = step.evicted, step.hasEvicted
+				act := r.OnMiss(e, scratch[:0])
+				if !equalU64(act.Prefetches, step.want) {
+					t.Fatalf("step %d (miss %d): predictions = %v, want %v",
+						i, step.vpn, act.Prefetches, step.want)
+				}
+				if got := r.PageTable().StackWalk(); !equalU64(got, step.wantStack) {
+					t.Fatalf("step %d (miss %d): stack = %v, want %v",
+						i, step.vpn, got, step.wantStack)
+				}
+			}
+		})
+	}
+}
+
+func equalU64(got, want []uint64) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,565 @@
+package prefetch_test
+
+// Deliberately slow, map/slice-based reference models for every mechanism
+// in the sweep registry. Each one restates its mechanism's published
+// algorithm with the most naive data structures available — copy-heavy
+// slices for LRU orders, append-only history, maps for counters — so the
+// optimized implementations (flat arrays, internal/assoc tables, per-set
+// rings) can be pinned bit-identical to the semantics by differential
+// replay (differential_test.go). Keep these boring: their only virtue is
+// being obviously correct.
+
+import (
+	"tlbprefetch/internal/prefetch"
+)
+
+// refModel is the reference side of a differential pair: the prediction
+// sequence for one miss event.
+type refModel interface {
+	onMiss(ev prefetch.Event) []uint64
+}
+
+// --- naive set-associative LRU table ---------------------------------------
+
+// refTable mirrors table.Table semantics: set index = key mod nsets (ways
+// divides entries), full key as tag, true LRU per set via an MRU-first
+// slice that is copied on every reordering.
+type refCell[V any] struct {
+	key uint64
+	val V
+}
+
+type refTable[V any] struct {
+	ways int
+	sets [][]refCell[V]
+}
+
+func newRefTable[V any](entries, ways int) *refTable[V] {
+	if ways == 0 {
+		ways = 1
+	}
+	return &refTable[V]{ways: ways, sets: make([][]refCell[V], entries/ways)}
+}
+
+func (t *refTable[V]) setIndex(key uint64) int { return int(key % uint64(len(t.sets))) }
+
+// lookup promotes a hit to MRU (like Table.Lookup).
+func (t *refTable[V]) lookup(key uint64) (*V, bool) {
+	si := t.setIndex(key)
+	s := t.sets[si]
+	for i := range s {
+		if s[i].key == key {
+			hit := s[i]
+			rest := append([]refCell[V]{}, s[:i]...)
+			rest = append(rest, s[i+1:]...)
+			t.sets[si] = append([]refCell[V]{hit}, rest...)
+			return &t.sets[si][0].val, true
+		}
+	}
+	return nil, false
+}
+
+// insert places (key, val) at MRU, evicting LRU on a full set (like
+// Table.Insert).
+func (t *refTable[V]) insert(key uint64, val V) {
+	if v, ok := t.lookup(key); ok {
+		*v = val
+		return
+	}
+	si := t.setIndex(key)
+	s := t.sets[si]
+	if len(s) >= t.ways {
+		s = s[:t.ways-1] // drop LRU
+	}
+	t.sets[si] = append([]refCell[V]{{key: key, val: val}}, s...)
+}
+
+// getOrInsert returns key's value, inserting the zero value at MRU when
+// absent (like Table.GetOrInsert; the Lazy variant differs only in reusing
+// storage the mechanisms reinitialize anyway).
+func (t *refTable[V]) getOrInsert(key uint64) (*V, bool) {
+	if v, ok := t.lookup(key); ok {
+		return v, true
+	}
+	var zero V
+	t.insert(key, zero)
+	return &t.sets[t.setIndex(key)][0].val, false
+}
+
+// --- naive LRU slot list ----------------------------------------------------
+
+// refSlots mirrors table.SlotList: fixed capacity, MRU-first, Touch moves
+// to front or inserts at front evicting the last slot.
+type refSlots struct {
+	vals []int64
+	cap  int
+}
+
+func newRefSlots(cap int) *refSlots { return &refSlots{cap: cap} }
+
+func (l *refSlots) contains(v int64) bool {
+	for _, x := range l.vals {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func (l *refSlots) touch(v int64) {
+	out := []int64{v}
+	for _, x := range l.vals {
+		if x != v {
+			out = append(out, x)
+		}
+	}
+	if len(out) > l.cap {
+		out = out[:l.cap]
+	}
+	l.vals = out
+}
+
+func (l *refSlots) values() []int64 { return l.vals }
+
+// --- none / SP / SP-A --------------------------------------------------------
+
+// refNone is the no-prefetching baseline.
+type refNone struct{}
+
+func (refNone) onMiss(prefetch.Event) []uint64 { return nil }
+
+// refSP is sequential prefetching: next page, tagged or untagged.
+type refSP struct{ tagged bool }
+
+func (s refSP) onMiss(ev prefetch.Event) []uint64 {
+	if !s.tagged && ev.BufferHit {
+		return nil
+	}
+	return []uint64{ev.VPN + 1}
+}
+
+// refSPA is the adaptive sequential prefetcher: degree doubles when at
+// least 75% of a 16-miss window were buffer hits, halves below 40%,
+// bounded by [1, 4].
+type refSPA struct {
+	degree, hits, misses int
+}
+
+func (a *refSPA) onMiss(ev prefetch.Event) []uint64 {
+	if a.degree == 0 {
+		a.degree = 1
+	}
+	if ev.BufferHit {
+		a.hits++
+	} else {
+		a.misses++
+	}
+	if a.hits+a.misses >= 16 {
+		frac := float64(a.hits) / float64(a.hits+a.misses)
+		switch {
+		case frac >= 0.75 && a.degree < 4:
+			a.degree *= 2
+		case frac <= 0.40 && a.degree > 1:
+			a.degree /= 2
+		}
+		a.hits, a.misses = 0, 0
+	}
+	var out []uint64
+	for d := 1; d <= a.degree; d++ {
+		out = append(out, ev.VPN+uint64(d))
+	}
+	return out
+}
+
+// --- ASP ---------------------------------------------------------------------
+
+type refASPRow struct {
+	prevVPN uint64
+	stride  int64
+	state   int // 0 initial, 1 transient, 2 steady, 3 no-pred
+}
+
+// refASP is the Chen & Baer reference prediction table.
+type refASP struct {
+	t *refTable[refASPRow]
+}
+
+func newRefASP(entries, ways int) *refASP {
+	return &refASP{t: newRefTable[refASPRow](entries, ways)}
+}
+
+func (a *refASP) onMiss(ev prefetch.Event) []uint64 {
+	row, ok := a.t.lookup(ev.PC)
+	if !ok {
+		a.t.insert(ev.PC, refASPRow{prevVPN: ev.VPN})
+		return nil
+	}
+	stride := int64(ev.VPN) - int64(row.prevVPN)
+	correct := stride == row.stride
+	switch row.state {
+	case 0: // initial
+		if correct {
+			row.state = 2
+		} else {
+			row.stride, row.state = stride, 1
+		}
+	case 1: // transient
+		if correct {
+			row.state = 2
+		} else {
+			row.stride, row.state = stride, 3
+		}
+	case 2: // steady
+		if !correct {
+			row.state = 0
+		}
+	case 3: // no-pred
+		if correct {
+			row.state = 1
+		} else {
+			row.stride = stride
+		}
+	}
+	row.prevVPN = ev.VPN
+	if row.state == 2 && row.stride != 0 {
+		return []uint64{uint64(int64(ev.VPN) + row.stride)}
+	}
+	return nil
+}
+
+// --- MP ----------------------------------------------------------------------
+
+// refMP is Markov prefetching: page-indexed successor slots.
+type refMP struct {
+	t       *refTable[*refSlots]
+	slots   int
+	prevVPN uint64
+	hasPrev bool
+}
+
+func newRefMP(entries, ways, slots int) *refMP {
+	return &refMP{t: newRefTable[*refSlots](entries, ways), slots: slots}
+}
+
+func (m *refMP) onMiss(ev prefetch.Event) []uint64 {
+	var out []uint64
+	row, existed := m.t.getOrInsert(ev.VPN)
+	if existed {
+		for _, succ := range (*row).values() {
+			out = append(out, uint64(succ))
+		}
+	} else {
+		*row = newRefSlots(m.slots)
+	}
+	if m.hasPrev && m.prevVPN != ev.VPN {
+		prow, pexisted := m.t.getOrInsert(m.prevVPN)
+		if !pexisted {
+			*prow = newRefSlots(m.slots)
+		}
+		(*prow).touch(int64(ev.VPN))
+	}
+	m.prevVPN = ev.VPN
+	m.hasPrev = true
+	return out
+}
+
+// --- RP ----------------------------------------------------------------------
+
+// refRP is recency prefetching: the LRU stack kept as a plain top-first
+// slice, rebuilt on every unlink/push.
+type refRP struct {
+	stack  []uint64
+	degree int
+}
+
+func newRefRP(degree int) *refRP { return &refRP{degree: degree} }
+
+func (r *refRP) find(vpn uint64) int {
+	for i, v := range r.stack {
+		if v == vpn {
+			return i
+		}
+	}
+	return -1
+}
+
+func (r *refRP) remove(vpn uint64) {
+	if i := r.find(vpn); i >= 0 {
+		r.stack = append(append([]uint64{}, r.stack[:i]...), r.stack[i+1:]...)
+	}
+}
+
+func (r *refRP) onMiss(ev prefetch.Event) []uint64 {
+	var out []uint64
+	// Neighbours walked alternately outward from the missing page, toward
+	// the top first, at most ceil(n/2) per direction (AppendNeighborsN).
+	if i := r.find(ev.VPN); i >= 0 {
+		perSide := (r.degree + 1) / 2
+		up, down := i-1, i+1
+		ups, downs := 0, 0
+		for len(out) < r.degree && ((up >= 0 && ups < perSide) || (down < len(r.stack) && downs < perSide)) {
+			if up >= 0 && ups < perSide {
+				out = append(out, r.stack[up])
+				up--
+				ups++
+			}
+			if len(out) < r.degree && down < len(r.stack) && downs < perSide {
+				out = append(out, r.stack[down])
+				down++
+				downs++
+			}
+		}
+	}
+	r.remove(ev.VPN)
+	if ev.HasEvicted {
+		r.remove(ev.EvictedVPN) // defensive unlink, as pagetable.Push does
+		r.stack = append([]uint64{ev.EvictedVPN}, r.stack...)
+	}
+	return out
+}
+
+// --- DP family ---------------------------------------------------------------
+
+// refDP is distance prefetching with a pluggable table key, covering DP
+// (key = distance), DP-PC (key = pc ⊕ distance) and DP2 (key = distance
+// pair). The key derivations restate the formulas in internal/core.
+type refDP struct {
+	t     *refTable[*refSlots]
+	slots int
+
+	prevVPN uint64
+	hasPrev bool
+
+	// plain DP / DP-PC: one previous key; DP2: two previous distances.
+	mode    string // "DP", "DP-PC", "DP2"
+	prevKey uint64
+	hasKey  bool
+	d1, d2  int64
+	nDists  int
+}
+
+func newRefDP(mode string, entries, ways, slots int) *refDP {
+	return &refDP{t: newRefTable[*refSlots](entries, ways), slots: slots, mode: mode}
+}
+
+func refPCDistKey(pc uint64, dist int64) uint64 {
+	return uint64(dist) ^ (pc << 32) ^ (pc >> 16)
+}
+
+func refDistPairKey(d1, d2 int64) uint64 {
+	return uint64(d2) ^ (uint64(d1) << 27) ^ (uint64(d1) >> 37)
+}
+
+func (d *refDP) record(key uint64, dist int64) {
+	row, existed := d.t.getOrInsert(key)
+	if !existed {
+		*row = newRefSlots(d.slots)
+	}
+	(*row).touch(dist)
+}
+
+func (d *refDP) predict(key uint64, vpn uint64) []uint64 {
+	var out []uint64
+	if row, ok := d.t.lookup(key); ok {
+		for _, pd := range (*row).values() {
+			out = append(out, uint64(int64(vpn)+pd))
+		}
+	}
+	return out
+}
+
+func (d *refDP) onMiss(ev prefetch.Event) []uint64 {
+	if !d.hasPrev {
+		d.prevVPN = ev.VPN
+		d.hasPrev = true
+		return nil
+	}
+	dist := int64(ev.VPN) - int64(d.prevVPN)
+	var out []uint64
+	switch d.mode {
+	case "DP2":
+		if d.nDists >= 1 {
+			// Current context: (previous distance, current distance).
+			out = d.predict(refDistPairKey(d.d2, dist), ev.VPN)
+		}
+	default:
+		key := uint64(dist)
+		if d.mode == "DP-PC" {
+			key = refPCDistKey(ev.PC, dist)
+		}
+		out = d.predict(key, ev.VPN)
+		if d.hasKey {
+			d.record(d.prevKey, dist)
+		}
+		d.prevKey = key
+		d.hasKey = true
+	}
+	if d.mode == "DP2" {
+		if d.nDists >= 2 {
+			d.record(refDistPairKey(d.d1, d.d2), dist)
+		}
+		d.d1, d.d2 = d.d2, dist
+		if d.nDists < 2 {
+			d.nDists++
+		}
+	}
+	d.prevVPN = ev.VPN
+	return out
+}
+
+// --- STMS --------------------------------------------------------------------
+
+// refSTMS keeps the whole miss history in an append-only slice; only the
+// last `capacity` positions are considered live, matching the ring.
+type refSTMS struct {
+	idx      *refTable[uint64]
+	hist     []uint64
+	capacity uint64
+	degree   int
+}
+
+func newRefSTMS(entries, ways, degree int) *refSTMS {
+	return &refSTMS{
+		idx:      newRefTable[uint64](entries, ways),
+		capacity: uint64(entries),
+		degree:   degree,
+	}
+}
+
+func (s *refSTMS) onMiss(ev prefetch.Event) []uint64 {
+	var out []uint64
+	head := uint64(len(s.hist))
+	if p, ok := s.idx.lookup(ev.VPN); ok {
+		pos := *p
+		if head-pos <= s.capacity {
+			for i := uint64(1); i <= uint64(s.degree); i++ {
+				succ := pos + i
+				if succ >= head {
+					break
+				}
+				if v := s.hist[succ]; v != ev.VPN {
+					out = append(out, v)
+				}
+			}
+		}
+	}
+	s.hist = append(s.hist, ev.VPN)
+	s.idx.insert(ev.VPN, head)
+	return out
+}
+
+// --- MASP --------------------------------------------------------------------
+
+type refMASPRow struct {
+	prevVPN uint64
+	strides *refSlots
+}
+
+// refMASP tracks multiple concurrent strides per PC.
+type refMASP struct {
+	t     *refTable[*refMASPRow]
+	slots int
+}
+
+func newRefMASP(entries, ways, slots int) *refMASP {
+	return &refMASP{t: newRefTable[*refMASPRow](entries, ways), slots: slots}
+}
+
+func (m *refMASP) onMiss(ev prefetch.Event) []uint64 {
+	row, existed := m.t.getOrInsert(ev.PC)
+	if !existed {
+		*row = &refMASPRow{prevVPN: ev.VPN, strides: newRefSlots(m.slots)}
+		return nil
+	}
+	r := *row
+	stride := int64(ev.VPN) - int64(r.prevVPN)
+	r.prevVPN = ev.VPN
+	if stride == 0 {
+		return nil
+	}
+	confirmed := r.strides.contains(stride)
+	r.strides.touch(stride)
+	if !confirmed {
+		return nil
+	}
+	var out []uint64
+	for _, s := range r.strides.values() {
+		out = append(out, uint64(int64(ev.VPN)+s))
+	}
+	return out
+}
+
+// --- SBFP --------------------------------------------------------------------
+
+type refFreeEntry struct {
+	vpn   uint64
+	dist  int
+	valid bool
+}
+
+// refSBFP restates SBFP with a map-backed free distance table. The sampler
+// and PQ rotations overwrite fixed slots (invalid holes persist until the
+// cursor returns), so they are modelled as fixed-length slices, not queues.
+type refSBFP struct {
+	fdt         map[int]int
+	sampler     []refFreeEntry
+	samplerNext int
+	pq          []refFreeEntry
+	pqNext      int
+}
+
+func newRefSBFP() *refSBFP {
+	return &refSBFP{
+		fdt:     map[int]int{},
+		sampler: make([]refFreeEntry, 64),
+		pq:      make([]refFreeEntry, 32),
+	}
+}
+
+func (s *refSBFP) onMiss(ev prefetch.Event) []uint64 {
+	for i := range s.pq {
+		if s.pq[i].valid && s.pq[i].vpn == ev.VPN {
+			if s.fdt[s.pq[i].dist] < 1023 {
+				s.fdt[s.pq[i].dist]++
+			}
+			s.pq[i].valid = false
+		}
+	}
+	for i := range s.sampler {
+		if s.sampler[i].valid && s.sampler[i].vpn == ev.VPN {
+			if s.fdt[s.sampler[i].dist] < 1023 {
+				s.fdt[s.sampler[i].dist]++
+			}
+			s.sampler[i].valid = false
+		}
+	}
+	var out []uint64
+	for d := 1; d <= 7; d++ {
+		for _, dist := range [2]int{d, -d} {
+			var page uint64
+			if dist < 0 {
+				if ev.VPN < uint64(-dist) {
+					continue
+				}
+				page = ev.VPN - uint64(-dist)
+			} else {
+				page = ev.VPN + uint64(dist)
+				if page < ev.VPN {
+					continue
+				}
+			}
+			if s.fdt[dist] >= 100 {
+				out = append(out, page)
+				if old := s.pq[s.pqNext]; old.valid && s.fdt[old.dist] > 0 {
+					s.fdt[old.dist]--
+				}
+				s.pq[s.pqNext] = refFreeEntry{vpn: page, dist: dist, valid: true}
+				s.pqNext = (s.pqNext + 1) % len(s.pq)
+			} else {
+				s.sampler[s.samplerNext] = refFreeEntry{vpn: page, dist: dist, valid: true}
+				s.samplerNext = (s.samplerNext + 1) % len(s.sampler)
+			}
+		}
+	}
+	return out
+}

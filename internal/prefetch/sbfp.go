@@ -1,0 +1,155 @@
+package prefetch
+
+// SBFP implements sampling-based free TLB prefetching (after Vavouliotis et
+// al., ISCA 2021). The insight: a page-table walk fetches a cache line of
+// PTEs, so the translations at small "free distances" around the missing
+// page (±1..±7 pages in an 8-PTE line) arrive for free with the demand walk.
+// SBFP decides *which* of those free translations are worth keeping with a
+// free distance table (FDT) of saturating usefulness counters, one per
+// distance:
+//
+//   - distances whose counter is at or above a confidence threshold are
+//     prefetched and tracked in a bounded prefetch queue (PQ);
+//   - the rest are merely *sampled*: remembered in a bounded sampler so a
+//     later miss on the page proves the distance would have been useful.
+//
+// A miss matching a PQ or sampler entry increments that entry's distance
+// counter; a PQ entry evicted unused decrements its distance counter. Both
+// structures are plain FIFO rings, so the whole mechanism is a few flat
+// arrays with no table geometry to sweep — like RP, its hardware is fixed.
+const (
+	sbfpMaxDistance = 7    // free distances are -7..-1 and +1..+7
+	sbfpDistances   = 14   // counted distances (2 * sbfpMaxDistance)
+	sbfpThreshold   = 100  // counter value at which a distance is prefetched
+	sbfpMaxCounter  = 1023 // 10-bit saturating counters
+	sbfpSamplerSize = 64   // below-threshold candidates remembered
+	sbfpPQSize      = 32   // in-flight free prefetches tracked
+)
+
+// sbfpEntry is one sampler or prefetch-queue slot: the page a free
+// translation covers, and the distance that produced it.
+type sbfpEntry struct {
+	vpn   uint64
+	dist  int8
+	valid bool
+}
+
+// SBFP is the sampling-based free prefetcher. Construct with NewSBFP.
+type SBFP struct {
+	fdt         [sbfpDistances]uint16
+	sampler     [sbfpSamplerSize]sbfpEntry
+	samplerNext int
+	pq          [sbfpPQSize]sbfpEntry
+	pqNext      int
+}
+
+// NewSBFP builds an SBFP prefetcher with the published structure sizes
+// (14 distances, threshold 100, 10-bit counters, 64-entry sampler,
+// 32-entry PQ).
+func NewSBFP() *SBFP { return &SBFP{} }
+
+// sbfpIndex maps a free distance (-7..-1, 1..7) to its FDT counter index.
+func sbfpIndex(dist int) int {
+	if dist < 0 {
+		return dist + sbfpMaxDistance // -7..-1 -> 0..6
+	}
+	return dist + sbfpMaxDistance - 1 // 1..7 -> 7..13
+}
+
+// Name implements Prefetcher.
+func (s *SBFP) Name() string { return "SBFP" }
+
+// OnMiss implements Prefetcher.
+func (s *SBFP) OnMiss(ev Event, dst []uint64) Action {
+	// 1. Train: a miss on a tracked page proves its distance useful.
+	for i := range s.pq {
+		if s.pq[i].valid && s.pq[i].vpn == ev.VPN {
+			s.bump(int(s.pq[i].dist))
+			s.pq[i].valid = false
+		}
+	}
+	for i := range s.sampler {
+		if s.sampler[i].valid && s.sampler[i].vpn == ev.VPN {
+			s.bump(int(s.sampler[i].dist))
+			s.sampler[i].valid = false
+		}
+	}
+	// 2. The demand walk exposes every free distance: prefetch the
+	// confident ones, sample the rest. Candidates are visited in
+	// magnitude order (+1, -1, +2, -2, ...) so nearer pages claim
+	// prefetch-buffer and PQ space first.
+	for d := 1; d <= sbfpMaxDistance; d++ {
+		for _, dist := range [2]int{d, -d} {
+			var page uint64
+			if dist < 0 {
+				if ev.VPN < uint64(-dist) {
+					continue // below page 0
+				}
+				page = ev.VPN - uint64(-dist)
+			} else {
+				page = ev.VPN + uint64(dist)
+				if page < ev.VPN {
+					continue // address-space wraparound
+				}
+			}
+			if s.fdt[sbfpIndex(dist)] >= sbfpThreshold {
+				dst = append(dst, page)
+				s.pushPQ(page, dist)
+			} else {
+				s.pushSampler(page, dist)
+			}
+		}
+	}
+	if len(dst) == 0 {
+		return Action{}
+	}
+	return Action{Prefetches: dst}
+}
+
+// bump saturating-increments a distance's usefulness counter.
+func (s *SBFP) bump(dist int) {
+	if c := &s.fdt[sbfpIndex(dist)]; *c < sbfpMaxCounter {
+		*c++
+	}
+}
+
+// pushPQ records an issued free prefetch, retiring the oldest slot. A slot
+// still valid at eviction was a prefetch that went unused: its distance
+// pays with a counter decrement.
+func (s *SBFP) pushPQ(vpn uint64, dist int) {
+	if old := &s.pq[s.pqNext]; old.valid {
+		if c := &s.fdt[sbfpIndex(int(old.dist))]; *c > 0 {
+			*c--
+		}
+	}
+	s.pq[s.pqNext] = sbfpEntry{vpn: vpn, dist: int8(dist), valid: true}
+	s.pqNext = (s.pqNext + 1) % sbfpPQSize
+}
+
+// pushSampler records a below-threshold candidate. Sampled entries are
+// free to discard: eviction carries no penalty.
+func (s *SBFP) pushSampler(vpn uint64, dist int) {
+	s.sampler[s.samplerNext] = sbfpEntry{vpn: vpn, dist: int8(dist), valid: true}
+	s.samplerNext = (s.samplerNext + 1) % sbfpSamplerSize
+}
+
+// Reset implements Prefetcher.
+func (s *SBFP) Reset() {
+	*s = SBFP{}
+}
+
+// HardwareInfo implements HardwareDescriber.
+func (s *SBFP) HardwareInfo() HardwareInfo {
+	return HardwareInfo{
+		Mechanism:     "SBFP",
+		Rows:          "14 counters + 64 sampler + 32 PQ",
+		RowContents:   "10-bit usefulness counter; page #, free distance",
+		TableLocation: "on-chip",
+		IndexedBy:     "free distance",
+		StateMemOps:   "0",
+		MaxPrefetches: itoa(sbfpDistances),
+	}
+}
+
+var _ Prefetcher = (*SBFP)(nil)
+var _ HardwareDescriber = (*SBFP)(nil)

@@ -1,0 +1,92 @@
+package sweep
+
+import (
+	"testing"
+
+	"tlbprefetch/internal/prefetch"
+)
+
+// fuzzMech resolves a registry kind to a small, eviction-heavy geometry
+// (32 rows, 2-way, 2 slots — tiny tables wrap and conflict constantly).
+func fuzzMech(t testing.TB, kind string) prefetch.Prefetcher {
+	m := Mech{Kind: kind, Rows: 32, Ways: 2, Slots: 2}.Normalize()
+	if err := m.Validate(); err != nil {
+		t.Fatalf("registry kind %q does not validate at the fuzz geometry: %v", kind, err)
+	}
+	return m.Build()
+}
+
+// FuzzOnMiss drives every registered mechanism with an arbitrary
+// miss/hit/eviction interleaving decoded from the fuzz input and checks
+// the OnMiss contract properties that the simulator relies on:
+//
+//   - predictions are appended to the caller's scratch buffer without
+//     reallocating it (they never exceed the provided capacity);
+//   - a mechanism never prefetches the page that triggered the miss;
+//   - state survives arbitrary interleavings, including mid-stream
+//     Resets, without panicking.
+//
+// The decoded stream respects the one invariant real miss streams have:
+// consecutive misses are never the same page (a page that just filled the
+// TLB cannot immediately miss again).
+func FuzzOnMiss(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 0, 1, 0, 0, 0, 2, 0, 0, 1})
+	f.Add([]byte{7, 1, 3, 0, 7, 1, 3, 0, 9, 2, 3, 128, 7, 1, 3, 0})
+	f.Add([]byte{255, 255, 255, 255, 0, 0, 0, 0, 255, 255, 255, 255})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, kind := range Kinds() {
+			p := fuzzMech(t, kind)
+			if p == nil { // the "none" baseline
+				continue
+			}
+			const scratchCap = 64
+			scratch := make([]uint64, 0, scratchCap)
+			var (
+				lastVPN uint64
+				hasLast bool
+				ring    [8]uint64
+				head    uint64
+			)
+			for i := 0; i+3 < len(data); i += 4 {
+				// 16-bit page space: dense enough to revisit pages, small
+				// enough to hammer every set of a 32-row table.
+				vpn := uint64(data[i]) | uint64(data[i+1])<<8
+				if hasLast && vpn == lastVPN {
+					vpn = (vpn + 1) & 0xffff
+				}
+				ctrl := data[i+3]
+				ev := prefetch.Event{
+					VPN:       vpn,
+					PC:        uint64(data[i+2] & 0x3f),
+					BufferHit: ctrl&1 != 0,
+				}
+				if head >= uint64(len(ring)) {
+					if evicted := ring[head%uint64(len(ring))]; evicted != vpn {
+						ev.EvictedVPN, ev.HasEvicted = evicted, true
+					}
+				}
+				ring[head%uint64(len(ring))] = vpn
+				head++
+				lastVPN, hasLast = vpn, true
+
+				act := p.OnMiss(ev, scratch[:0])
+				if n := len(act.Prefetches); n > 0 {
+					if n > scratchCap {
+						t.Fatalf("%s: %d predictions overflow the %d-entry scratch buffer", kind, n, scratchCap)
+					}
+					if &act.Prefetches[0] != &scratch[:1][0] {
+						t.Fatalf("%s: predictions reallocated away from the caller's scratch buffer", kind)
+					}
+					for _, pfn := range act.Prefetches {
+						if pfn == ev.VPN {
+							t.Fatalf("%s: prefetched the triggering page %#x (predictions %v)", kind, ev.VPN, act.Prefetches)
+						}
+					}
+				}
+				if ctrl&0xc0 == 0xc0 {
+					p.Reset()
+				}
+			}
+		}
+	})
+}

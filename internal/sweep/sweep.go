@@ -61,32 +61,46 @@ const KeySchema = 3
 // them are canonicalized away by Normalize so that, e.g., "RP with r=256"
 // and "RP with r=1024" content-address to the same cell.
 type Mech struct {
-	// Kind is one of "DP", "DP-PC", "DP2", "RP", "RP3", "MP", "ASP", "SP",
-	// "SP-A", "none".
+	// Kind is one of the paper's mechanisms — "DP", "DP-PC", "DP2", "RP",
+	// "RP3", "MP", "ASP", "SP", "SP-A", "none" — or a modern successor:
+	// "STMS", "MASP", "SBFP".
 	Kind string `json:"kind"`
 	// Rows (r) and Ways apply to the table-based mechanisms (DP-family,
-	// MP, ASP). Ways 0 is canonicalized to 1 (direct-mapped); Ways == Rows
-	// is fully associative.
+	// MP, ASP, STMS, MASP). Ways 0 is canonicalized to 1 (direct-mapped);
+	// Ways == Rows is fully associative.
 	Rows int `json:"rows,omitempty"`
 	Ways int `json:"ways,omitempty"`
-	// Slots is s, the predictions per row, for the MP/DP families.
+	// Slots is s, the predictions per row, for the MP/DP families; for
+	// STMS it is the prefetch degree, for MASP the strides per PC.
 	Slots int `json:"slots,omitempty"`
+}
+
+// Kinds returns every registered mechanism kind in registry order. Tests
+// iterate this to assert each kind validates, builds, and carries its
+// differential-test and benchmark coverage.
+func Kinds() []string {
+	return []string{
+		"none", "SP", "SP-A", "ASP", "MP", "RP", "RP3",
+		"DP", "DP-PC", "DP2",
+		"STMS", "MASP", "SBFP",
+	}
 }
 
 // usesTable reports whether the kind has a prediction table (and therefore
 // meaningful Rows/Ways).
 func (m Mech) usesTable() bool {
 	switch m.Kind {
-	case "DP", "DP-PC", "DP2", "MP", "ASP":
+	case "DP", "DP-PC", "DP2", "MP", "ASP", "STMS", "MASP":
 		return true
 	}
 	return false
 }
 
-// usesSlots reports whether the kind has per-row prediction slots.
+// usesSlots reports whether the kind has per-row prediction slots (for
+// STMS the GHB walk degree, for MASP the strides tracked per PC).
 func (m Mech) usesSlots() bool {
 	switch m.Kind {
-	case "DP", "DP-PC", "DP2", "MP":
+	case "DP", "DP-PC", "DP2", "MP", "STMS", "MASP":
 		return true
 	}
 	return false
@@ -109,9 +123,9 @@ func (m Mech) Normalize() Mech {
 // Validate reports whether the configuration can be built.
 func (m Mech) Validate() error {
 	switch m.Kind {
-	case "RP", "RP3", "SP", "SP-A", "none":
+	case "RP", "RP3", "SP", "SP-A", "SBFP", "none":
 		return nil
-	case "DP", "DP-PC", "DP2", "MP", "ASP":
+	case "DP", "DP-PC", "DP2", "MP", "ASP", "STMS", "MASP":
 	default:
 		return fmt.Errorf("sweep: unknown mechanism kind %q", m.Kind)
 	}
@@ -172,6 +186,12 @@ func (m Mech) Build() prefetch.Prefetcher {
 		return core.NewDistancePC(m.Rows, m.Ways, m.Slots)
 	case "DP2":
 		return core.NewDistance2(m.Rows, m.Ways, m.Slots)
+	case "STMS":
+		return prefetch.NewSTMS(m.Rows, m.Ways, m.Slots)
+	case "MASP":
+		return prefetch.NewMASP(m.Rows, m.Ways, m.Slots)
+	case "SBFP":
+		return prefetch.NewSBFP()
 	}
 	panic(fmt.Sprintf("sweep: unknown mechanism kind %q", m.Kind))
 }

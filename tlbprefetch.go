@@ -8,7 +8,10 @@
 //     Prefetching (SP), Arbitrary Stride Prefetching (ASP, the Chen-Baer
 //     reference prediction table), Markov Prefetching (MP), Recency-based
 //     Prefetching (RP, Saulsbury et al.) and the paper's contribution,
-//     Distance Prefetching (DP) — all behind one Prefetcher interface;
+//     Distance Prefetching (DP) — all behind one Prefetcher interface,
+//     plus three published successors for head-to-head comparison:
+//     temporal memory streaming (STMS), multi-stride ASP (MASP) and
+//     sampling-based free prefetching (SBFP);
 //   - a functional TLB + prefetch-buffer simulator measuring the paper's
 //     prediction-accuracy metric, and a timing simulator implementing the
 //     paper's Table 3 cycle model;
@@ -168,6 +171,22 @@ func NewAdaptiveSequential() Prefetcher { return prefetch.NewAdaptiveSequential(
 // NewRecencyDegree returns RP with a wider stack prefetch window (degree 3
 // reproduces Saulsbury et al.'s three-entry variant).
 func NewRecencyDegree(degree int) Prefetcher { return prefetch.NewRecencyDegree(degree) }
+
+// NewSTMS returns temporal memory streaming adapted to TLB miss streams
+// (after Wenisch et al., HPCA 2009): a global history buffer of the last
+// `entries` misses with a `ways`-associative index table, replaying up to
+// `degree` history successors per miss.
+func NewSTMS(entries, ways, degree int) Prefetcher { return prefetch.NewSTMS(entries, ways, degree) }
+
+// NewMASP returns the multi-stride ASP generalization (after Vavouliotis et
+// al., ISCA 2021): `slots` concurrent strides tracked per PC, prefetched
+// together once a stride repeats.
+func NewMASP(entries, ways, slots int) Prefetcher { return prefetch.NewMASP(entries, ways, slots) }
+
+// NewSBFP returns sampling-based free TLB prefetching (Vavouliotis et al.,
+// ISCA 2021): a free-distance table of usefulness counters deciding which
+// page-walk neighbours to keep, with a bounded sampler and prefetch queue.
+func NewSBFP() Prefetcher { return prefetch.NewSBFP() }
 
 // Workloads returns all 56 application models, sorted by suite then name.
 func Workloads() []Workload { return workload.All() }
